@@ -1,0 +1,90 @@
+// weipipe-bench regenerates the paper's tables and figures from the
+// performance model and prints them with the paper's published numbers side
+// by side (model|paper).
+//
+// Usage:
+//
+//	weipipe-bench                 # everything
+//	weipipe-bench -exp table2     # one experiment
+//	weipipe-bench -exp fig1       # a schedule-diagram figure (ASCII)
+//	weipipe-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weipipe/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, table2, table3, table4, fig1..fig9")
+	width := flag.Int("width", 96, "timeline width for fig1..fig4")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ext-tp ext-bubble ext-hybrid all")
+		return
+	}
+	if err := run(*exp, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, width int) error {
+	timelines := map[string]func(int) (string, error){
+		"fig1": bench.Figure1, "fig2": bench.Figure2,
+		"fig3": bench.Figure3, "fig4": bench.Figure4,
+	}
+	tables := map[string]func() (*bench.Experiment, error){
+		"table2": bench.Table2, "table3": bench.Table3, "table4": bench.Table4,
+		"fig5": bench.Fig5, "fig6": bench.Fig6, "fig7": bench.Fig7,
+		"fig8": bench.Fig8, "fig9": bench.Fig9,
+		"ext-tp": bench.ExtTP, "ext-bubble": bench.ExtBubble, "ext-hybrid": bench.ExtHybrid,
+	}
+
+	switch {
+	case exp == "all":
+		for _, id := range []string{"fig1", "fig2", "fig3", "fig4"} {
+			s, err := timelines[id](width)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== %s ==\n%s\n", id, s)
+		}
+		exps, err := bench.All()
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			fmt.Println(e.Format())
+		}
+		for _, id := range []string{"ext-tp", "ext-bubble", "ext-hybrid"} {
+			e, err := tables[id]()
+			if err != nil {
+				return err
+			}
+			fmt.Println(e.Format())
+		}
+		return nil
+	case timelines[exp] != nil:
+		s, err := timelines[exp](width)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	case tables[exp] != nil:
+		e, err := tables[exp]()
+		if err != nil {
+			return err
+		}
+		fmt.Print(e.Format())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", exp)
+	}
+}

@@ -1,0 +1,112 @@
+// weipipe-sim runs the performance model for one (strategy, workload,
+// topology) configuration and prints throughput, iteration time, bubble
+// ratio and the memory estimate.
+//
+// Example (the paper's Table 2 long-context row):
+//
+//	weipipe-sim -strategy weipipe-interleave -H 4096 -S 16384 -G 4 -L 32 -N 64 -P 16 -topo nvlink2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"weipipe"
+)
+
+func main() {
+	strategy := flag.String("strategy", "weipipe-interleave", "strategy: weipipe-interleave, weipipe-naive, wzb1, wzb2, 1f1b, gpipe, zb1, zb2, fsdp, dp")
+	h := flag.Int("H", 2048, "hidden size")
+	s := flag.Int("S", 16384, "sequence length")
+	g := flag.Int("G", 4, "microbatch size")
+	l := flag.Int("L", 32, "layers")
+	n := flag.Int("N", 64, "microbatches per iteration")
+	p := flag.Int("P", 16, "workers")
+	topo := flag.String("topo", "nvlink2", "topology: nvlink, nvlink2, pcie-eth, nvlink-eth")
+	perServer := flag.Int("per-server", 8, "GPUs per server for grouped topologies")
+	recompute := flag.Bool("recompute", true, "activation checkpointing")
+	compare := flag.Bool("compare", false, "run every strategy and print a ranked table")
+	flag.Parse()
+
+	w := weipipe.Workload{H: *h, S: *s, G: *g, L: *l, N: *n, P: *p, Recompute: *recompute}
+	var top weipipe.Topology
+	switch *topo {
+	case "nvlink":
+		top = weipipe.NVLinkSingle(*p)
+	case "nvlink2":
+		top = weipipe.NVLinkTwoClusters(*p)
+	case "pcie-eth":
+		top = weipipe.PCIeEthernet(*p, *perServer)
+	case "nvlink-eth":
+		top = weipipe.NVLinkEthernet(*p, *perServer)
+	default:
+		fmt.Fprintf(os.Stderr, "weipipe-sim: unknown topology %q\n", *topo)
+		os.Exit(1)
+	}
+
+	if *compare {
+		runCompare(w, top)
+		return
+	}
+	res, err := weipipe.Simulate(weipipe.Strategy(*strategy), w, top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weipipe-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("strategy           %s\n", *strategy)
+	fmt.Printf("workload           H=%d S=%d G=%d L=%d N=%d P=%d recompute=%v\n",
+		*h, *s, *g, *l, *n, *p, *recompute)
+	fmt.Printf("topology           %s\n", top.Name)
+	fmt.Printf("memory             %.1f GB\n", res.MemoryGB)
+	if res.OOM {
+		fmt.Println("result             OOM (exceeds 80 GB A800 budget)")
+		return
+	}
+	fmt.Printf("iteration time     %.3f s\n", res.IterationSeconds)
+	fmt.Printf("throughput         %.0f tokens/s/GPU\n", res.TokensPerSecPerGPU)
+	fmt.Printf("bubble ratio       %.1f %%\n", res.BubbleRatio*100)
+}
+
+// runCompare simulates every strategy on the workload and prints them
+// ranked by throughput (OOMs last).
+func runCompare(w weipipe.Workload, top weipipe.Topology) {
+	strategies := []weipipe.Strategy{
+		weipipe.WeiPipeInterleave, weipipe.WeiPipeNaive, weipipe.WZB1, weipipe.WZB2,
+		weipipe.OneFOneB, weipipe.GPipe, weipipe.ZB1, weipipe.ZB2,
+		weipipe.FSDP, weipipe.DP, weipipe.TP, weipipe.SP,
+	}
+	type row struct {
+		s   weipipe.Strategy
+		res weipipe.SimResult
+	}
+	var rows []row
+	for _, s := range strategies {
+		wl := w
+		if s == weipipe.ZB1 || s == weipipe.ZB2 {
+			wl.Recompute = false
+		}
+		res, err := weipipe.Simulate(s, wl, top)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weipipe-sim: %s: %v\n", s, err)
+			continue
+		}
+		rows = append(rows, row{s, res})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].res.OOM != rows[j].res.OOM {
+			return !rows[i].res.OOM
+		}
+		return rows[i].res.TokensPerSecPerGPU > rows[j].res.TokensPerSecPerGPU
+	})
+	fmt.Printf("%-20s %14s %10s %9s\n", "strategy", "tokens/s/GPU", "memory", "bubble")
+	for _, r := range rows {
+		if r.res.OOM {
+			fmt.Printf("%-20s %14s %9.1fG %9s\n", r.s, "OOM", r.res.MemoryGB, "-")
+			continue
+		}
+		fmt.Printf("%-20s %14.0f %9.1fG %8.1f%%\n",
+			r.s, r.res.TokensPerSecPerGPU, r.res.MemoryGB, r.res.BubbleRatio*100)
+	}
+}

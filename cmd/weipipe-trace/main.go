@@ -1,0 +1,62 @@
+// weipipe-trace renders the simulated per-worker schedule of any strategy
+// as an ASCII timeline — the textual analogue of the paper's Figures 1–4.
+//
+// Example:
+//
+//	weipipe-trace -strategy weipipe-naive -p 4 -n 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weipipe/internal/bench"
+	"weipipe/internal/cluster"
+	"weipipe/internal/cost"
+	"weipipe/internal/schedule"
+	"weipipe/internal/sim"
+)
+
+func main() {
+	strategy := flag.String("strategy", "weipipe-interleave", "strategy to trace")
+	p := flag.Int("p", 4, "workers")
+	n := flag.Int("n", 8, "microbatches")
+	width := flag.Int("width", 96, "timeline width in characters")
+	chrome := flag.String("chrome", "", "also write a Chrome/Perfetto trace JSON to this path")
+	flag.Parse()
+
+	s, err := bench.Timeline(*strategy, *p, *n, *width)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+	fmt.Println("legend: F forward · B activation-gradient pass · W weight-gradient pass · '.' idle")
+
+	if *chrome != "" {
+		w := cost.Workload{H: 1024, S: 4096, G: 4, L: *p, N: *n, P: *p, Heads: 16}.WithDefaults()
+		tasks, err := schedule.Build(*strategy, schedule.Spec{
+			W: w, GPU: cluster.A800(), Top: cluster.NVLinkSingle(*p), Overlap: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		res, err := sim.Run(tasks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		blob, err := res.ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chrome, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *chrome)
+	}
+}

@@ -1,0 +1,78 @@
+// Generation: the full lifecycle — train a model with WeiPipe-Interleave,
+// checkpoint it to disk, load the checkpoint back, and sample continuations
+// of the synthetic token stream. The stream is a drifting pattern (each
+// token usually near its predecessor), so a trained model's greedy
+// continuations should mostly step upward — visible structure that the
+// untrained model lacks.
+//
+//	go run ./examples/generation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"weipipe"
+)
+
+func main() {
+	cfg := weipipe.Config{Vocab: 32, Hidden: 32, Layers: 3, Heads: 2, MaxSeq: 24, Seed: 21}
+	opts := weipipe.DefaultOptions(3e-3)
+
+	// Train on a fixed corpus so the structure is learnable quickly.
+	batches := weipipe.Microbatches(8, 8, 2, cfg.Vocab, cfg.MaxSeq)
+	fmt.Println("training with WeiPipe-Interleave on 2 workers…")
+	res, err := weipipe.RunCluster(weipipe.WeiPipeInterleave, 2, cfg, opts, 40,
+		func(int) []weipipe.Batch { return batches })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loss: %.3f → %.3f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
+
+	// Checkpoint and restore (the round trip a real run would rely on).
+	m := weipipe.BuildModel(cfg)
+	weipipe.LoadWeights(m, res.Weights)
+	dir, err := os.MkdirTemp("", "weipipe-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.wpck")
+	if err := weipipe.SaveCheckpoint(path, weipipe.SnapshotModel(m)); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := weipipe.LoadCheckpoint(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := snap.Restore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint round trip OK (%s)\n", path)
+
+	prompt := batches[0].Tokens[0][:6]
+	greedy, err := weipipe.Generate(restored, prompt, 12, weipipe.GenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampled, err := weipipe.Generate(restored, prompt, 12, weipipe.GenOptions{Temperature: 0.8, TopK: 5, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prompt:   %v\n", prompt)
+	fmt.Printf("greedy:   %v\n", greedy[len(prompt):])
+	fmt.Printf("sampled:  %v\n", sampled[len(prompt):])
+
+	// Count "stream-like" steps (next ≈ prev+1..3 mod V) in the greedy tail.
+	streamy := 0
+	for i := len(prompt); i < len(greedy); i++ {
+		d := (greedy[i] - greedy[i-1] + cfg.Vocab) % cfg.Vocab
+		if d >= 1 && d <= 3 {
+			streamy++
+		}
+	}
+	fmt.Printf("greedy continuation follows the stream pattern in %d/12 steps\n", streamy)
+}

@@ -1,0 +1,56 @@
+// Long-context scenario: the workload from the paper's introduction — a
+// multi-billion-parameter model with a 16k context on a cluster whose
+// inter-node links are 10 Gb Ethernet. The performance model shows why
+// activation-passing pipelines and FSDP stall while WeiPipe stays
+// compute-bound: a boundary activation (G·S·H) dwarfs a layer's weights
+// (12H²) at this ratio.
+//
+//	go run ./examples/longcontext
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weipipe"
+)
+
+func main() {
+	w := weipipe.Workload{
+		H: 4096, S: 16384, G: 4, L: 32, N: 64, P: 16,
+		Recompute: true,
+	}
+	top := weipipe.NVLinkTwoClusters(16)
+
+	fmt.Printf("Long-context training: H=%d S=%d G=%d on %d GPUs (%s)\n", w.H, w.S, w.G, w.P, top.Name)
+	ww := w.WithDefaults()
+	fmt.Printf("activation/weight ratio G·S/(12H) = %.1f  (≫1 ⇒ weight-passing wins)\n\n", ww.WeightRatio())
+
+	strategies := []weipipe.Strategy{
+		weipipe.OneFOneB, weipipe.ZB1, weipipe.ZB2, weipipe.FSDP,
+		weipipe.WeiPipeNaive, weipipe.WeiPipeInterleave, weipipe.WZB1, weipipe.WZB2,
+	}
+	fmt.Printf("%-20s %14s %10s %10s\n", "strategy", "tokens/s/GPU", "memory", "bubble")
+	var best weipipe.Strategy
+	var bestTPS float64
+	for _, s := range strategies {
+		wl := w
+		if s == weipipe.ZB1 || s == weipipe.ZB2 {
+			wl.Recompute = false
+			wl.G = 1 // the paper's memory-forced microbatch reduction
+		}
+		res, err := weipipe.Simulate(s, wl, top)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.OOM {
+			fmt.Printf("%-20s %14s %9.1fG %10s\n", s, "OOM", res.MemoryGB, "-")
+			continue
+		}
+		fmt.Printf("%-20s %14.0f %9.1fG %9.1f%%\n", s, res.TokensPerSecPerGPU, res.MemoryGB, res.BubbleRatio*100)
+		if res.TokensPerSecPerGPU > bestTPS {
+			best, bestTPS = s, res.TokensPerSecPerGPU
+		}
+	}
+	fmt.Printf("\nwinner: %s — weights (and their gradients) are the cheaper thing to move.\n", best)
+}

@@ -1,0 +1,3 @@
+module weipipe
+
+go 1.24

@@ -1,0 +1,257 @@
+// Package checkpoint serialises models (and optionally optimizer moments)
+// to a compact, versioned, checksummed binary format, so long training
+// runs can stop and resume — table stakes for a training system, and the
+// piece that lets the distributed runtimes hand a trained model to the
+// generation tooling.
+//
+// Layout (little-endian):
+//
+//	magic "WPCK" | version u32 | config block | section count u32 |
+//	  per section: name len u32, name, elem count u64, f32 data |
+//	crc32 of everything above
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"weipipe/internal/model"
+)
+
+const (
+	magic   = "WPCK"
+	version = 1
+)
+
+// Snapshot is the serialisable state of a training run.
+type Snapshot struct {
+	Config model.Config
+	// Weights is the full flat parameter vector in model wire order.
+	Weights []float32
+	// Sections holds named auxiliary vectors (e.g. "adam.m", "adam.v").
+	Sections map[string][]float32
+	// Step is the optimizer step count at save time.
+	Step int64
+}
+
+// FromModel captures a model's weights into a snapshot.
+func FromModel(m *model.Model) *Snapshot {
+	w := make([]float32, m.NumParams())
+	m.FlattenChunk(0, len(m.Modules), w)
+	return &Snapshot{Config: m.Cfg, Weights: w, Sections: map[string][]float32{}}
+}
+
+// ApplyTo writes the snapshot's weights into a model built with the same
+// configuration.
+func (s *Snapshot) ApplyTo(m *model.Model) error {
+	if m.NumParams() != len(s.Weights) {
+		return fmt.Errorf("checkpoint: model has %d params, snapshot %d", m.NumParams(), len(s.Weights))
+	}
+	m.SetChunk(0, len(m.Modules), s.Weights)
+	return nil
+}
+
+// Restore builds a fresh model from the snapshot's config and loads the
+// weights into it.
+func (s *Snapshot) Restore() (*model.Model, error) {
+	m := model.Build(s.Config)
+	if err := s.ApplyTo(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Write serialises the snapshot.
+func Write(w io.Writer, s *Snapshot) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	cfg := s.Config
+	for _, v := range []int64{version, int64(cfg.Vocab), int64(cfg.Hidden), int64(cfg.Layers),
+		int64(cfg.Heads), int64(cfg.FFNDim), int64(cfg.MaxSeq), int64(cfg.Seed), s.Step} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// weights as the unnamed first section, then named sections sorted by
+	// insertion-independent ordering (we sort names for determinism).
+	names := sortedNames(s.Sections)
+	if err := binary.Write(bw, binary.LittleEndian, int64(1+len(names))); err != nil {
+		return err
+	}
+	if err := writeSection(bw, "weights", s.Weights); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := writeSection(bw, n, s.Sections[n]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// checksum trailer (not itself checksummed)
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+func sortedNames(m map[string][]float32) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func writeSection(w io.Writer, name string, data []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read deserialises a snapshot, verifying magic, version and checksum.
+// All reads are exact-size (no buffered lookahead), so the running checksum
+// covers precisely the payload bytes.
+func Read(r io.Reader) (*Snapshot, error) {
+	crc := crc32.NewIEEE()
+	br := io.TeeReader(r, crc)
+
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", head)
+	}
+	var fields [9]int64
+	for i := range fields {
+		if err := binary.Read(br, binary.LittleEndian, &fields[i]); err != nil {
+			return nil, err
+		}
+	}
+	if fields[0] != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", fields[0])
+	}
+	s := &Snapshot{
+		Config: model.Config{
+			Vocab: int(fields[1]), Hidden: int(fields[2]), Layers: int(fields[3]),
+			Heads: int(fields[4]), FFNDim: int(fields[5]), MaxSeq: int(fields[6]),
+			Seed: uint64(fields[7]),
+		},
+		Sections: map[string][]float32{},
+		Step:     fields[8],
+	}
+	var nSections int64
+	if err := binary.Read(br, binary.LittleEndian, &nSections); err != nil {
+		return nil, err
+	}
+	if nSections < 1 || nSections > 1<<16 {
+		return nil, fmt.Errorf("checkpoint: implausible section count %d", nSections)
+	}
+	for i := int64(0); i < nSections; i++ {
+		name, data, err := readSection(br)
+		if err != nil {
+			return nil, err
+		}
+		if name == "weights" {
+			s.Weights = data
+		} else {
+			s.Sections[name] = data
+		}
+	}
+	wantSum := crc.Sum32()
+	var gotSum uint32
+	if err := binary.Read(r, binary.LittleEndian, &gotSum); err != nil {
+		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+	}
+	if gotSum != wantSum {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (corrupt file)")
+	}
+	if s.Weights == nil {
+		return nil, fmt.Errorf("checkpoint: no weights section")
+	}
+	return s, nil
+}
+
+func readSection(r io.Reader) (string, []float32, error) {
+	var nameLen int64
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return "", nil, err
+	}
+	if nameLen < 0 || nameLen > 4096 {
+		return "", nil, fmt.Errorf("checkpoint: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, err
+	}
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", nil, err
+	}
+	if n < 0 || n > 1<<34 {
+		return "", nil, fmt.Errorf("checkpoint: implausible section size %d", n)
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return string(name), data, nil
+}
+
+// Save writes a snapshot to a file (atomically via a temp file + rename).
+func Save(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"weipipe/internal/model"
+)
+
+func ckCfg() model.Config {
+	return model.Config{Vocab: 17, Hidden: 8, Layers: 2, Heads: 2, MaxSeq: 8, Seed: 5}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	m := model.Build(ckCfg())
+	snap := FromModel(m)
+	snap.Step = 42
+	snap.Sections["adam.m"] = []float32{1, 2, 3}
+	snap.Sections["adam.v"] = []float32{4, 5}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 {
+		t.Fatalf("step = %d", got.Step)
+	}
+	if got.Config != m.Cfg {
+		t.Fatalf("config %+v != %+v", got.Config, m.Cfg)
+	}
+	if len(got.Weights) != len(snap.Weights) {
+		t.Fatalf("weights len %d != %d", len(got.Weights), len(snap.Weights))
+	}
+	for i := range got.Weights {
+		if got.Weights[i] != snap.Weights[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+	if len(got.Sections["adam.m"]) != 3 || got.Sections["adam.v"][1] != 5 {
+		t.Fatalf("sections = %v", got.Sections)
+	}
+}
+
+func TestRestoreRebuildsModel(t *testing.T) {
+	m := model.Build(ckCfg())
+	// perturb a weight so we know the load carries state, not the seed
+	m.Blocks[0].Attn.Wq.Data[0] = 1234
+	snap := FromModel(m)
+
+	m2, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Blocks[0].Attn.Wq.Data[0] != 1234 {
+		t.Fatal("restored model lost mutated weight")
+	}
+	if m2.NumParams() != m.NumParams() {
+		t.Fatal("param count mismatch")
+	}
+}
+
+func TestSaveLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.wpck")
+	m := model.Build(ckCfg())
+	if err := Save(path, FromModel(m)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Hidden != 8 {
+		t.Fatalf("config = %+v", got.Config)
+	}
+	// no stray temp file
+	if _, err := Load(path + ".tmp"); err == nil {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	m := model.Build(ckCfg())
+	var buf bytes.Buffer
+	if err := Write(&buf, FromModel(m)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// flip a payload byte
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+
+	// truncate
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-8])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	// bad magic
+	bad2 := append([]byte(nil), raw...)
+	bad2[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestApplyToWrongModelRejected(t *testing.T) {
+	m := model.Build(ckCfg())
+	snap := FromModel(m)
+	other := model.Build(model.Config{Vocab: 17, Hidden: 16, Layers: 2, Heads: 2, MaxSeq: 8, Seed: 5})
+	if err := snap.ApplyTo(other); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+}
+
+func TestSectionOrderingDeterministic(t *testing.T) {
+	m := model.Build(ckCfg())
+	write := func(order []string) []byte {
+		snap := FromModel(m)
+		for _, n := range order {
+			snap.Sections[n] = []float32{1}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := write([]string{"zz", "aa", "mm"})
+	b := write([]string{"mm", "zz", "aa"})
+	if !bytes.Equal(a, b) {
+		t.Fatal("section insertion order changed the encoding")
+	}
+}

@@ -1,0 +1,37 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"weipipe/internal/model"
+)
+
+// FuzzRead throws arbitrary bytes at the checkpoint reader: it must return
+// an error or a valid snapshot, never panic or over-allocate catastrophically.
+func FuzzRead(f *testing.F) {
+	// seed with a valid checkpoint and a few mutations
+	m := model.Build(model.Config{Vocab: 7, Hidden: 4, Layers: 1, Heads: 2, MaxSeq: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, FromModel(m)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("WPCK"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err == nil {
+			// whatever parsed must be internally consistent
+			if snap.Weights == nil {
+				t.Fatal("nil weights on successful read")
+			}
+		}
+	})
+}

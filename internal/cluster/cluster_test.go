@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestA800Spec(t *testing.T) {
+	g := A800()
+	if g.PeakFLOPS != 312e12 {
+		t.Fatalf("peak = %v", g.PeakFLOPS)
+	}
+	if g.MemBytes != 80*(1<<30) {
+		t.Fatalf("mem = %v", g.MemBytes)
+	}
+	if g.MFU <= 0 || g.MFU > 1 {
+		t.Fatalf("MFU = %v", g.MFU)
+	}
+}
+
+func TestNVLinkSingleUniform(t *testing.T) {
+	top := NVLinkSingle(8)
+	top.Validate()
+	if top.P != 8 {
+		t.Fatalf("P = %d", top.P)
+	}
+	for i := 0; i < 8; i++ {
+		if top.SendBW[i] != NVLinkBW {
+			t.Fatalf("link %d BW = %v", i, top.SendBW[i])
+		}
+	}
+	if top.MinBW() != NVLinkBW {
+		t.Fatal("MinBW wrong")
+	}
+}
+
+func TestNVLinkTwoClustersBoundaryLinks(t *testing.T) {
+	top := NVLinkTwoClusters(16)
+	top.Validate()
+	slow := 0
+	for i := 0; i < 16; i++ {
+		if top.SendBW[i] == EthernetBW {
+			slow++
+			if i != 7 && i != 15 {
+				t.Fatalf("slow link at unexpected position %d", i)
+			}
+		}
+	}
+	if slow != 2 {
+		t.Fatalf("expected 2 inter-cluster links, got %d", slow)
+	}
+	if top.MinBW() != EthernetBW {
+		t.Fatal("MinBW should be the inter-cluster link")
+	}
+}
+
+func TestPCIeEthernetTopology(t *testing.T) {
+	top := PCIeEthernet(16, 4) // 4 clusters of 4
+	top.Validate()
+	eth := 0
+	for i := 0; i < 16; i++ {
+		switch top.SendBW[i] {
+		case EthernetBW:
+			eth++
+		case PCIeBW:
+		default:
+			t.Fatalf("unexpected BW %v at link %d", top.SendBW[i], i)
+		}
+	}
+	if eth != 4 {
+		t.Fatalf("expected 4 ethernet links, got %d", eth)
+	}
+	if top.MinBW() != EthernetBW {
+		t.Fatal("ethernet should bottleneck the ring")
+	}
+}
+
+func TestSingleGroupHasNoInterLinks(t *testing.T) {
+	top := NVLinkEthernet(4, 4) // one server: pure NVLink
+	for i := range top.SendBW {
+		if top.SendBW[i] != NVLinkBW {
+			t.Fatalf("single-server ring has inter link at %d", i)
+		}
+	}
+}
+
+func TestRingCollectiveTimes(t *testing.T) {
+	top := NVLinkSingle(4)
+	bytes := 1e9
+	ar := top.RingAllReduceTime(bytes)
+	ag := top.RingAllGatherTime(bytes)
+	// all-reduce = 2 phases of all-gather volume
+	if math.Abs(ar-2*ag) > 1e-9 {
+		t.Fatalf("allreduce %v != 2×allgather %v", ar, ag)
+	}
+	// 2(P−1)/P·bytes / BW dominates
+	want := 2 * 3.0 / 4.0 * bytes / NVLinkBW
+	if ar < want || ar > want*1.1 {
+		t.Fatalf("allreduce time %v, want ≈ %v", ar, want)
+	}
+	// P=1 is free
+	if NVLinkSingle(1).RingAllReduceTime(bytes) != 0 {
+		t.Fatal("P=1 collective should be free")
+	}
+}
+
+func TestEthernetBottlenecksCollective(t *testing.T) {
+	fast := NVLinkSingle(16)
+	slow := NVLinkEthernet(16, 4)
+	bytes := 1e9
+	if slow.RingAllReduceTime(bytes) < 50*fast.RingAllReduceTime(bytes) {
+		t.Fatal("ethernet ring should be dramatically slower")
+	}
+}
+
+func TestValidatePanicsOnBadTopology(t *testing.T) {
+	bad := Topology{Name: "bad", P: 2, SendBW: []float64{1}, Latency: []float64{0, 0}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	bad.Validate()
+}
+
+func TestGroupedPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PCIeEthernet(10, 4)
+}

@@ -1,0 +1,100 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGroupRankMapping(t *testing.T) {
+	cl := NewCluster(6)
+	g, err := NewGroup(cl.Transport(4), []int{2, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rank() != 1 || g.Size() != 2 {
+		t.Fatalf("rank/size = %d/%d", g.Rank(), g.Size())
+	}
+}
+
+func TestGroupSendRecvAcrossMapping(t *testing.T) {
+	cl := NewCluster(4)
+	gA, _ := NewGroup(cl.Transport(1), []int{1, 3}, 5)
+	gB, _ := NewGroup(cl.Transport(3), []int{1, 3}, 5)
+	if err := gA.Send(1, Tag{Kind: KindGrad, A: 9}, []float32{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gB.Recv(0, Tag{Kind: KindGrad, A: 9})
+	if err != nil || got[0] != 7 {
+		t.Fatalf("recv: %v %v", got, err)
+	}
+	// invalid group ranks rejected
+	if err := gA.Send(2, Tag{}, nil); err == nil {
+		t.Fatal("send to rank beyond group size accepted")
+	}
+	if _, err := gB.Recv(-1, Tag{}); err == nil {
+		t.Fatal("recv from negative rank accepted")
+	}
+}
+
+func TestGroupCollectivesWork(t *testing.T) {
+	// A ring all-reduce inside a group must only involve the group.
+	cl := NewCluster(4)
+	ranks := []int{0, 2}
+	results := make([][]float32, 2)
+	var wg sync.WaitGroup
+	for i, parent := range ranks {
+		wg.Add(1)
+		go func(i, parent int) {
+			defer wg.Done()
+			g, err := NewGroup(cl.Transport(parent), ranks, 9)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			data := []float32{float32(i + 1), 10}
+			if err := RingAllReduceSum(g, data, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = data
+		}(i, parent)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i][0] != 3 || results[i][1] != 20 {
+			t.Fatalf("member %d: %v", i, results[i])
+		}
+	}
+}
+
+func TestGroupCloseIsNoop(t *testing.T) {
+	cl := NewCluster(2)
+	g, _ := NewGroup(cl.Transport(0), []int{0, 1}, 1)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// parent still usable
+	if err := cl.Transport(0).Send(1, Tag{}, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSaltDisjointFromParentTraffic(t *testing.T) {
+	cl := NewCluster(2)
+	parent0 := cl.Transport(0)
+	parent1 := cl.Transport(1)
+	g0, _ := NewGroup(parent0, []int{0, 1}, 1)
+	g1, _ := NewGroup(parent1, []int{0, 1}, 1)
+
+	tag := Tag{Kind: KindCtl, A: 4, B: 4}
+	parent0.Send(1, tag, []float32{1}) // un-salted
+	g0.Send(1, tag, []float32{2})      // salted
+	gv, err := g1.Recv(0, tag)
+	if err != nil || gv[0] != 2 {
+		t.Fatalf("group recv got %v %v", gv, err)
+	}
+	pv, err := parent1.Recv(0, tag)
+	if err != nil || pv[0] != 1 {
+		t.Fatalf("parent recv got %v %v", pv, err)
+	}
+}

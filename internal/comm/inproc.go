@@ -1,0 +1,90 @@
+package comm
+
+import "fmt"
+
+// Cluster is an in-process message fabric connecting n ranks that run as
+// goroutines in one address space. It is the default substrate for tests,
+// examples and the functional-equivalence suite.
+type Cluster struct {
+	boxes []*mailbox
+	stats []*Stats
+}
+
+// Stats returns rank's communication meter.
+func (c *Cluster) Stats(rank int) *Stats { return c.stats[rank] }
+
+// NewCluster creates a fabric for n ranks.
+func NewCluster(n int) *Cluster {
+	if n <= 0 {
+		panic("comm: cluster size must be positive")
+	}
+	c := &Cluster{boxes: make([]*mailbox, n), stats: make([]*Stats, n)}
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+		c.stats[i] = newStats()
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return len(c.boxes) }
+
+// Transport returns rank's endpoint.
+func (c *Cluster) Transport(rank int) Transport {
+	if rank < 0 || rank >= len(c.boxes) {
+		panic(fmt.Sprintf("comm: rank %d out of range", rank))
+	}
+	return &inprocTransport{cluster: c, rank: rank, stats: c.stats[rank]}
+}
+
+// Transports returns all endpoints in rank order.
+func (c *Cluster) Transports() []Transport {
+	out := make([]Transport, len(c.boxes))
+	for i := range out {
+		out[i] = c.Transport(i)
+	}
+	return out
+}
+
+// Close shuts down every mailbox; blocked Recvs return errors.
+func (c *Cluster) Close() {
+	for _, b := range c.boxes {
+		b.close()
+	}
+}
+
+type inprocTransport struct {
+	cluster *Cluster
+	rank    int
+	stats   *Stats
+}
+
+// CommStats implements Meter.
+func (t *inprocTransport) CommStats() *Stats { return t.stats }
+
+func (t *inprocTransport) Rank() int { return t.rank }
+func (t *inprocTransport) Size() int { return len(t.cluster.boxes) }
+
+func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
+	if dst < 0 || dst >= t.Size() {
+		return fmt.Errorf("comm: send to invalid rank %d", dst)
+	}
+	// Copy at the send boundary: the receiver must never alias our buffer.
+	payload := make([]float32, len(data))
+	copy(payload, data)
+	t.stats.record(tag.Kind, len(data))
+	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
+	return nil
+}
+
+func (t *inprocTransport) Recv(src int, tag Tag) ([]float32, error) {
+	if src < 0 || src >= t.Size() {
+		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
+	}
+	return t.cluster.boxes[t.rank].take(msgKey{src: src, tag: tag})
+}
+
+func (t *inprocTransport) Close() error {
+	t.cluster.boxes[t.rank].close()
+	return nil
+}

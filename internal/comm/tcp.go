@@ -1,0 +1,278 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport is a Transport over a full TCP mesh: every pair of ranks
+// shares one connection. Frames are length-prefixed; each connection has a
+// dedicated writer goroutine draining an unbounded queue, so Send keeps the
+// same never-blocks contract as the in-process transport, and a reader
+// goroutine dispatching into the tag-matched mailbox.
+type TCPTransport struct {
+	rank  int
+	size  int
+	box   *mailbox
+	conns []*tcpConn // index by peer rank; conns[rank] == nil
+	ln    net.Listener
+	stats *Stats
+
+	closeOnce sync.Once
+}
+
+// frame header: src(4) kind(4) a(8) b(8) n(8) — all little-endian.
+const frameHeaderLen = 4 + 4 + 8 + 8 + 8
+
+// DialTCP builds the mesh endpoint for rank. addrs lists each rank's listen
+// address (host:port); rank listens on addrs[rank], accepts connections from
+// higher ranks and dials all lower ranks. The call returns once the mesh is
+// fully connected. All ranks must call DialTCP concurrently.
+func DialTCP(rank int, addrs []string) (*TCPTransport, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range of %d addrs", rank, size)
+	}
+	t := &TCPTransport{
+		rank:  rank,
+		size:  size,
+		box:   newMailbox(),
+		conns: make([]*tcpConn, size),
+		stats: newStats(),
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+	}
+	t.ln = ln
+
+	errc := make(chan error, size)
+	var wg sync.WaitGroup
+
+	// Accept from all higher ranks.
+	nAccept := size - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nAccept; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errc <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer <= rank || peer >= size {
+				errc <- fmt.Errorf("comm: bad handshake rank %d", peer)
+				return
+			}
+			t.attach(peer, conn)
+		}
+	}()
+
+	// Dial all lower ranks (with retry: peers may not be listening yet).
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				conn, err = net.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("comm: dial rank %d (%s): %w", peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errc <- err
+				return
+			}
+			t.attach(peer, conn)
+		}(peer)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Close()
+		return nil, err
+	default:
+	}
+	return t, nil
+}
+
+// LoopbackAddrs returns n distinct 127.0.0.1 addresses on free ports, for
+// tests and single-machine multi-process examples.
+func LoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func (t *TCPTransport) attach(peer int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &tcpConn{conn: conn}
+	c.cond = sync.NewCond(&c.mu)
+	t.conns[peer] = c
+	go c.writeLoop()
+	go t.readLoop(peer, conn)
+}
+
+func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			t.box.close()
+			return
+		}
+		src := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		kind := Kind(binary.LittleEndian.Uint32(hdr[4:8]))
+		a := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
+		b := int(int64(binary.LittleEndian.Uint64(hdr[16:24])))
+		n := int(binary.LittleEndian.Uint64(hdr[24:32]))
+		buf := make([]byte, n*4)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.box.close()
+			return
+		}
+		payload := make([]float32, n)
+		for i := range payload {
+			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		t.box.deliver(msgKey{src: src, tag: Tag{Kind: kind, A: a, B: b}}, payload)
+	}
+}
+
+// Rank implements Transport.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCPTransport) Size() int { return t.size }
+
+// CommStats implements Meter.
+func (t *TCPTransport) CommStats() *Stats { return t.stats }
+
+// Send implements Transport.
+func (t *TCPTransport) Send(dst int, tag Tag, data []float32) error {
+	t.stats.record(tag.Kind, len(data))
+	if dst == t.rank {
+		// self-send: deliver locally, same copy semantics
+		payload := make([]float32, len(data))
+		copy(payload, data)
+		t.box.deliver(msgKey{src: t.rank, tag: tag}, payload)
+		return nil
+	}
+	if dst < 0 || dst >= t.size || t.conns[dst] == nil {
+		return fmt.Errorf("comm: send to invalid rank %d", dst)
+	}
+	frame := make([]byte, frameHeaderLen+len(data)*4)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(t.rank))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(tag.Kind))
+	binary.LittleEndian.PutUint64(frame[8:16], uint64(int64(tag.A)))
+	binary.LittleEndian.PutUint64(frame[16:24], uint64(int64(tag.B)))
+	binary.LittleEndian.PutUint64(frame[24:32], uint64(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(frame[frameHeaderLen+i*4:], math.Float32bits(v))
+	}
+	t.conns[dst].enqueue(frame)
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(src int, tag Tag) ([]float32, error) {
+	if src < 0 || src >= t.size {
+		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
+	}
+	return t.box.take(msgKey{src: src, tag: tag})
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.box.close()
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.close()
+			}
+		}
+	})
+	return nil
+}
+
+// tcpConn wraps one mesh connection with an unbounded outgoing queue.
+type tcpConn struct {
+	conn   net.Conn
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func (c *tcpConn) enqueue(frame []byte) {
+	c.mu.Lock()
+	c.queue = append(c.queue, frame)
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+func (c *tcpConn) writeLoop() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed && len(c.queue) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+		for _, frame := range batch {
+			if _, err := c.conn.Write(frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Signal()
+	c.conn.Close()
+}

@@ -1,0 +1,124 @@
+// Package comm provides the message-passing substrate the training runtimes
+// communicate over: a tagged point-to-point Transport with an in-process
+// (goroutine/channel) implementation and a TCP implementation, plus ring
+// collectives (all-reduce, all-gather, reduce-scatter, broadcast) built
+// purely on P2P — mirroring the paper's NCCL configuration, where the
+// collective primitives are ring-based and tree algorithms are disabled.
+//
+// Sends are asynchronous and buffered (the analogue of the paper's
+// batch_isend_irecv prefetching): Send never blocks waiting for the
+// receiver, and Recv blocks until a matching message arrives. Payloads are
+// always copied at the send boundary, so ranks can never alias each other's
+// memory — in-process training observes the same isolation as a network.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies a message so tags from different protocol phases can never
+// collide.
+type Kind uint8
+
+// Message kinds used by the runtimes.
+const (
+	// KindWeight carries a flat weight chunk (WeiPipe W flow).
+	KindWeight Kind = iota
+	// KindGrad carries a flat weight-gradient chunk (WeiPipe D flow).
+	KindGrad
+	// KindAct carries boundary activations (activation-passing PP).
+	KindAct
+	// KindActGrad carries boundary activation gradients.
+	KindActGrad
+	// KindColl is reserved for the collective implementations.
+	KindColl
+	// KindCtl carries small control payloads (loss values, barriers).
+	KindCtl
+)
+
+// Tag identifies a message stream between two ranks. A and B are
+// protocol-defined indices (e.g. chunk id and turn, or microbatch and
+// stage); matching is exact on (source, Kind, A, B).
+type Tag struct {
+	Kind Kind
+	A    int
+	B    int
+}
+
+func (t Tag) String() string {
+	return fmt.Sprintf("%d/%d/%d", t.Kind, t.A, t.B)
+}
+
+// Transport is one rank's endpoint of a P2P message fabric.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send transmits a copy of data to dst under tag. It does not block
+	// waiting for the receiver and may buffer arbitrarily.
+	Send(dst int, tag Tag, data []float32) error
+	// Recv blocks until a message from src with the given tag arrives and
+	// returns its payload. The returned slice is owned by the caller.
+	Recv(src int, tag Tag) ([]float32, error)
+	// Close releases resources. Pending Recvs fail after Close.
+	Close() error
+}
+
+// msgKey matches incoming messages to receivers.
+type msgKey struct {
+	src int
+	tag Tag
+}
+
+// mailbox is an unbounded, tag-matched message buffer shared by the
+// in-process and TCP transports.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]float32
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][][]float32)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// deliver appends a payload (already owned by the mailbox) for key.
+func (m *mailbox) deliver(key msgKey, payload []float32) {
+	m.mu.Lock()
+	m.queues[key] = append(m.queues[key], payload)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a payload for key is available (or the mailbox closes).
+func (m *mailbox) take(key msgKey) ([]float32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[key]; len(q) > 0 {
+			payload := q[0]
+			if len(q) == 1 {
+				delete(m.queues, key)
+			} else {
+				m.queues[key] = q[1:]
+			}
+			return payload, nil
+		}
+		if m.closed {
+			return nil, fmt.Errorf("comm: transport closed while waiting for src %d tag %v", key.src, key.tag)
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

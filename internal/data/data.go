@@ -1,0 +1,88 @@
+// Package data generates the deterministic synthetic token streams the
+// reproduction trains on. The paper never evaluates model quality — only
+// training throughput — so any token source with the right (G, S, V) shape
+// exercises the identical code path; determinism is what matters, because
+// every parallel strategy must consume exactly the same microbatches for
+// the gradient-equivalence tests to be meaningful.
+package data
+
+import "weipipe/internal/tensor"
+
+// Batch is one microbatch: G sequences of S tokens plus next-token targets.
+type Batch struct {
+	Tokens  [][]int
+	Targets [][]int
+}
+
+// G returns the microbatch size.
+func (b Batch) G() int { return len(b.Tokens) }
+
+// S returns the sequence length.
+func (b Batch) S() int { return len(b.Tokens[0]) }
+
+// Generator produces deterministic microbatches. The stream models a simple
+// Markov-ish source (each token biased toward a neighbourhood of the
+// previous one) so the model has actual structure to learn — losses fall
+// during the examples rather than hovering at ln(V).
+type Generator struct {
+	rng   *tensor.RNG
+	vocab int
+	seq   int
+}
+
+// NewGenerator returns a generator for the given vocab size and sequence
+// length, seeded deterministically.
+func NewGenerator(seed uint64, vocab, seq int) *Generator {
+	if vocab < 2 || seq < 1 {
+		panic("data: need vocab ≥ 2 and seq ≥ 1")
+	}
+	return &Generator{rng: tensor.NewRNG(seed), vocab: vocab, seq: seq}
+}
+
+// Next produces one microbatch of size g. Targets are the next token in the
+// stream (the final target wraps to the sequence start, keeping shapes
+// uniform).
+func (gen *Generator) Next(g int) Batch {
+	b := Batch{
+		Tokens:  make([][]int, g),
+		Targets: make([][]int, g),
+	}
+	for gi := 0; gi < g; gi++ {
+		seq := make([]int, gen.seq+1)
+		seq[0] = gen.rng.Intn(gen.vocab)
+		for si := 1; si <= gen.seq; si++ {
+			if gen.rng.Float64() < 0.75 {
+				// stay near the previous token: learnable structure
+				seq[si] = (seq[si-1] + 1 + gen.rng.Intn(3)) % gen.vocab
+			} else {
+				seq[si] = gen.rng.Intn(gen.vocab)
+			}
+		}
+		b.Tokens[gi] = seq[:gen.seq]
+		b.Targets[gi] = seq[1 : gen.seq+1]
+	}
+	return b
+}
+
+// Microbatches returns the n microbatches of one training iteration. All
+// strategies must be fed the result of the same call (same seed) in index
+// order: microbatch i is processed as the pipeline's i-th microbatch.
+func Microbatches(seed uint64, n, g, vocab, seq int) []Batch {
+	gen := NewGenerator(seed, vocab, seq)
+	out := make([]Batch, n)
+	for i := range out {
+		out[i] = gen.Next(g)
+	}
+	return out
+}
+
+// Split partitions n microbatches round-robin across p data-parallel ranks:
+// rank r receives microbatches r, r+p, r+2p, … . Used by FSDP/DP and by
+// WeiPipe, where each worker trains its own microbatches end to end.
+func Split(batches []Batch, p int) [][]Batch {
+	out := make([][]Batch, p)
+	for i, b := range batches {
+		out[i%p] = append(out[i%p], b)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestGeneratorShapes(t *testing.T) {
+	g := NewGenerator(1, 16, 8)
+	b := g.Next(4)
+	if b.G() != 4 || b.S() != 8 {
+		t.Fatalf("G/S = %d/%d", b.G(), b.S())
+	}
+	for gi := range b.Tokens {
+		if len(b.Tokens[gi]) != 8 || len(b.Targets[gi]) != 8 {
+			t.Fatal("ragged batch")
+		}
+		for si := range b.Tokens[gi] {
+			if tok := b.Tokens[gi][si]; tok < 0 || tok >= 16 {
+				t.Fatalf("token %d out of range", tok)
+			}
+			if tgt := b.Targets[gi][si]; tgt < 0 || tgt >= 16 {
+				t.Fatalf("target %d out of range", tgt)
+			}
+		}
+	}
+}
+
+func TestTargetsAreShiftedTokens(t *testing.T) {
+	g := NewGenerator(2, 32, 6)
+	b := g.Next(2)
+	for gi := range b.Tokens {
+		for si := 0; si < 5; si++ {
+			if b.Targets[gi][si] != b.Tokens[gi][si+1] {
+				t.Fatalf("target[%d][%d] not next token", gi, si)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Microbatches(7, 3, 2, 16, 4)
+	b := Microbatches(7, 3, 2, 16, 4)
+	for i := range a {
+		for gi := range a[i].Tokens {
+			for si := range a[i].Tokens[gi] {
+				if a[i].Tokens[gi][si] != b[i].Tokens[gi][si] {
+					t.Fatal("same seed diverged")
+				}
+			}
+		}
+	}
+	c := Microbatches(8, 3, 2, 16, 4)
+	same := true
+	for i := range a {
+		for gi := range a[i].Tokens {
+			for si := range a[i].Tokens[gi] {
+				if a[i].Tokens[gi][si] != c[i].Tokens[gi][si] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	batches := Microbatches(1, 7, 1, 8, 2)
+	parts := Split(batches, 3)
+	if len(parts[0]) != 3 || len(parts[1]) != 2 || len(parts[2]) != 2 {
+		t.Fatalf("split sizes %d %d %d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	// rank r gets batches r, r+3, ...
+	if &parts[1][1].Tokens[0][0] != &batches[4].Tokens[0][0] {
+		t.Fatal("round-robin order broken")
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vocab=1 did not panic")
+		}
+	}()
+	NewGenerator(1, 1, 4)
+}

@@ -1,0 +1,112 @@
+package generate
+
+import (
+	"math"
+	"testing"
+)
+
+// The decisive test: KV-cached incremental decoding must produce the same
+// logits as the full re-forward path at every position.
+func TestDecoderMatchesFullForward(t *testing.T) {
+	m := genModel()
+	tokens := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	dec := NewDecoder(m)
+	for i, tok := range tokens {
+		cached, err := dec.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Logits(m, tokens[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range full {
+			if d := math.Abs(float64(cached[j] - full[j])); d > 1e-4 {
+				t.Fatalf("pos %d logit %d: cached %v vs full %v (diff %g)", i, j, cached[j], full[j], d)
+			}
+		}
+	}
+	if dec.Pos() != len(tokens) {
+		t.Fatalf("Pos = %d", dec.Pos())
+	}
+}
+
+func TestDecoderResetStartsFresh(t *testing.T) {
+	m := genModel()
+	dec := NewDecoder(m)
+	a, _ := dec.Step(5)
+	dec.Reset()
+	if dec.Pos() != 0 {
+		t.Fatal("Reset did not zero position")
+	}
+	b, _ := dec.Step(5)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("reset decoder diverges from fresh decoder")
+		}
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	m := genModel()
+	dec := NewDecoder(m)
+	if _, err := dec.Step(99); err == nil {
+		t.Fatal("out-of-vocab token accepted")
+	}
+	for i := 0; i < m.Cfg.MaxSeq; i++ {
+		if _, err := dec.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dec.Step(1); err == nil {
+		t.Fatal("step beyond MaxSeq accepted")
+	}
+}
+
+func TestGenerateCachedMatchesUncachedGreedy(t *testing.T) {
+	m := genModel()
+	prompt := []int{1, 2, 3}
+	a, err := GenerateCached(m, prompt, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(m, prompt, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cached and uncached greedy diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateCachedBoundsChecked(t *testing.T) {
+	m := genModel()
+	if _, err := GenerateCached(m, nil, 3, Options{}); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	if _, err := GenerateCached(m, []int{1}, m.Cfg.MaxSeq, Options{}); err == nil {
+		t.Fatal("overlong generation accepted")
+	}
+}
+
+func BenchmarkDecoderStepVsFullForward(b *testing.B) {
+	m := genModel()
+	// warm a decoder to near MaxSeq so Step cost reflects the cached path
+	dec := NewDecoder(m)
+	for i := 0; i < m.Cfg.MaxSeq-1; i++ {
+		if _, err := dec.Step(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Reset()
+		for j := 0; j < 8; j++ {
+			if _, err := dec.Step(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package generate runs autoregressive inference on a trained model:
+// greedy or temperature sampling over the next-token distribution. It is
+// deliberately simple (full re-forward per emitted token, no KV cache) —
+// its job is to demonstrate that the distributed training runtimes produce
+// a model that actually works, and to power the generation example.
+package generate
+
+import (
+	"fmt"
+	"math"
+
+	"weipipe/internal/model"
+	"weipipe/internal/nn"
+	"weipipe/internal/tensor"
+)
+
+// Options controls sampling.
+type Options struct {
+	// Temperature 0 selects the argmax (greedy); higher values flatten the
+	// distribution.
+	Temperature float64
+	// TopK, when positive, samples only among the K most likely tokens.
+	TopK int
+	// Seed drives the sampler's RNG (ignored for greedy decoding).
+	Seed uint64
+}
+
+// Logits computes the next-token logits after the final position of tokens.
+func Logits(m *model.Model, tokens []int) ([]float32, error) {
+	s := len(tokens)
+	if s == 0 {
+		return nil, fmt.Errorf("generate: empty context")
+	}
+	if s > m.Cfg.MaxSeq {
+		return nil, fmt.Errorf("generate: context %d exceeds MaxSeq %d", s, m.Cfg.MaxSeq)
+	}
+	cache := nn.NewCache(1, s)
+	x := m.Embed.ForwardTokens([][]int{tokens}, cache)
+	for _, b := range m.Blocks {
+		x = b.Forward(x, nn.NewCache(1, s))
+	}
+	logits := m.Head.ForwardLogits(x, nn.NewCache(1, s))
+	// last position's row
+	v := m.Cfg.Vocab
+	out := make([]float32, v)
+	copy(out, logits.Data[(s-1)*v:s*v])
+	return out, nil
+}
+
+// Next samples one token continuing the given context.
+func Next(m *model.Model, tokens []int, opts Options, rng *tensor.RNG) (int, error) {
+	logits, err := Logits(m, tokens)
+	if err != nil {
+		return 0, err
+	}
+	return Sample(logits, opts, rng), nil
+}
+
+// Sample draws a token id from logits according to opts.
+func Sample(logits []float32, opts Options, rng *tensor.RNG) int {
+	if opts.Temperature <= 0 {
+		return argmax(logits)
+	}
+	// temperature softmax (optionally over the top-K set)
+	idx := make([]int, len(logits))
+	for i := range idx {
+		idx[i] = i
+	}
+	if opts.TopK > 0 && opts.TopK < len(logits) {
+		// partial selection sort of the top K (K is small)
+		for i := 0; i < opts.TopK; i++ {
+			best := i
+			for j := i + 1; j < len(idx); j++ {
+				if logits[idx[j]] > logits[idx[best]] {
+					best = j
+				}
+			}
+			idx[i], idx[best] = idx[best], idx[i]
+		}
+		idx = idx[:opts.TopK]
+	}
+	maxv := logits[idx[0]]
+	for _, i := range idx {
+		if logits[i] > maxv {
+			maxv = logits[i]
+		}
+	}
+	probs := make([]float64, len(idx))
+	var sum float64
+	for k, i := range idx {
+		p := math.Exp(float64(logits[i]-maxv) / opts.Temperature)
+		probs[k] = p
+		sum += p
+	}
+	r := rng.Float64() * sum
+	for k, p := range probs {
+		r -= p
+		if r <= 0 {
+			return idx[k]
+		}
+	}
+	return idx[len(idx)-1]
+}
+
+func argmax(v []float32) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Generate extends prompt by n sampled tokens. When the context would
+// exceed the model's MaxSeq, the oldest tokens are dropped (sliding
+// window).
+func Generate(m *model.Model, prompt []int, n int, opts Options) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("generate: empty prompt")
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	out := append([]int(nil), prompt...)
+	for i := 0; i < n; i++ {
+		ctx := out
+		if len(ctx) > m.Cfg.MaxSeq {
+			ctx = ctx[len(ctx)-m.Cfg.MaxSeq:]
+		}
+		tok, err := Next(m, ctx, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+	}
+	return out, nil
+}

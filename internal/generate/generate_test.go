@@ -1,0 +1,162 @@
+package generate
+
+import (
+	"testing"
+
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/pipeline"
+	"weipipe/internal/tensor"
+)
+
+func genModel() *model.Model {
+	return model.Build(model.Config{Vocab: 16, Hidden: 16, Layers: 2, Heads: 2, MaxSeq: 12, Seed: 9})
+}
+
+func TestLogitsShapeAndDeterminism(t *testing.T) {
+	m := genModel()
+	a, err := Logits(m, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 16 {
+		t.Fatalf("logits len %d", len(a))
+	}
+	b, _ := Logits(m, []int{1, 2, 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("logits nondeterministic")
+		}
+	}
+	// only the trailing token matters for the last position's causal view
+	c, _ := Logits(m, []int{9, 2, 3})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("changing an earlier token did not change the logits (attention inert)")
+	}
+}
+
+func TestLogitsValidation(t *testing.T) {
+	m := genModel()
+	if _, err := Logits(m, nil); err == nil {
+		t.Fatal("empty context accepted")
+	}
+	if _, err := Logits(m, make([]int, 13)); err == nil {
+		t.Fatal("overlong context accepted")
+	}
+}
+
+func TestGreedyIsDeterministicAndInVocab(t *testing.T) {
+	m := genModel()
+	a, err := Generate(m, []int{1, 2}, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(m, []int{1, 2}, 6, Options{})
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy decoding nondeterministic")
+		}
+		if a[i] < 0 || a[i] >= 16 {
+			t.Fatalf("token %d out of vocab", a[i])
+		}
+	}
+}
+
+func TestTemperatureSamplingSeeded(t *testing.T) {
+	m := genModel()
+	a, _ := Generate(m, []int{1}, 10, Options{Temperature: 1.0, Seed: 1})
+	b, _ := Generate(m, []int{1}, 10, Options{Temperature: 1.0, Seed: 1})
+	c, _ := Generate(m, []int{1}, 10, Options{Temperature: 1.0, Seed: 2})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples (suspicious)")
+	}
+}
+
+func TestTopKRestrictsSupport(t *testing.T) {
+	logits := []float32{0, 10, 9, -5, 8}
+	rng := tensor.NewRNG(3)
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		counts[Sample(logits, Options{Temperature: 2, TopK: 2}, rng)]++
+	}
+	for tok := range counts {
+		if tok != 1 && tok != 2 {
+			t.Fatalf("top-2 sampling emitted token %d", tok)
+		}
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("top-2 sampling degenerate: %v", counts)
+	}
+}
+
+func TestSlidingWindowBeyondMaxSeq(t *testing.T) {
+	m := genModel()
+	out, err := Generate(m, []int{1, 2, 3}, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 23 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+// TestTrainedModelBeatsUntrainedOnStructure trains briefly on the Markov
+// stream and checks the trained model predicts the stream better than the
+// untrained one — generation plumbing on top of a real training run.
+func TestTrainedModelPredictsStream(t *testing.T) {
+	cfg := model.Config{Vocab: 16, Hidden: 16, Layers: 2, Heads: 2, MaxSeq: 12, Seed: 9}
+	opts := pipeline.Options{Adam: optimDefault()}
+	batches := data.Microbatches(4, 4, 2, 16, 12)
+	res, err := pipeline.RunCluster(pipeline.StrategyWeiPipeInterleave, 2, cfg, opts, 25,
+		func(int) []data.Batch { return batches })
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := model.Build(cfg)
+	trained.SetChunk(0, len(trained.Modules), res.Weights)
+
+	untrained := model.Build(cfg)
+	score := func(m *model.Model) int {
+		hits := 0
+		for _, b := range batches {
+			for gi := range b.Tokens {
+				for s := 3; s < b.S(); s++ {
+					logits, err := Logits(m, b.Tokens[gi][:s])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if argmax(logits) == b.Targets[gi][s-1] {
+						hits++
+					}
+				}
+			}
+		}
+		return hits
+	}
+	if st, su := score(trained), score(untrained); st <= su {
+		t.Fatalf("trained model (%d hits) not better than untrained (%d)", st, su)
+	}
+}
+
+func optimDefault() optim.AdamWConfig {
+	return optim.DefaultAdamW(0.01)
+}

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weipipe/internal/tensor"
+)
+
+// Property: for any valid (layers, workers) pair, Partition produces
+// contiguous, non-empty, covering ranges whose parameter loads are within
+// 2× of each other once the vocab-heavy edges are set aside.
+func TestPartitionBalanceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		layers := 2 + rng.Intn(10)
+		cfg := Config{Vocab: 50, Hidden: 8, Layers: layers, Heads: 2, MaxSeq: 4, Seed: seed}
+		m := Build(cfg)
+		maxP := len(m.Modules)
+		p := 1 + rng.Intn(maxP)
+		bounds := m.Partition(p)
+		if len(bounds) != p || bounds[0][0] != 0 || bounds[p-1][1] != len(m.Modules) {
+			return false
+		}
+		for i := 0; i < p; i++ {
+			if bounds[i][0] >= bounds[i][1] {
+				return false
+			}
+			if i > 0 && bounds[i][0] != bounds[i-1][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlattenChunk∘SetChunk is the identity for any contiguous range.
+func TestChunkRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m := Build(Config{Vocab: 23, Hidden: 8, Layers: 3, Heads: 2, MaxSeq: 4, Seed: seed})
+		n := len(m.Modules)
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		size := m.ChunkSize(lo, hi)
+		buf := make([]float32, size)
+		for i := range buf {
+			buf[i] = float32(rng.NormFloat64())
+		}
+		m.SetChunk(lo, hi, buf)
+		got := make([]float32, size)
+		m.FlattenChunk(lo, hi, got)
+		for i := range buf {
+			if got[i] != buf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunk sizes are additive — ChunkSize(a,c) = ChunkSize(a,b) +
+// ChunkSize(b,c).
+func TestChunkSizeAdditiveProperty(t *testing.T) {
+	m := Build(Config{Vocab: 23, Hidden: 8, Layers: 4, Heads: 2, MaxSeq: 4, Seed: 1})
+	n := len(m.Modules)
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a := int(aRaw) % n
+		b := a + int(bRaw)%(n-a)
+		c := b + int(cRaw)%(n-b+1)
+		return m.ChunkSize(a, c) == m.ChunkSize(a, b)+m.ChunkSize(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

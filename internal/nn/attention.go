@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"math"
+
+	"weipipe/internal/tensor"
+)
+
+// negInf is the additive causal-mask value; after the softmax's max-subtract
+// it underflows to exactly zero probability.
+const negInf = float32(-1e30)
+
+// Attention is causal multi-head self-attention with rotary position
+// embeddings and no biases (Llama style). Weights are stored [in, out].
+type Attention struct {
+	name    string
+	Heads   int
+	HeadDim int
+	Wq      *tensor.Tensor // [H, H]
+	Wk      *tensor.Tensor // [H, H]
+	Wv      *tensor.Tensor // [H, H]
+	Wo      *tensor.Tensor // [H, H]
+	rope    *RopeTable
+	params  *ParamSet
+}
+
+// NewAttention builds an attention layer for hidden size h with the given
+// head count; rope supplies the rotary table (nil disables RoPE).
+func NewAttention(name string, h, heads int, rope *RopeTable, rng *tensor.RNG) *Attention {
+	if h%heads != 0 {
+		panic("nn: hidden size must divide head count")
+	}
+	return NewAttentionSharded(name, h, heads, h/heads, rope, rng)
+}
+
+// NewAttentionSharded builds an attention layer that computes only `heads`
+// heads of dimension headDim over inputs of width inDim: the projections
+// are [inDim, heads·headDim] (and Wo [heads·headDim, inDim]), so the
+// output is a partial sum that a tensor-parallel group all-reduces. With
+// heads·headDim == inDim this is the ordinary full layer.
+func NewAttentionSharded(name string, inDim, heads, headDim int, rope *RopeTable, rng *tensor.RNG) *Attention {
+	width := heads * headDim
+	a := &Attention{
+		name:    name,
+		Heads:   heads,
+		HeadDim: headDim,
+		Wq:      tensor.New(inDim, width),
+		Wk:      tensor.New(inDim, width),
+		Wv:      tensor.New(inDim, width),
+		Wo:      tensor.New(width, inDim),
+		rope:    rope,
+	}
+	tensor.FillXavier(a.Wq, rng)
+	tensor.FillXavier(a.Wk, rng)
+	tensor.FillXavier(a.Wv, rng)
+	tensor.FillXavier(a.Wo, rng)
+	p := NewParamSet()
+	p.Add("wq", a.Wq)
+	p.Add("wk", a.Wk)
+	p.Add("wv", a.Wv)
+	p.Add("wo", a.Wo)
+	a.params = p
+	return a
+}
+
+// Name implements Module.
+func (a *Attention) Name() string { return a.name }
+
+// Params implements Module.
+func (a *Attention) Params() *ParamSet { return a.params }
+
+// Forward implements Module. x is [G*S, H].
+func (a *Attention) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	g, s := cache.G, cache.S
+	inDim := a.Wq.Rows()
+	width := a.Heads * a.HeadDim
+	d := a.HeadDim
+	tokens := g * s
+
+	q := tensor.New(tokens, width)
+	k := tensor.New(tokens, width)
+	v := tensor.New(tokens, width)
+	tensor.MatMul(q, x, a.Wq)
+	tensor.MatMul(k, x, a.Wk)
+	tensor.MatMul(v, x, a.Wv)
+	if a.rope != nil {
+		a.rope.ApplyAll(q, s, a.Heads, 1)
+		a.rope.ApplyAll(k, s, a.Heads, 1)
+	}
+
+	// probs[(gi*Heads+hi)*S + i][j] = attention weight of query i on key j.
+	probs := tensor.New(g*a.Heads*s, s)
+	ctx := tensor.New(tokens, width)
+	scale := float32(1.0 / math.Sqrt(float64(d)))
+
+	qh := tensor.New(s, d)
+	kh := tensor.New(s, d)
+	vh := tensor.New(s, d)
+	scores := tensor.New(s, s)
+	ctxh := tensor.New(s, d)
+	for gi := 0; gi < g; gi++ {
+		for hi := 0; hi < a.Heads; hi++ {
+			gatherHead(qh, q, gi, hi, s, d, width)
+			gatherHead(kh, k, gi, hi, s, d, width)
+			gatherHead(vh, v, gi, hi, s, d, width)
+			tensor.MatMulTB(scores, qh, kh)
+			for i := 0; i < s; i++ {
+				row := scores.Data[i*s : (i+1)*s]
+				for j := 0; j <= i; j++ {
+					row[j] *= scale
+				}
+				for j := i + 1; j < s; j++ {
+					row[j] = negInf
+				}
+			}
+			ph := probs.SliceRows((gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
+			tensor.SoftmaxRows(ph, scores)
+			tensor.MatMul(ctxh, ph, vh)
+			scatterHead(ctx, ctxh, gi, hi, s, d, width)
+		}
+	}
+
+	out := tensor.New(tokens, inDim)
+	tensor.MatMul(out, ctx, a.Wo)
+
+	cache.X = x
+	cache.Put("q", q)
+	cache.Put("k", k)
+	cache.Put("v", v)
+	cache.Put("probs", probs)
+	cache.Put("ctx", ctx)
+	return out
+}
+
+// BackwardInput implements Module (B pass).
+func (a *Attention) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	g, s := cache.G, cache.S
+	inDim := a.Wq.Rows()
+	width := a.Heads * a.HeadDim
+	d := a.HeadDim
+	tokens := g * s
+	scale := float32(1.0 / math.Sqrt(float64(d)))
+
+	q := cache.Get("q")
+	k := cache.Get("k")
+	v := cache.Get("v")
+	probs := cache.Get("probs")
+
+	dctx := tensor.New(tokens, width)
+	tensor.MatMulTB(dctx, dy, a.Wo) // dctx = dy·Woᵀ
+
+	dq := tensor.New(tokens, width)
+	dk := tensor.New(tokens, width)
+	dv := tensor.New(tokens, width)
+
+	qh := tensor.New(s, d)
+	kh := tensor.New(s, d)
+	vh := tensor.New(s, d)
+	dctxh := tensor.New(s, d)
+	dp := tensor.New(s, s)
+	ds := tensor.New(s, s)
+	dqh := tensor.New(s, d)
+	dkh := tensor.New(s, d)
+	dvh := tensor.New(s, d)
+	for gi := 0; gi < g; gi++ {
+		for hi := 0; hi < a.Heads; hi++ {
+			gatherHead(qh, q, gi, hi, s, d, width)
+			gatherHead(kh, k, gi, hi, s, d, width)
+			gatherHead(vh, v, gi, hi, s, d, width)
+			gatherHead(dctxh, dctx, gi, hi, s, d, width)
+			ph := probs.SliceRows((gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
+
+			tensor.MatMulTB(dp, dctxh, vh)  // dp = dctx·vᵀ
+			tensor.MatMulTA(dvh, ph, dctxh) // dv = pᵀ·dctx
+			tensor.SoftmaxRowsBackward(ds, ph, dp)
+			// masked entries have p=0 ⇒ ds=0; scale folds into dq/dk.
+			tensor.MatMul(dqh, ds, kh) // dq = ds·k
+			tensor.Scale(dqh, dqh, scale)
+			tensor.MatMulTA(dkh, ds, qh) // dk = dsᵀ·q
+			tensor.Scale(dkh, dkh, scale)
+
+			scatterHead(dq, dqh, gi, hi, s, d, width)
+			scatterHead(dk, dkh, gi, hi, s, d, width)
+			scatterHead(dv, dvh, gi, hi, s, d, width)
+		}
+	}
+
+	// Undo RoPE: grads of pre-rotation q/k are the inverse rotation.
+	if a.rope != nil {
+		a.rope.ApplyAll(dq, s, a.Heads, -1)
+		a.rope.ApplyAll(dk, s, a.Heads, -1)
+	}
+
+	dx := tensor.New(tokens, inDim)
+	tensor.MatMulTB(dx, dq, a.Wq)
+	tensor.MatMulTBAcc(dx, dk, a.Wk)
+	tensor.MatMulTBAcc(dx, dv, a.Wv)
+
+	// Stash the pre-projection gradients for the W pass.
+	cache.Put("dq", dq)
+	cache.Put("dk", dk)
+	cache.Put("dv", dv)
+	cache.Put("dy", dy)
+	return dx
+}
+
+// BackwardParams implements Module (W pass).
+func (a *Attention) BackwardParams(cache *Cache, grads *ParamSet) {
+	x := cache.X
+	ctx := cache.Get("ctx")
+	dq := cache.Get("dq")
+	dk := cache.Get("dk")
+	dv := cache.Get("dv")
+	dy := cache.Get("dy")
+	tensor.MatMulTAAcc(grads.Get("wq"), x, dq)
+	tensor.MatMulTAAcc(grads.Get("wk"), x, dk)
+	tensor.MatMulTAAcc(grads.Get("wv"), x, dv)
+	tensor.MatMulTAAcc(grads.Get("wo"), ctx, dy)
+}
+
+// gatherHead copies head hi of batch gi from full ([G*S, H]) into dst [S, d].
+func gatherHead(dst, full *tensor.Tensor, gi, hi, s, d, h int) {
+	for i := 0; i < s; i++ {
+		src := full.Data[(gi*s+i)*h+hi*d : (gi*s+i)*h+hi*d+d]
+		copy(dst.Data[i*d:(i+1)*d], src)
+	}
+}
+
+// scatterHead copies src [S, d] into head hi of batch gi of full ([G*S, H]).
+func scatterHead(full, src *tensor.Tensor, gi, hi, s, d, h int) {
+	for i := 0; i < s; i++ {
+		dst := full.Data[(gi*s+i)*h+hi*d : (gi*s+i)*h+hi*d+d]
+		copy(dst, src.Data[i*d:(i+1)*d])
+	}
+}

@@ -1,0 +1,103 @@
+package nn
+
+import "weipipe/internal/tensor"
+
+// Block is one Llama-style transformer layer:
+//
+//	y = x + Attention(RMSNorm(x))
+//	z = y + FFN(RMSNorm(y))
+//
+// A Block is the unit of weight circulation in WeiPipe and the unit of stage
+// assignment in the activation-passing baselines.
+type Block struct {
+	name   string
+	Norm1  *RMSNorm
+	Attn   *Attention
+	Norm2  *RMSNorm
+	Ffn    *FFN
+	params *ParamSet
+}
+
+// NewBlock builds a transformer layer with hidden size h, the given head
+// count, FFN inner size f, and the shared rotary table rope (may be nil).
+func NewBlock(name string, h, heads, f int, rope *RopeTable, rng *tensor.RNG) *Block {
+	b := &Block{
+		name:  name,
+		Norm1: NewRMSNorm(name+".norm1", h),
+		Attn:  NewAttention(name+".attn", h, heads, rope, rng.Split()),
+		Norm2: NewRMSNorm(name+".norm2", h),
+		Ffn:   NewFFN(name+".ffn", h, f, rng.Split()),
+	}
+	p := NewParamSet()
+	addPrefixed(p, "norm1.", b.Norm1.Params())
+	addPrefixed(p, "attn.", b.Attn.Params())
+	addPrefixed(p, "norm2.", b.Norm2.Params())
+	addPrefixed(p, "ffn.", b.Ffn.Params())
+	b.params = p
+	return b
+}
+
+func addPrefixed(dst *ParamSet, prefix string, src *ParamSet) {
+	for _, n := range src.Names() {
+		dst.Add(prefix+n, src.Get(n))
+	}
+}
+
+// Name implements Module.
+func (b *Block) Name() string { return b.name }
+
+// Params implements Module. The set aliases the sub-layers' tensors, so
+// SetFlat on a block updates attention and FFN weights in place.
+func (b *Block) Params() *ParamSet { return b.params }
+
+// Forward implements Module.
+func (b *Block) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	x1 := b.Norm1.Forward(x, cache.Sub("norm1"))
+	ao := b.Attn.Forward(x1, cache.Sub("attn"))
+	y := tensor.New(x.Shape()...)
+	tensor.Add(y, x, ao)
+
+	y1 := b.Norm2.Forward(y, cache.Sub("norm2"))
+	fo := b.Ffn.Forward(y1, cache.Sub("ffn"))
+	z := tensor.New(x.Shape()...)
+	tensor.Add(z, y, fo)
+
+	cache.X = x
+	return z
+}
+
+// BackwardInput implements Module (B pass).
+func (b *Block) BackwardInput(dz *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	// FFN residual branch: z = y + ffn(norm2(y)).
+	dy1 := b.Ffn.BackwardInput(dz, cache.Sub("ffn"))
+	dyFfn := b.Norm2.BackwardInput(dy1, cache.Sub("norm2"))
+	dy := tensor.New(dz.Shape()...)
+	tensor.Add(dy, dz, dyFfn)
+
+	// Attention residual branch: y = x + attn(norm1(x)).
+	dx1 := b.Attn.BackwardInput(dy, cache.Sub("attn"))
+	dxAttn := b.Norm1.BackwardInput(dx1, cache.Sub("norm1"))
+	dx := tensor.New(dz.Shape()...)
+	tensor.Add(dx, dy, dxAttn)
+	return dx
+}
+
+// BackwardParams implements Module (W pass).
+func (b *Block) BackwardParams(cache *Cache, grads *ParamSet) {
+	b.Norm1.BackwardParams(cache.Sub("norm1"), subGrads(grads, "norm1."))
+	b.Attn.BackwardParams(cache.Sub("attn"), subGrads(grads, "attn."))
+	b.Norm2.BackwardParams(cache.Sub("norm2"), subGrads(grads, "norm2."))
+	b.Ffn.BackwardParams(cache.Sub("ffn"), subGrads(grads, "ffn."))
+}
+
+// subGrads returns a view of grads restricted to names with the given
+// prefix, renamed without it, aliasing the underlying tensors.
+func subGrads(grads *ParamSet, prefix string) *ParamSet {
+	out := NewParamSet()
+	for _, n := range grads.Names() {
+		if len(n) > len(prefix) && n[:len(prefix)] == prefix {
+			out.Add(n[len(prefix):], grads.Get(n))
+		}
+	}
+	return out
+}

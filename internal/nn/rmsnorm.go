@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"weipipe/internal/tensor"
+)
+
+// rmsEps is the variance floor used by RMSNorm, matching Llama's 1e-5.
+const rmsEps = 1e-5
+
+// RMSNorm is root-mean-square layer normalisation with a learned gain:
+// y_j = g_j * x_j / sqrt(mean_j(x_j²) + eps), applied row-wise over the
+// hidden dimension.
+type RMSNorm struct {
+	name string
+	// Gain is the learned per-channel scale g, shape [H].
+	Gain   *tensor.Tensor
+	params *ParamSet
+}
+
+// NewRMSNorm returns an RMSNorm over hidden size h with unit gain.
+func NewRMSNorm(name string, h int) *RMSNorm {
+	g := tensor.New(h)
+	g.Fill(1)
+	p := NewParamSet()
+	p.Add("g", g)
+	return &RMSNorm{name: name, Gain: g, params: p}
+}
+
+// Name implements Module.
+func (m *RMSNorm) Name() string { return m.name }
+
+// Params implements Module.
+func (m *RMSNorm) Params() *ParamSet { return m.params }
+
+// Forward implements Module. x is [rows, H].
+func (m *RMSNorm) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	h := m.Gain.Size()
+	rows := x.Size() / h
+	y := tensor.New(rows, h)
+	inv := tensor.New(rows) // 1/rms per row
+	g := m.Gain.Data
+	for i := 0; i < rows; i++ {
+		xr := x.Data[i*h : (i+1)*h]
+		yr := y.Data[i*h : (i+1)*h]
+		var ss float64
+		for _, v := range xr {
+			ss += float64(v) * float64(v)
+		}
+		r := float32(1.0 / math.Sqrt(ss/float64(h)+rmsEps))
+		inv.Data[i] = r
+		for j, v := range xr {
+			yr[j] = g[j] * v * r
+		}
+	}
+	cache.X = x
+	cache.Put("inv", inv)
+	return y
+}
+
+// BackwardInput implements Module (B pass).
+//
+// With r = 1/rms(x):  dx_j = r·g_j·dy_j − x_j · r³/H · Σ_k dy_k·g_k·x_k.
+func (m *RMSNorm) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tensor {
+	h := m.Gain.Size()
+	x := cache.X
+	inv := cache.Get("inv")
+	rows := x.Size() / h
+	dx := tensor.New(rows, h)
+	g := m.Gain.Data
+	for i := 0; i < rows; i++ {
+		xr := x.Data[i*h : (i+1)*h]
+		dyr := dy.Data[i*h : (i+1)*h]
+		dxr := dx.Data[i*h : (i+1)*h]
+		r := inv.Data[i]
+		var dot float64
+		for j := range xr {
+			dot += float64(dyr[j]) * float64(g[j]) * float64(xr[j])
+		}
+		c := r * r * r * float32(dot) / float32(h)
+		for j := range xr {
+			dxr[j] = r*g[j]*dyr[j] - xr[j]*c
+		}
+	}
+	cache.Put("dy", dy)
+	return dx
+}
+
+// BackwardParams implements Module (W pass): dg_j = Σ_rows dy_j·x_j·r.
+func (m *RMSNorm) BackwardParams(cache *Cache, grads *ParamSet) {
+	h := m.Gain.Size()
+	x := cache.X
+	inv := cache.Get("inv")
+	dy := cache.Get("dy")
+	dg := grads.Get("g").Data
+	rows := x.Size() / h
+	for i := 0; i < rows; i++ {
+		xr := x.Data[i*h : (i+1)*h]
+		dyr := dy.Data[i*h : (i+1)*h]
+		r := inv.Data[i]
+		for j := range xr {
+			dg[j] += dyr[j] * xr[j] * r
+		}
+	}
+}

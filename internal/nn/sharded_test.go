@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"weipipe/internal/tensor"
+)
+
+// Direct finite-difference checks for the sharded (rectangular) attention
+// path that tensor parallelism builds on: heads·headDim < inDim.
+
+// shardedLoss runs x → sharded attention → scalar pseudo-loss Σ y⊙w.
+func shardedLoss(a *Attention, x *tensor.Tensor, weights *tensor.Tensor, g, s int) float64 {
+	c := NewCache(g, s)
+	y := a.Forward(x, c)
+	return tensor.Dot(y, weights)
+}
+
+func TestShardedAttentionGradCheck(t *testing.T) {
+	const (
+		inDim   = 8
+		heads   = 1 // one head of two → a genuine shard
+		headDim = 4
+		G, S    = 2, 5
+	)
+	rng := tensor.NewRNG(17)
+	rope := NewRopeTable(S, headDim)
+	a := NewAttentionSharded("shard", inDim, heads, headDim, rope, rng)
+
+	x := tensor.New(G*S, inDim)
+	tensor.FillNormal(x, rng, 1)
+	lossW := tensor.New(G*S, inDim)
+	tensor.FillNormal(lossW, rng, 1)
+
+	// analytic grads
+	cache := NewCache(G, S)
+	a.Forward(x, cache)
+	dx := a.BackwardInput(lossW, cache)
+	grads := a.Params().NewLike()
+	a.BackwardParams(cache, grads)
+
+	const eps = 2e-3
+	checkFD := func(param, grad *tensor.Tensor, name string) {
+		t.Helper()
+		idxRng := tensor.NewRNG(5)
+		for k := 0; k < 5; k++ {
+			i := idxRng.Intn(param.Size())
+			orig := param.Data[i]
+			param.Data[i] = orig + eps
+			lp := shardedLoss(a, x, lossW, G, S)
+			param.Data[i] = orig - eps
+			lm := shardedLoss(a, x, lossW, G, S)
+			param.Data[i] = orig
+			fd := (lp - lm) / (2 * eps)
+			an := float64(grad.Data[i])
+			if math.Abs(fd-an) > 2e-3+0.03*math.Abs(fd) {
+				t.Errorf("%s[%d]: analytic %.6f vs fd %.6f", name, i, an, fd)
+			}
+		}
+	}
+	for _, n := range []string{"wq", "wk", "wv", "wo"} {
+		checkFD(a.Params().Get(n), grads.Get(n), n)
+	}
+	checkFD(x, dx, "x")
+}
+
+func TestShardedHeadsPartitionFullAttention(t *testing.T) {
+	// Two half-shards' outputs must sum to the full layer's output when
+	// their weights are the column/row blocks of the full weights.
+	const h, heads, S, G = 8, 2, 4, 1
+	rng := tensor.NewRNG(23)
+	rope := NewRopeTable(S, h/heads)
+	full := NewAttention("full", h, heads, rope, rng)
+
+	mk := func(r int) *Attention {
+		sh := NewAttentionSharded("sh", h, 1, h/heads, rope, tensor.NewRNG(1))
+		lo := r * (h / heads)
+		hi := lo + h/heads
+		for i := 0; i < h; i++ {
+			copy(sh.Wq.Data[i*(h/heads):(i+1)*(h/heads)], full.Wq.Data[i*h+lo:i*h+hi])
+			copy(sh.Wk.Data[i*(h/heads):(i+1)*(h/heads)], full.Wk.Data[i*h+lo:i*h+hi])
+			copy(sh.Wv.Data[i*(h/heads):(i+1)*(h/heads)], full.Wv.Data[i*h+lo:i*h+hi])
+		}
+		copy(sh.Wo.Data, full.Wo.Data[lo*h:hi*h])
+		return sh
+	}
+	x := tensor.New(G*S, h)
+	tensor.FillNormal(x, rng, 1)
+	want := full.Forward(x, NewCache(G, S))
+
+	sum := tensor.New(G*S, h)
+	for r := 0; r < heads; r++ {
+		part := mk(r).Forward(x, NewCache(G, S))
+		tensor.AddInto(sum, part)
+	}
+	for i := range want.Data {
+		if math.Abs(float64(sum.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("shard sum differs at %d: %v vs %v", i, sum.Data[i], want.Data[i])
+		}
+	}
+}

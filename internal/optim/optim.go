@@ -1,0 +1,151 @@
+// Package optim implements the optimizers used by the training runtimes.
+// Optimizers operate on flat float32 vectors so that a WeiPipe chunk owner
+// can step exactly the parameters it owns; state is fp32 throughout,
+// matching the paper's mixed-precision recipe (fp32 optimizer state
+// distributed among workers, never transmitted).
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates a flat parameter vector from a same-length gradient.
+type Optimizer interface {
+	// Step applies one update of w given gradient g. len(w) must equal the
+	// size the optimizer was built with; g is not modified.
+	Step(w, g []float32)
+	// StateBytes reports the optimizer-state footprint in bytes (used by
+	// the memory model and tests).
+	StateBytes() int
+}
+
+// AdamWConfig holds AdamW hyperparameters. Zero values select the usual
+// defaults via NewAdamW.
+type AdamWConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// DefaultAdamW returns the paper-typical hyperparameters.
+func DefaultAdamW(lr float64) AdamWConfig {
+	return AdamWConfig{LR: lr, Beta1: 0.9, Beta2: 0.95, Eps: 1e-8, WeightDecay: 0.0}
+}
+
+// AdamW is the decoupled-weight-decay Adam optimizer with fp32 moments.
+type AdamW struct {
+	cfg  AdamWConfig
+	step int
+	m    []float32
+	v    []float32
+}
+
+// NewAdamW builds an AdamW for a parameter vector of the given size.
+func NewAdamW(size int, cfg AdamWConfig) *AdamW {
+	if cfg.Beta1 == 0 {
+		cfg.Beta1 = 0.9
+	}
+	if cfg.Beta2 == 0 {
+		cfg.Beta2 = 0.95
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 1e-8
+	}
+	return &AdamW{cfg: cfg, m: make([]float32, size), v: make([]float32, size)}
+}
+
+// Step implements Optimizer.
+func (o *AdamW) Step(w, g []float32) {
+	if len(w) != len(o.m) || len(g) != len(o.m) {
+		panic(fmt.Sprintf("optim: AdamW size mismatch: state %d, w %d, g %d", len(o.m), len(w), len(g)))
+	}
+	o.step++
+	b1, b2 := o.cfg.Beta1, o.cfg.Beta2
+	c1 := 1 - math.Pow(b1, float64(o.step))
+	c2 := 1 - math.Pow(b2, float64(o.step))
+	lr := o.cfg.LR
+	wd := float32(o.cfg.WeightDecay * lr)
+	for i := range w {
+		gi := float64(g[i])
+		mi := b1*float64(o.m[i]) + (1-b1)*gi
+		vi := b2*float64(o.v[i]) + (1-b2)*gi*gi
+		o.m[i] = float32(mi)
+		o.v[i] = float32(vi)
+		mhat := mi / c1
+		vhat := vi / c2
+		upd := lr * mhat / (math.Sqrt(vhat) + o.cfg.Eps)
+		w[i] -= float32(upd)
+		if wd != 0 {
+			w[i] -= wd * w[i]
+		}
+	}
+}
+
+// StateBytes implements Optimizer: two fp32 moments per parameter.
+func (o *AdamW) StateBytes() int { return 8 * len(o.m) }
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      []float32
+}
+
+// NewSGD builds an SGD optimizer for a vector of the given size.
+func NewSGD(size int, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum}
+	if momentum != 0 {
+		s.vel = make([]float32, size)
+	} else {
+		s.vel = make([]float32, 0)
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(w, g []float32) {
+	if s.Momentum == 0 {
+		lr := float32(s.LR)
+		for i := range w {
+			w[i] -= lr * g[i]
+		}
+		return
+	}
+	if len(s.vel) != len(w) {
+		panic("optim: SGD size mismatch")
+	}
+	mu := float32(s.Momentum)
+	lr := float32(s.LR)
+	for i := range w {
+		s.vel[i] = mu*s.vel[i] + g[i]
+		w[i] -= lr * s.vel[i]
+	}
+}
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int { return 4 * len(s.vel) }
+
+// GlobalNorm returns the L2 norm of g.
+func GlobalNorm(g []float32) float64 {
+	var ss float64
+	for _, v := range g {
+		ss += float64(v) * float64(v)
+	}
+	return math.Sqrt(ss)
+}
+
+// ClipByGlobalNorm scales g in place so its L2 norm is at most maxNorm and
+// returns the norm before clipping.
+func ClipByGlobalNorm(g []float32, maxNorm float64) float64 {
+	n := GlobalNorm(g)
+	if n > maxNorm && n > 0 {
+		s := float32(maxNorm / n)
+		for i := range g {
+			g[i] *= s
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package optim
+
+import "math"
+
+// LossScaler implements dynamic loss scaling, the standard guard of fp16
+// mixed-precision training (the paper's recipe keeps weights, activations
+// and weight-gradients in fp16): the loss is multiplied by a scale before
+// backward so small gradients survive fp16's underflow floor, gradients are
+// unscaled before the optimizer step, and the scale adapts — halve on
+// overflow (skip the step), double after a streak of clean steps.
+type LossScaler struct {
+	scale       float64
+	growthSteps int // consecutive good steps before growing
+	goodSteps   int
+	minScale    float64
+	maxScale    float64
+	// Skipped counts steps dropped due to non-finite gradients.
+	Skipped int
+}
+
+// NewLossScaler returns a scaler starting at initScale (e.g. 2^14),
+// growing after growthSteps consecutive finite-gradient steps.
+func NewLossScaler(initScale float64, growthSteps int) *LossScaler {
+	if initScale <= 0 {
+		initScale = 1 << 14
+	}
+	if growthSteps <= 0 {
+		growthSteps = 2000
+	}
+	return &LossScaler{
+		scale:       initScale,
+		growthSteps: growthSteps,
+		minScale:    1,
+		maxScale:    1 << 24,
+	}
+}
+
+// Scale returns the current loss multiplier.
+func (s *LossScaler) Scale() float64 { return s.scale }
+
+// ScaleGrads multiplies a gradient vector by the current scale (apply to
+// the loss gradient at the top of backward; scaling the loss scales every
+// downstream gradient linearly).
+func (s *LossScaler) ScaleGrads(g []float32) {
+	f := float32(s.scale)
+	for i := range g {
+		g[i] *= f
+	}
+}
+
+// Unscale divides gradients by the current scale and reports whether they
+// are all finite. On a non-finite gradient it returns false WITHOUT
+// modifying g further; the caller must skip the optimizer step and the
+// scaler has already reduced its scale.
+func (s *LossScaler) Unscale(g []float32) bool {
+	inv := float32(1.0 / s.scale)
+	for _, v := range g {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			s.onOverflow()
+			return false
+		}
+	}
+	for i := range g {
+		g[i] *= inv
+	}
+	s.onGoodStep()
+	return true
+}
+
+func (s *LossScaler) onOverflow() {
+	s.Skipped++
+	s.goodSteps = 0
+	s.scale /= 2
+	if s.scale < s.minScale {
+		s.scale = s.minScale
+	}
+}
+
+func (s *LossScaler) onGoodStep() {
+	s.goodSteps++
+	if s.goodSteps >= s.growthSteps {
+		s.goodSteps = 0
+		s.scale *= 2
+		if s.scale > s.maxScale {
+			s.scale = s.maxScale
+		}
+	}
+}
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	// LR returns the learning rate for 0-indexed optimizer step `step`.
+	LR(step int) float64
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// WarmupCosine is the LLM-standard schedule: linear warm-up from 0 to Base
+// over Warmup steps, then cosine decay to Floor at Total steps (and Floor
+// afterwards).
+type WarmupCosine struct {
+	Base   float64
+	Floor  float64
+	Warmup int
+	Total  int
+}
+
+// LR implements Schedule.
+func (w WarmupCosine) LR(step int) float64 {
+	if w.Warmup > 0 && step < w.Warmup {
+		return w.Base * float64(step+1) / float64(w.Warmup)
+	}
+	if step >= w.Total {
+		return w.Floor
+	}
+	progress := float64(step-w.Warmup) / float64(w.Total-w.Warmup)
+	return w.Floor + 0.5*(w.Base-w.Floor)*(1+math.Cos(math.Pi*progress))
+}
+
+// SetLR changes the optimizer's learning rate (for schedules).
+func (o *AdamW) SetLR(lr float64) { o.cfg.LR = lr }
+
+// LR returns the optimizer's current learning rate.
+func (o *AdamW) LR() float64 { return o.cfg.LR }

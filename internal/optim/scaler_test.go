@@ -1,0 +1,138 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossScalerRoundTrip(t *testing.T) {
+	s := NewLossScaler(1024, 10)
+	g := []float32{1, -2, 0.5}
+	s.ScaleGrads(g)
+	if g[0] != 1024 {
+		t.Fatalf("scaled g = %v", g)
+	}
+	if !s.Unscale(g) {
+		t.Fatal("finite grads reported overflow")
+	}
+	if g[0] != 1 || g[1] != -2 || g[2] != 0.5 {
+		t.Fatalf("round trip broke values: %v", g)
+	}
+}
+
+func TestLossScalerOverflowHalvesAndSkips(t *testing.T) {
+	s := NewLossScaler(1024, 10)
+	g := []float32{float32(math.Inf(1))}
+	if s.Unscale(g) {
+		t.Fatal("inf grads not detected")
+	}
+	if s.Scale() != 512 {
+		t.Fatalf("scale = %v, want 512", s.Scale())
+	}
+	if s.Skipped != 1 {
+		t.Fatalf("Skipped = %d", s.Skipped)
+	}
+	g2 := []float32{float32(math.NaN())}
+	if s.Unscale(g2) {
+		t.Fatal("nan grads not detected")
+	}
+	if s.Scale() != 256 {
+		t.Fatalf("scale = %v, want 256", s.Scale())
+	}
+}
+
+func TestLossScalerGrowsAfterStreak(t *testing.T) {
+	s := NewLossScaler(64, 3)
+	g := []float32{1}
+	for i := 0; i < 3; i++ {
+		s.ScaleGrads(g)
+		if !s.Unscale(g) {
+			t.Fatal("overflow on finite grads")
+		}
+	}
+	if s.Scale() != 128 {
+		t.Fatalf("scale = %v, want 128 after streak", s.Scale())
+	}
+	// overflow resets the streak
+	s.Unscale([]float32{float32(math.Inf(-1))})
+	if s.Scale() != 64 {
+		t.Fatalf("scale = %v after overflow", s.Scale())
+	}
+}
+
+func TestLossScalerBounds(t *testing.T) {
+	s := NewLossScaler(2, 1)
+	for i := 0; i < 10; i++ {
+		s.Unscale([]float32{float32(math.NaN())})
+	}
+	if s.Scale() < 1 {
+		t.Fatalf("scale fell below floor: %v", s.Scale())
+	}
+	s2 := NewLossScaler(1<<23, 1)
+	for i := 0; i < 10; i++ {
+		g := []float32{1}
+		s2.ScaleGrads(g)
+		s2.Unscale(g)
+	}
+	if s2.Scale() > 1<<24 {
+		t.Fatalf("scale exceeded cap: %v", s2.Scale())
+	}
+}
+
+func TestLossScalerDefaults(t *testing.T) {
+	s := NewLossScaler(0, 0)
+	if s.Scale() != 1<<14 {
+		t.Fatalf("default scale = %v", s.Scale())
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if ConstantLR(0.1).LR(12345) != 0.1 {
+		t.Fatal("constant LR not constant")
+	}
+}
+
+func TestWarmupCosineShape(t *testing.T) {
+	sch := WarmupCosine{Base: 1.0, Floor: 0.1, Warmup: 10, Total: 110}
+	// warm-up is linear and increasing
+	for i := 1; i < 10; i++ {
+		if sch.LR(i) <= sch.LR(i-1) {
+			t.Fatalf("warmup not increasing at %d", i)
+		}
+	}
+	// peak ≈ base right after warmup
+	if math.Abs(sch.LR(10)-1.0) > 1e-9 {
+		t.Fatalf("post-warmup LR = %v", sch.LR(10))
+	}
+	// decays monotonically to the floor
+	for i := 11; i < 110; i++ {
+		if sch.LR(i) > sch.LR(i-1)+1e-12 {
+			t.Fatalf("decay not monotone at %d", i)
+		}
+	}
+	if math.Abs(sch.LR(109)-0.1) > 0.01 {
+		t.Fatalf("end LR = %v, want ≈ floor", sch.LR(109))
+	}
+	if sch.LR(1000) != 0.1 {
+		t.Fatalf("past-total LR = %v, want floor", sch.LR(1000))
+	}
+	// halfway point is the midpoint of base and floor
+	mid := sch.LR(60)
+	if math.Abs(mid-0.55) > 0.02 {
+		t.Fatalf("midpoint LR = %v, want ≈ 0.55", mid)
+	}
+}
+
+func TestAdamWSetLR(t *testing.T) {
+	o := NewAdamW(1, DefaultAdamW(0.1))
+	o.SetLR(0.2)
+	if o.LR() != 0.2 {
+		t.Fatalf("LR = %v", o.LR())
+	}
+	w := []float32{1}
+	o.Step(w, []float32{1})
+	// first AdamW step ≈ lr·sign(g)
+	if math.Abs(float64(w[0])-(1-0.2)) > 1e-3 {
+		t.Fatalf("step did not use new LR: w=%v", w[0])
+	}
+}

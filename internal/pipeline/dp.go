@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// DP is plain data parallelism: every rank holds a full model replica and a
+// full optimizer replica, processes its round-robin share of the
+// microbatches, and ring-all-reduces the flat gradient before every rank
+// takes the identical optimizer step.
+type DP struct {
+	t    Transport
+	mdl  *model.Model
+	opt  *optim.AdamW
+	opts Options
+	seq  int // collective sequence counter (identical across ranks)
+}
+
+// NewDP builds a DP trainer for this rank.
+func NewDP(t Transport, cfg model.Config, opts Options) (*DP, error) {
+	mdl := model.Build(cfg)
+	return &DP{
+		t:    t,
+		mdl:  mdl,
+		opt:  optim.NewAdamW(mdl.NumParams(), opts.Adam),
+		opts: opts,
+	}, nil
+}
+
+// Model implements Trainer.
+func (d *DP) Model() *model.Model { return d.mdl }
+
+// TrainIteration implements Trainer.
+func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
+	p := d.t.Size()
+	if len(batches)%p != 0 {
+		return 0, fmt.Errorf("pipeline: DP needs microbatch count divisible by %d ranks", p)
+	}
+	mine := data.Split(batches, p)[d.t.Rank()]
+	nMods := len(d.mdl.Modules)
+	grads := newGrads(d.mdl)
+	var lossSum float64
+	for _, b := range mine {
+		caches := newCaches(0, nMods, b.G(), b.S())
+		_, loss := forwardRange(d.mdl, 0, nMods, nil, b, caches, d.opts.Recompute)
+		lossSum += loss
+		var dy *tensor.Tensor
+		backwardRangeB(d.mdl, 0, nMods, dy, caches, d.opts.Recompute)
+		backwardRangeW(d.mdl, 0, nMods, caches, grads)
+	}
+
+	total := d.mdl.NumParams()
+	flatG := make([]float32, total)
+	flattenGradsRange(d.mdl, grads, 0, nMods, flatG)
+	d.seq++
+	if err := comm.RingAllReduceSum(d.t, flatG, d.seq); err != nil {
+		return 0, err
+	}
+	inv := float32(1.0 / float64(len(batches)))
+	for i := range flatG {
+		flatG[i] *= inv
+	}
+	if c := clipScale(d.opts, sumSquares(flatG)); c != 1 {
+		for i := range flatG {
+			flatG[i] *= c
+		}
+	}
+	flatW := make([]float32, total)
+	d.mdl.FlattenChunk(0, nMods, flatW)
+	d.opt.Step(flatW, flatG)
+	d.mdl.SetChunk(0, nMods, flatW)
+
+	d.seq++
+	sum, err := comm.AllReduceScalarSum(d.t, lossSum, d.seq)
+	if err != nil {
+		return 0, err
+	}
+	return sum / float64(len(batches)), nil
+}
+
+var _ Trainer = (*DP)(nil)

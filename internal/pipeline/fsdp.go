@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// FSDP is fully-sharded data parallelism in the ZeRO-3 style the paper
+// benchmarks through DeepSpeed: every rank owns a 1/P shard of each
+// module's parameters, gradients and optimizer state. Parameters are
+// materialised module-by-module with a ring all-gather immediately before
+// each forward and each backward use and dropped afterwards; gradients are
+// ring reduce-scattered so each rank keeps only its shard. Data flow is
+// data-parallel: each rank trains its round-robin share of the
+// microbatches.
+type FSDP struct {
+	t      Transport
+	mdl    *model.Model // weight buffer; authoritative state is the shards
+	shards [][]float32  // per-module owned parameter shard (fp32 master)
+	opts   []*optim.AdamW
+	o      Options
+	seq    int
+}
+
+// NewFSDP builds an FSDP trainer for this rank.
+func NewFSDP(t Transport, cfg model.Config, o Options) (*FSDP, error) {
+	mdl := model.Build(cfg)
+	p := t.Size()
+	r := t.Rank()
+	f := &FSDP{t: t, mdl: mdl, o: o}
+	for i := range mdl.Modules {
+		size := mdl.ModuleParamSize(i)
+		full := make([]float32, size)
+		mdl.FlattenChunk(i, i+1, full)
+		rg := comm.ShardRanges(size, p)[r]
+		shard := make([]float32, rg[1]-rg[0])
+		copy(shard, full[rg[0]:rg[1]])
+		f.shards = append(f.shards, shard)
+		f.opts = append(f.opts, optim.NewAdamW(len(shard), o.Adam))
+	}
+	return f, nil
+}
+
+// Model implements Trainer.
+func (f *FSDP) Model() *model.Model { return f.mdl }
+
+// shardLens returns every rank's shard length for module i.
+func (f *FSDP) shardLens(i int) []int {
+	p := f.t.Size()
+	lens := make([]int, p)
+	for q, rg := range comm.ShardRanges(f.mdl.ModuleParamSize(i), p) {
+		lens[q] = rg[1] - rg[0]
+	}
+	return lens
+}
+
+// gatherModule all-gathers module i's weights into the local buffer.
+func (f *FSDP) gatherModule(i int) error {
+	f.seq++
+	full, err := comm.AllGather(f.t, f.shards[i], f.shardLens(i), f.seq)
+	if err != nil {
+		return err
+	}
+	f.mdl.SetChunk(i, i+1, full)
+	return nil
+}
+
+// TrainIteration implements Trainer.
+func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
+	p := f.t.Size()
+	if len(batches)%p != 0 {
+		return 0, fmt.Errorf("pipeline: FSDP needs microbatch count divisible by %d ranks", p)
+	}
+	mine := data.Split(batches, p)[f.t.Rank()]
+	nMods := len(f.mdl.Modules)
+	grads := newGrads(f.mdl)
+	var lossSum float64
+
+	for _, b := range mine {
+		caches := newCaches(0, nMods, b.G(), b.S())
+
+		// Forward: gather each module just in time; the buffer is
+		// overwritten by the next gather, which is FSDP's "free".
+		var x *tensor.Tensor
+		for i := 0; i < nMods; i++ {
+			if err := f.gatherModule(i); err != nil {
+				return 0, err
+			}
+			var l float64
+			x, l = forwardModule(f.mdl, i, x, b, caches[i])
+			lossSum += l
+			if f.o.Recompute && i != 0 && i != nMods-1 {
+				caches[i].DropAllButX()
+			}
+		}
+
+		// Backward: gather again before each module's B+W pass.
+		var dy *tensor.Tensor
+		for i := nMods - 1; i >= 0; i-- {
+			if err := f.gatherModule(i); err != nil {
+				return 0, err
+			}
+			c := caches[i]
+			if f.o.Recompute && i != 0 && i != nMods-1 {
+				f.mdl.Modules[i].Forward(c.X, c)
+			}
+			dy = f.mdl.Modules[i].BackwardInput(dy, c)
+			f.mdl.Modules[i].BackwardParams(c, grads[i])
+		}
+	}
+
+	// Reduce-scatter each module's gradient into the owned shards.
+	invN := float32(1.0 / float64(len(batches)))
+	gradShards := make([][]float32, nMods)
+	for i := 0; i < nMods; i++ {
+		full := make([]float32, f.mdl.ModuleParamSize(i))
+		flattenGradsRange(f.mdl, grads, i, i+1, full)
+		f.seq++
+		shard, err := comm.ReduceScatterSum(f.t, full, f.seq)
+		if err != nil {
+			return 0, err
+		}
+		for j := range shard {
+			shard[j] *= invN
+		}
+		gradShards[i] = shard
+	}
+	// Global-norm clip across all shards, then step.
+	if f.o.ClipNorm > 0 {
+		var local float64
+		for _, s := range gradShards {
+			local += sumSquares(s)
+		}
+		f.seq++
+		sumSq, err := comm.AllReduceScalarSum(f.t, local, f.seq)
+		if err != nil {
+			return 0, err
+		}
+		if c := clipScale(f.o, sumSq); c != 1 {
+			for _, s := range gradShards {
+				for j := range s {
+					s[j] *= c
+				}
+			}
+		}
+	}
+	for i := 0; i < nMods; i++ {
+		f.opts[i].Step(f.shards[i], gradShards[i])
+	}
+
+	// Refresh the local buffer so Model() exposes post-step weights.
+	for i := 0; i < nMods; i++ {
+		if err := f.gatherModule(i); err != nil {
+			return 0, err
+		}
+	}
+
+	f.seq++
+	sum, err := comm.AllReduceScalarSum(f.t, lossSum, f.seq)
+	if err != nil {
+		return 0, err
+	}
+	return sum / float64(len(batches)), nil
+}
+
+var _ Trainer = (*FSDP)(nil)

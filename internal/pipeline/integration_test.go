@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+)
+
+// A medium-scale end-to-end run: a bigger model (8 layers, hidden 32, real
+// multi-head attention over 24-token sequences) trained for three
+// iterations under every strategy at 4 workers, all required to land on the
+// serial trajectory. This exercises numerics far from the toy scale of the
+// unit tests. Skipped with -short.
+func TestMediumScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration skipped in -short mode")
+	}
+	cfg := model.Config{Vocab: 64, Hidden: 32, Layers: 8, Heads: 4, MaxSeq: 24, Seed: 99}
+	adam := optim.DefaultAdamW(3e-3)
+	adam.Eps = 1e-5
+	opts := Options{Adam: adam, ClipNorm: 1.0}
+
+	const iters, n = 3, 8
+	batchSets := make([][]data.Batch, iters)
+	for i := range batchSets {
+		batchSets[i] = data.Microbatches(uint64(500+i), n, 2, cfg.Vocab, cfg.MaxSeq)
+	}
+	fn := func(i int) []data.Batch { return batchSets[i] }
+
+	ref, err := RunCluster(StrategySerial, 1, cfg, opts, iters, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ref.Losses[iters-1] < ref.Losses[0]) {
+		t.Fatalf("serial loss did not decrease: %v", ref.Losses)
+	}
+
+	for _, s := range Strategies() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCluster(s, 4, cfg, opts, iters, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref.Losses {
+				if math.Abs(res.Losses[i]-ref.Losses[i]) > 1e-4 {
+					t.Errorf("iter %d: loss %.6f vs serial %.6f", i, res.Losses[i], ref.Losses[i])
+				}
+			}
+			if d := maxAbsDiff(res.Weights, ref.Weights); d > 1e-3 {
+				t.Errorf("weights diverge by %g after %d iterations", d, iters)
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Package pipeline implements the functional distributed-training runtimes:
+// the paper's WeiPipe variants (Naive, Interleave, WZB1, WZB2) and every
+// baseline it compares against (GPipe, 1F1B, ZB1, ZB2, FSDP/ZeRO-3, DP),
+// plus the serial reference they are all checked against.
+//
+// Ranks are goroutines (or processes, over the TCP transport) communicating
+// only through comm.Transport. Every strategy consumes the same global
+// microbatch list and performs one optimizer step per iteration; the test
+// suite asserts that all of them land on the same post-step weights as the
+// serial reference within floating-point tolerance.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/nn"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// Strategy names a parallel training strategy.
+type Strategy string
+
+// The implemented strategies.
+const (
+	StrategySerial            Strategy = "serial"
+	StrategyDP                Strategy = "dp"
+	StrategyFSDP              Strategy = "fsdp"
+	StrategyGPipe             Strategy = "gpipe"
+	Strategy1F1B              Strategy = "1f1b"
+	StrategyZB1               Strategy = "zb1"
+	StrategyZB2               Strategy = "zb2"
+	StrategyWeiPipeNaive      Strategy = "weipipe-naive"
+	StrategyWeiPipeInterleave Strategy = "weipipe-interleave"
+	StrategyWZB1              Strategy = "wzb1"
+	StrategyWZB2              Strategy = "wzb2"
+)
+
+// Strategies lists every distributed strategy (excluding the serial
+// reference), in the order the benchmarks report them.
+func Strategies() []Strategy {
+	return []Strategy{
+		Strategy1F1B, StrategyZB1, StrategyZB2, StrategyFSDP,
+		StrategyWeiPipeInterleave, StrategyWeiPipeNaive,
+		StrategyWZB1, StrategyWZB2, StrategyGPipe, StrategyDP,
+	}
+}
+
+// Options configures a trainer.
+type Options struct {
+	// Optimizer hyperparameters (AdamW).
+	Adam optim.AdamWConfig
+	// Recompute enables activation checkpointing: interior modules keep
+	// only their input between forward and backward and re-run forward
+	// before the B pass. Ignored by the ZB strategies (the paper applies
+	// recomputation to all strategies except zero-bubble ones).
+	Recompute bool
+	// MixedPrecision rounds weight and gradient payloads through fp16 and
+	// activation-gradient payloads through bf16 at every send, emulating
+	// the paper's wire format. Off in equivalence tests.
+	MixedPrecision bool
+	// ClipNorm, when positive, clips the global (cross-rank) gradient norm
+	// to this value before the optimizer step. Distributed strategies
+	// combine their local partial norms with a scalar all-reduce.
+	ClipNorm float64
+	// Scaler, when non-nil, enables dynamic loss scaling (the fp16
+	// mixed-precision guard): the loss gradient is multiplied by the scale
+	// at its source, gradients are unscaled before the step, and steps
+	// with non-finite gradients are skipped while the scale halves.
+	// Supported by the serial reference trainer.
+	Scaler *optim.LossScaler
+}
+
+// clipScale returns the factor to scale gradients by so the global norm
+// (whose square is sumSq) does not exceed opts.ClipNorm.
+func clipScale(opts Options, sumSq float64) float32 {
+	if opts.ClipNorm <= 0 {
+		return 1
+	}
+	norm := math.Sqrt(sumSq)
+	if norm <= opts.ClipNorm {
+		return 1
+	}
+	return float32(opts.ClipNorm / norm)
+}
+
+// sumSquares returns Σ g².
+func sumSquares(g []float32) float64 {
+	var s float64
+	for _, v := range g {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Trainer runs training iterations for one rank.
+type Trainer interface {
+	// TrainIteration processes the full global microbatch list (every rank
+	// receives the same slice) and performs one optimizer step. It returns
+	// the mean microbatch loss (identical on every rank).
+	TrainIteration(batches []data.Batch) (float64, error)
+	// Model returns the rank's local model replica. After TrainIteration
+	// the modules this rank owns hold post-step weights; which modules
+	// those are depends on the strategy.
+	Model() *model.Model
+}
+
+// New builds a trainer for the given strategy on transport t. cfg must be
+// identical on every rank (models are reconstructed from the seed rather
+// than broadcast).
+func New(s Strategy, t Transport, cfg model.Config, opts Options) (Trainer, error) {
+	switch s {
+	case StrategySerial:
+		if t.Size() != 1 {
+			return nil, fmt.Errorf("pipeline: serial strategy needs exactly 1 rank, got %d", t.Size())
+		}
+		return NewSerial(cfg, opts), nil
+	case StrategyDP:
+		return NewDP(t, cfg, opts)
+	case StrategyFSDP:
+		return NewFSDP(t, cfg, opts)
+	case StrategyGPipe:
+		return NewGPipe(t, cfg, opts)
+	case Strategy1F1B:
+		return NewOneFOneB(t, cfg, opts)
+	case StrategyZB1:
+		return NewZeroBubble(t, cfg, opts, 1)
+	case StrategyZB2:
+		return NewZeroBubble(t, cfg, opts, 2)
+	case StrategyWeiPipeNaive:
+		return NewWeiPipe(t, cfg, opts, WeiPipeNaive)
+	case StrategyWeiPipeInterleave:
+		return NewWeiPipe(t, cfg, opts, WeiPipeInterleave)
+	case StrategyWZB1:
+		return NewWeiPipe(t, cfg, opts, WeiPipeZB1)
+	case StrategyWZB2:
+		return NewWeiPipe(t, cfg, opts, WeiPipeZB2)
+	default:
+		return nil, fmt.Errorf("pipeline: unknown strategy %q", s)
+	}
+}
+
+// Transport aliases comm.Transport; ranks communicate only through it.
+type Transport = comm.Transport
+
+// Tag aliases comm.Tag.
+type Tag = comm.Tag
+
+// forwardModule runs module i of mdl on x for batch b, handling the
+// embedding and head specially. Returns the output activations (nil for the
+// head) and, for the head, the microbatch loss.
+func forwardModule(mdl *model.Model, i int, x *tensor.Tensor, b data.Batch, c *nn.Cache) (*tensor.Tensor, float64) {
+	switch m := mdl.Modules[i].(type) {
+	case *nn.Embedding:
+		return m.ForwardTokens(b.Tokens, c), 0
+	case *nn.OutputHead:
+		return nil, m.ForwardLoss(x, b.Targets, c)
+	default:
+		return m.Forward(x, c), 0
+	}
+}
+
+// forwardRange runs modules [lo, hi) on batch b starting from activations x
+// (nil when lo == 0). caches must have hi−lo entries. When recompute is
+// true, interior modules drop their intermediates after forward. Returns
+// the boundary activations leaving the range (nil if the range ends with
+// the head) and the loss (non-zero only if the head is inside the range).
+func forwardRange(mdl *model.Model, lo, hi int, x *tensor.Tensor, b data.Batch,
+	caches []*nn.Cache, recompute bool) (*tensor.Tensor, float64) {
+	var loss float64
+	last := len(mdl.Modules) - 1
+	for i := lo; i < hi; i++ {
+		c := caches[i-lo]
+		var l float64
+		x, l = forwardModule(mdl, i, x, b, c)
+		loss += l
+		if recompute && i != 0 && i != last {
+			c.DropAllButX()
+		}
+	}
+	return x, loss
+}
+
+// backwardRangeB runs the B pass (BackwardInput) backwards through modules
+// [lo, hi), recomputing the forward of checkpointed modules first. dy is
+// the gradient entering from above (ignored when the range ends with the
+// head, which owns the loss). Returns the gradient leaving below (nil when
+// the range starts with the embedding).
+func backwardRangeB(mdl *model.Model, lo, hi int, dy *tensor.Tensor,
+	caches []*nn.Cache, recompute bool) *tensor.Tensor {
+	last := len(mdl.Modules) - 1
+	for i := hi - 1; i >= lo; i-- {
+		c := caches[i-lo]
+		if recompute && i != 0 && i != last {
+			mdl.Modules[i].Forward(c.X, c)
+		}
+		dy = mdl.Modules[i].BackwardInput(dy, c)
+	}
+	return dy
+}
+
+// backwardRangeW runs the W pass (BackwardParams) for modules [lo, hi),
+// accumulating into grads (indexed by global module index).
+func backwardRangeW(mdl *model.Model, lo, hi int, caches []*nn.Cache, grads []*nn.ParamSet) {
+	for i := lo; i < hi; i++ {
+		mdl.Modules[i].BackwardParams(caches[i-lo], grads[i])
+	}
+}
+
+// newCaches allocates one cache per module in [lo, hi).
+func newCaches(lo, hi, g, s int) []*nn.Cache {
+	out := make([]*nn.Cache, hi-lo)
+	for i := range out {
+		out[i] = nn.NewCache(g, s)
+	}
+	return out
+}
+
+// newGrads allocates a gradient set per module of mdl (nil-safe access by
+// global module index).
+func newGrads(mdl *model.Model) []*nn.ParamSet {
+	out := make([]*nn.ParamSet, len(mdl.Modules))
+	for i, m := range mdl.Modules {
+		out[i] = m.Params().NewLike()
+	}
+	return out
+}
+
+// flattenGradsRange copies grads of modules [lo, hi) into dst in wire order.
+func flattenGradsRange(mdl *model.Model, grads []*nn.ParamSet, lo, hi int, dst []float32) {
+	off := 0
+	for i := lo; i < hi; i++ {
+		n := grads[i].Size()
+		grads[i].FlattenInto(dst[off : off+n])
+		off += n
+	}
+	if off != len(dst) {
+		panic("pipeline: flattenGradsRange size mismatch")
+	}
+}
+
+// maybeRoundF16 rounds payload through fp16 when mixed precision is on.
+func maybeRoundF16(opts Options, payload []float32) []float32 {
+	if !opts.MixedPrecision {
+		return payload
+	}
+	for i, v := range payload {
+		payload[i] = tensor.F16ToF32(tensor.F32ToF16(v))
+	}
+	return payload
+}
+
+// maybeRoundBF16 rounds payload through bf16 when mixed precision is on
+// (the paper ships activation gradients in bf16).
+func maybeRoundBF16(opts Options, payload []float32) []float32 {
+	if !opts.MixedPrecision {
+		return payload
+	}
+	for i, v := range payload {
+		payload[i] = tensor.BF16ToF32(tensor.F32ToBF16(v))
+	}
+	return payload
+}

@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/nn"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// ppBase is the shared machinery of the activation-passing pipeline
+// strategies (GPipe, 1F1B, ZB1, ZB2): rank r permanently owns the
+// contiguous module range bounds[r] (its stage), activations flow
+// r → r+1 during forward and activation gradients flow r+1 → r during
+// backward, and every stage steps its own parameters locally — no weight
+// communication at all.
+type ppBase struct {
+	t      Transport
+	mdl    *model.Model
+	lo, hi int
+	opt    *optim.AdamW
+	opts   Options
+
+	// per-microbatch state for the current iteration
+	caches map[int][]*nn.Cache
+	grads  []*nn.ParamSet
+	lossMB map[int]float64
+	seq    int
+}
+
+func newPPBase(t Transport, cfg model.Config, opts Options) (*ppBase, error) {
+	mdl := model.Build(cfg)
+	p := t.Size()
+	if p > len(mdl.Modules) {
+		return nil, fmt.Errorf("pipeline: %d ranks exceed %d modules", p, len(mdl.Modules))
+	}
+	bounds := mdl.Partition(p)
+	lo, hi := bounds[t.Rank()][0], bounds[t.Rank()][1]
+	return &ppBase{
+		t:    t,
+		mdl:  mdl,
+		lo:   lo,
+		hi:   hi,
+		opt:  optim.NewAdamW(mdl.ChunkSize(lo, hi), opts.Adam),
+		opts: opts,
+	}, nil
+}
+
+func (p *ppBase) Model() *model.Model { return p.mdl }
+
+func (p *ppBase) isFirst() bool { return p.t.Rank() == 0 }
+func (p *ppBase) isLast() bool  { return p.t.Rank() == p.t.Size()-1 }
+
+// beginIteration resets per-iteration state.
+func (p *ppBase) beginIteration() {
+	p.caches = make(map[int][]*nn.Cache)
+	p.grads = newGrads(p.mdl)
+	p.lossMB = make(map[int]float64)
+}
+
+// hidden returns the boundary activation width (the hidden size).
+func (p *ppBase) hidden() int { return p.mdl.Cfg.Hidden }
+
+// forwardMB runs this stage's forward for microbatch m, receiving boundary
+// activations from the previous stage and sending them to the next.
+func (p *ppBase) forwardMB(m int, b data.Batch, recompute bool) error {
+	var x *tensor.Tensor
+	if !p.isFirst() {
+		payload, err := p.t.Recv(p.t.Rank()-1, Tag{Kind: comm.KindAct, A: m})
+		if err != nil {
+			return err
+		}
+		x = tensor.FromSlice(payload, b.G()*b.S(), p.hidden())
+	}
+	caches := newCaches(p.lo, p.hi, b.G(), b.S())
+	p.caches[m] = caches
+	out, loss := forwardRange(p.mdl, p.lo, p.hi, x, b, caches, recompute)
+	if p.isLast() {
+		p.lossMB[m] = loss
+		return nil
+	}
+	return p.t.Send(p.t.Rank()+1, Tag{Kind: comm.KindAct, A: m}, maybeRoundF16(p.opts, out.Data))
+}
+
+// backwardMBInput runs this stage's B pass for microbatch m, receiving the
+// boundary gradient from the next stage and sending the propagated gradient
+// to the previous stage. The caches stay alive for the W pass.
+func (p *ppBase) backwardMBInput(m int, b data.Batch, recompute bool) error {
+	var dy *tensor.Tensor
+	if !p.isLast() {
+		payload, err := p.t.Recv(p.t.Rank()+1, Tag{Kind: comm.KindActGrad, A: m})
+		if err != nil {
+			return err
+		}
+		dy = tensor.FromSlice(payload, b.G()*b.S(), p.hidden())
+	}
+	dx := backwardRangeB(p.mdl, p.lo, p.hi, dy, p.caches[m], recompute)
+	if p.isFirst() {
+		return nil
+	}
+	return p.t.Send(p.t.Rank()-1, Tag{Kind: comm.KindActGrad, A: m}, maybeRoundBF16(p.opts, dx.Data))
+}
+
+// backwardMBParams runs this stage's W pass for microbatch m and releases
+// the microbatch's activation caches.
+func (p *ppBase) backwardMBParams(m int) {
+	backwardRangeW(p.mdl, p.lo, p.hi, p.caches[m], p.grads)
+	delete(p.caches, m)
+}
+
+// step averages this stage's accumulated gradients over n microbatches,
+// applies global-norm clipping (combining the stages' partial norms with a
+// scalar all-reduce) and takes the local optimizer update.
+func (p *ppBase) step(n int) error {
+	size := p.mdl.ChunkSize(p.lo, p.hi)
+	flatW := make([]float32, size)
+	flatG := make([]float32, size)
+	p.mdl.FlattenChunk(p.lo, p.hi, flatW)
+	flattenGradsRange(p.mdl, p.grads, p.lo, p.hi, flatG)
+	inv := float32(1.0 / float64(n))
+	for i := range flatG {
+		flatG[i] *= inv
+	}
+	if p.opts.ClipNorm > 0 {
+		p.seq++
+		sumSq, err := comm.AllReduceScalarSum(p.t, sumSquares(flatG), p.seq)
+		if err != nil {
+			return err
+		}
+		if c := clipScale(p.opts, sumSq); c != 1 {
+			for i := range flatG {
+				flatG[i] *= c
+			}
+		}
+	}
+	p.opt.Step(flatW, flatG)
+	p.mdl.SetChunk(p.lo, p.hi, flatW)
+	return nil
+}
+
+// finishLoss broadcasts the last stage's mean loss to every rank.
+func (p *ppBase) finishLoss(n int) (float64, error) {
+	var sum float64
+	for _, l := range p.lossMB {
+		sum += l
+	}
+	p.seq++
+	var payload []float32
+	if p.isLast() {
+		payload = []float32{float32(sum / float64(n))}
+	}
+	out, err := comm.Broadcast(p.t, p.t.Size()-1, payload, p.seq)
+	if err != nil {
+		return 0, err
+	}
+	return float64(out[0]), nil
+}
+
+// GPipe runs all forwards, then all backwards in reverse microbatch order —
+// the classic schedule with the largest bubble and the largest activation
+// footprint.
+type GPipe struct{ *ppBase }
+
+// NewGPipe builds a GPipe stage for this rank.
+func NewGPipe(t Transport, cfg model.Config, opts Options) (*GPipe, error) {
+	b, err := newPPBase(t, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GPipe{b}, nil
+}
+
+// TrainIteration implements Trainer.
+func (g *GPipe) TrainIteration(batches []data.Batch) (float64, error) {
+	g.beginIteration()
+	n := len(batches)
+	for m := 0; m < n; m++ {
+		if err := g.forwardMB(m, batches[m], g.opts.Recompute); err != nil {
+			return 0, err
+		}
+	}
+	for m := n - 1; m >= 0; m-- {
+		if err := g.backwardMBInput(m, batches[m], g.opts.Recompute); err != nil {
+			return 0, err
+		}
+		g.backwardMBParams(m)
+	}
+	if err := g.step(n); err != nil {
+		return 0, err
+	}
+	return g.finishLoss(n)
+}
+
+// OneFOneB is the 1F1B schedule (Megatron's default): a warm-up of
+// min(P−1−rank, N) forwards, then strict one-forward-one-backward
+// alternation, then a cool-down of the remaining backwards. Peak activation
+// memory is bounded by the warm-up depth instead of N.
+type OneFOneB struct{ *ppBase }
+
+// NewOneFOneB builds a 1F1B stage for this rank.
+func NewOneFOneB(t Transport, cfg model.Config, opts Options) (*OneFOneB, error) {
+	b, err := newPPBase(t, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &OneFOneB{b}, nil
+}
+
+// TrainIteration implements Trainer.
+func (o *OneFOneB) TrainIteration(batches []data.Batch) (float64, error) {
+	o.beginIteration()
+	n := len(batches)
+	warmup := o.t.Size() - 1 - o.t.Rank()
+	if warmup > n {
+		warmup = n
+	}
+	for m := 0; m < warmup; m++ {
+		if err := o.forwardMB(m, batches[m], o.opts.Recompute); err != nil {
+			return 0, err
+		}
+	}
+	for m := warmup; m < n; m++ {
+		if err := o.forwardMB(m, batches[m], o.opts.Recompute); err != nil {
+			return 0, err
+		}
+		bm := m - warmup
+		if err := o.backwardMBInput(bm, batches[bm], o.opts.Recompute); err != nil {
+			return 0, err
+		}
+		o.backwardMBParams(bm)
+	}
+	for m := n - warmup; m < n; m++ {
+		if err := o.backwardMBInput(m, batches[m], o.opts.Recompute); err != nil {
+			return 0, err
+		}
+		o.backwardMBParams(m)
+	}
+	if err := o.step(n); err != nil {
+		return 0, err
+	}
+	return o.finishLoss(n)
+}
+
+var (
+	_ Trainer = (*GPipe)(nil)
+	_ Trainer = (*OneFOneB)(nil)
+)

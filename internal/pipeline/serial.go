@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/nn"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// Serial is the single-process reference trainer every distributed strategy
+// is validated against: it processes the microbatches one by one, sums
+// their gradients, divides by the microbatch count and takes one AdamW
+// step over the full flat parameter vector.
+type Serial struct {
+	mdl  *model.Model
+	opt  *optim.AdamW
+	opts Options
+}
+
+// NewSerial builds the reference trainer.
+func NewSerial(cfg model.Config, opts Options) *Serial {
+	mdl := model.Build(cfg)
+	return &Serial{
+		mdl:  mdl,
+		opt:  optim.NewAdamW(mdl.NumParams(), opts.Adam),
+		opts: opts,
+	}
+}
+
+// Model implements Trainer.
+func (s *Serial) Model() *model.Model { return s.mdl }
+
+// TrainIteration implements Trainer.
+func (s *Serial) TrainIteration(batches []data.Batch) (float64, error) {
+	n := len(s.mdl.Modules)
+	grads := newGrads(s.mdl)
+	if s.opts.Scaler != nil {
+		s.mdl.Head.LossScale = float32(s.opts.Scaler.Scale())
+	}
+	var lossSum float64
+	for _, b := range batches {
+		caches := newCaches(0, n, b.G(), b.S())
+		_, loss := forwardRange(s.mdl, 0, n, nil, b, caches, s.opts.Recompute)
+		lossSum += loss
+		var dy *tensor.Tensor
+		backwardRangeB(s.mdl, 0, n, dy, caches, s.opts.Recompute)
+		backwardRangeW(s.mdl, 0, n, caches, grads)
+	}
+	s.step(grads, len(batches))
+	return lossSum / float64(len(batches)), nil
+}
+
+// step averages the accumulated gradients over n microbatches, unscales
+// the dynamic loss scale (skipping the update on overflow) and applies one
+// optimizer update across the whole model.
+func (s *Serial) step(grads []*nn.ParamSet, n int) {
+	total := s.mdl.NumParams()
+	flatW := make([]float32, total)
+	flatG := make([]float32, total)
+	s.mdl.FlattenChunk(0, len(s.mdl.Modules), flatW)
+	flattenGradsRange(s.mdl, grads, 0, len(s.mdl.Modules), flatG)
+	if s.opts.Scaler != nil && !s.opts.Scaler.Unscale(flatG) {
+		return // overflow: skip the step; the scaler has already backed off
+	}
+	inv := float32(1.0 / float64(n))
+	for i := range flatG {
+		flatG[i] *= inv
+	}
+	if c := clipScale(s.opts, sumSquares(flatG)); c != 1 {
+		for i := range flatG {
+			flatG[i] *= c
+		}
+	}
+	s.opt.Step(flatW, flatG)
+	s.mdl.SetChunk(0, len(s.mdl.Modules), flatW)
+}
+
+// Loss runs a forward-only pass over the batches (no update) and returns
+// the mean loss; used by examples to report evaluation loss.
+func (s *Serial) Loss(batches []data.Batch) float64 {
+	n := len(s.mdl.Modules)
+	var sum float64
+	for _, b := range batches {
+		caches := newCaches(0, n, b.G(), b.S())
+		_, loss := forwardRange(s.mdl, 0, n, nil, b, caches, false)
+		sum += loss
+	}
+	return sum / float64(len(batches))
+}
+
+var _ Trainer = (*Serial)(nil)

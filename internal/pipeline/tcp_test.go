@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+)
+
+// TestWeiPipeOverTCP runs WeiPipe-Interleave across a real TCP mesh on
+// loopback and checks it against the serial reference — the functional
+// analogue of the paper's multi-node deployment.
+func TestWeiPipeOverTCP(t *testing.T) {
+	const p, iters, n = 2, 1, 4
+	wantLoss, wantW := serialReference(t, iters, n)
+
+	addrs, err := comm.LoopbackAddrs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainers := make([]Trainer, p)
+	transports := make([]*comm.TCPTransport, p)
+	losses := make([]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := comm.DialTCP(r, addrs)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			transports[r] = tr
+			trainer, err := New(StrategyWeiPipeInterleave, tr, eqCfg(), eqOpts())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			trainers[r] = trainer
+			batches := eqBatches(iters, n)
+			for i := 0; i < iters; i++ {
+				losses[r], errs[r] = trainer.TrainIteration(batches(i))
+				if errs[r] != nil {
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if math.Abs(losses[0]-wantLoss[0]) > 1e-4 || math.Abs(losses[1]-wantLoss[0]) > 1e-4 {
+		t.Errorf("TCP losses %v vs serial %v", losses, wantLoss[0])
+	}
+	got := AssembleWeights(trainers)
+	if d := maxAbsDiff(got, wantW); d > 5e-4 {
+		t.Errorf("TCP weights diff vs serial = %g", d)
+	}
+}
+
+// TestOneFOneBOverTCP does the same for the activation-passing baseline.
+func TestOneFOneBOverTCP(t *testing.T) {
+	const p, iters, n = 2, 1, 4
+	wantLoss, wantW := serialReference(t, iters, n)
+
+	addrs, err := comm.LoopbackAddrs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainers := make([]Trainer, p)
+	transports := make([]*comm.TCPTransport, p)
+	errs := make([]error, p)
+	lossCh := make([]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := comm.DialTCP(r, addrs)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			transports[r] = tr
+			trainer, err := New(Strategy1F1B, tr, eqCfg(), eqOpts())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			trainers[r] = trainer
+			batches := data.Microbatches(100, n, 2, 13, 6)
+			lossCh[r], errs[r] = trainer.TrainIteration(batches)
+		}(r)
+	}
+	wg.Wait()
+	for _, tr := range transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if math.Abs(lossCh[0]-wantLoss[0]) > 1e-4 {
+		t.Errorf("TCP 1F1B loss %v vs serial %v", lossCh[0], wantLoss[0])
+	}
+	got := AssembleWeights(trainers)
+	if d := maxAbsDiff(got, wantW); d > 5e-4 {
+		t.Errorf("TCP 1F1B weights diff vs serial = %g", d)
+	}
+}

@@ -1,0 +1,481 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/nn"
+	"weipipe/internal/optim"
+	"weipipe/internal/tensor"
+)
+
+// WeiPipeVariant selects which of the paper's weight-passing schedules a
+// WeiPipe trainer runs.
+type WeiPipeVariant int
+
+// The four schedules of the paper (§4.2). All share the same dataflow —
+// and therefore produce identical gradients — but differ in the local
+// interleaving of forward, B and W work, which is what the performance
+// simulator distinguishes them by.
+const (
+	// WeiPipeNaive: a worker alternates whole-microbatch forward phases and
+	// whole-microbatch backward phases; both weight belts circulate but only
+	// one is used at a time (§4.2.1).
+	WeiPipeNaive WeiPipeVariant = iota
+	// WeiPipeInterleave: once warm, every turn pairs one forward stage of a
+	// new microbatch with one backward stage of an old one, using the two
+	// chunks at diagonal belt positions (§4.2.2).
+	WeiPipeInterleave
+	// WeiPipeZB1: like Interleave but the backward is split; a turn pairs a
+	// forward with either a B pass or a (one-step-delayed) W pass (§4.2.3.1).
+	WeiPipeZB1
+	// WeiPipeZB2: B passes run in reverse order as usual, but the W passes
+	// of a microbatch run afterwards in forward layer order, letting chunk
+	// gradients complete and retire as early as possible (§4.2.3.2).
+	WeiPipeZB2
+)
+
+// String returns the paper's name for the variant.
+func (v WeiPipeVariant) String() string {
+	switch v {
+	case WeiPipeNaive:
+		return "weipipe-naive"
+	case WeiPipeInterleave:
+		return "weipipe-interleave"
+	case WeiPipeZB1:
+		return "wzb1"
+	case WeiPipeZB2:
+		return "wzb2"
+	}
+	return "weipipe-unknown"
+}
+
+// WeiPipe is the weight-passing pipeline runtime. The model's modules are
+// split into P contiguous chunks. Two copies of every chunk circulate
+// around the worker ring as "belts":
+//
+//   - the forward belt, whose chunk c reaches worker w exactly when w's
+//     forward pass needs modules [chunk c];
+//   - the backward belt, which trails a full model-depth behind and feeds
+//     each worker's backward passes in reverse chunk order.
+//
+// A gradient accumulator D_c rides the backward belt: each worker adds its
+// local weight-gradient contribution before passing it on, so by the time
+// the belt completes its final circle D_c holds the sum over all N
+// microbatches — gradient aggregation without any collective (§4.2.1,
+// "update pass"). Each worker keeps its own microbatches' activations and
+// never ships an activation anywhere: per turn the wire carries two weight
+// chunks and one gradient chunk, the paper's 36H² bytes, independent of
+// both microbatch size G and sequence length S.
+//
+// Belt use indices are global: use j of a belt chunk is performed by worker
+// j mod P during its round ⌊j/P⌋, so use j happens one hop downstream of
+// use j−1 and message matching is exact. Chunk c's fully-accumulated
+// gradient retires at worker P−1 and is delivered to chunk c's owner,
+// worker (c−1) mod P — the resting position of the backward belt at the
+// iteration boundary — which keeps the chunk's fp32 master weights and
+// optimizer state and re-injects the updated chunk next iteration.
+type WeiPipe struct {
+	t       Transport
+	mdl     *model.Model
+	bounds  [][2]int
+	variant WeiPipeVariant
+	opts    Options
+
+	ownChunk int // the chunk this worker owns: (rank+1) mod P
+	masterW  []float32
+	opt      *optim.AdamW
+
+	// dpGroup, when non-nil, is the cross-replica communicator of this
+	// chunk's owners in a hybrid WeiPipe×DP run: the fully-accumulated D is
+	// additionally all-reduced across replicas before the step, and the
+	// gradient average divides by globalN instead of the local microbatch
+	// count.
+	dpGroup Transport
+	globalN int
+
+	iter int
+	curR int // rounds in the current iteration (N/P)
+}
+
+// Belt identifiers used in wire tags.
+const (
+	beltFwd    = 0
+	beltBwd    = 1
+	beltRetire = 2
+)
+
+// NewWeiPipe builds a WeiPipe trainer for this rank.
+func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (*WeiPipe, error) {
+	mdl := model.Build(cfg)
+	p := t.Size()
+	if p > len(mdl.Modules) {
+		return nil, fmt.Errorf("pipeline: %d ranks exceed %d modules", p, len(mdl.Modules))
+	}
+	w := &WeiPipe{
+		t:       t,
+		mdl:     mdl,
+		bounds:  mdl.Partition(p),
+		variant: v,
+		opts:    opts,
+	}
+	w.ownChunk = (t.Rank() + 1) % p
+	lo, hi := w.chunkRange(w.ownChunk)
+	w.masterW = make([]float32, mdl.ChunkSize(lo, hi))
+	mdl.FlattenChunk(lo, hi, w.masterW)
+	w.opt = optim.NewAdamW(len(w.masterW), opts.Adam)
+	return w, nil
+}
+
+// Model implements Trainer.
+func (w *WeiPipe) Model() *model.Model { return w.mdl }
+
+// chunkRange returns the module range of chunk c.
+func (w *WeiPipe) chunkRange(c int) (int, int) { return w.bounds[c][0], w.bounds[c][1] }
+
+// owner returns the rank owning chunk c.
+func (w *WeiPipe) owner(c int) int { return (c - 1 + w.t.Size()) % w.t.Size() }
+
+// enc builds a tag B field from (iteration, belt, belt use index).
+func (w *WeiPipe) enc(belt, use int) int {
+	return (w.iter*4+belt)<<36 | use
+}
+
+// totalUses returns the per-iteration use count of each belt: one use per
+// (round, worker) pair.
+func (w *WeiPipe) totalUses() int { return w.curR * w.t.Size() }
+
+// wpState is the per-iteration working state.
+type wpState struct {
+	batches []data.Batch
+	R       int
+	// Per in-flight microbatch of this worker:
+	caches     map[int][]*nn.Cache    // one cache per model module
+	fwdX       map[int]*tensor.Tensor // boundary activations (forward cursor)
+	bwdDy      map[int]*tensor.Tensor // boundary gradients (backward cursor)
+	wRemaining map[int]int            // W passes left before caches release
+	lossSum    float64
+}
+
+// TrainIteration implements Trainer.
+func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
+	p := w.t.Size()
+	n := len(batches)
+	if n%p != 0 {
+		return 0, fmt.Errorf("pipeline: WeiPipe needs microbatch count divisible by %d workers", p)
+	}
+	w.curR = n / p
+	st := &wpState{
+		batches:    batches,
+		R:          w.curR,
+		caches:     make(map[int][]*nn.Cache),
+		fwdX:       make(map[int]*tensor.Tensor),
+		bwdDy:      make(map[int]*tensor.Tensor),
+		wRemaining: make(map[int]int),
+	}
+
+	// Inject the owned chunk into both belts; the first user of every belt
+	// chunk is worker 0 at use index 0.
+	payload := make([]float32, len(w.masterW))
+	copy(payload, w.masterW)
+	maybeRoundF16(w.opts, payload)
+	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload); err != nil {
+		return 0, err
+	}
+	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload); err != nil {
+		return 0, err
+	}
+
+	var err error
+	switch w.variant {
+	case WeiPipeNaive:
+		err = w.runNaive(st)
+	case WeiPipeInterleave:
+		err = w.runInterleave(st)
+	case WeiPipeZB1:
+		err = w.runWZB1(st)
+	case WeiPipeZB2:
+		err = w.runWZB2(st)
+	default:
+		err = fmt.Errorf("pipeline: unknown WeiPipe variant %d", w.variant)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// Collect the fully-accumulated gradient for the owned chunk and step.
+	d, err := w.t.Recv(p-1, Tag{Kind: comm.KindGrad, A: w.ownChunk, B: w.enc(beltRetire, 0)})
+	if err != nil {
+		return 0, err
+	}
+	if w.dpGroup != nil {
+		if err := comm.RingAllReduceSum(w.dpGroup, d, w.iter+1); err != nil {
+			return 0, err
+		}
+	}
+	denom := n
+	if w.globalN > 0 {
+		denom = w.globalN
+	}
+	inv := float32(1.0 / float64(denom))
+	for i := range d {
+		d[i] *= inv
+	}
+	if w.opts.ClipNorm > 0 {
+		sumSq, err := comm.AllReduceScalarSum(w.t, sumSquares(d), (1<<30)+w.iter)
+		if err != nil {
+			return 0, err
+		}
+		if c := clipScale(w.opts, sumSq); c != 1 {
+			for i := range d {
+				d[i] *= c
+			}
+		}
+	}
+	w.opt.Step(w.masterW, d)
+	// Reflect the update in the local replica buffer so Model() exposes
+	// this worker's post-step chunk.
+	lo, hi := w.chunkRange(w.ownChunk)
+	w.mdl.SetChunk(lo, hi, w.masterW)
+
+	w.iter++
+	loss, err := comm.AllReduceScalarSum(w.t, st.lossSum, w.iter)
+	if err != nil {
+		return 0, err
+	}
+	return loss / float64(n), nil
+}
+
+// ---- local program orders (the four schedules) ---------------------------
+
+// runNaive alternates whole-microbatch forward and backward phases.
+func (w *WeiPipe) runNaive(st *wpState) error {
+	p := w.t.Size()
+	for k := 0; k < st.R; k++ {
+		for c := 0; c < p; c++ {
+			if err := w.fStage(st, k, c); err != nil {
+				return err
+			}
+		}
+		for c := p - 1; c >= 0; c-- {
+			if err := w.bStage(st, k, c); err != nil {
+				return err
+			}
+			if err := w.wStage(st, k, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runInterleave pairs one forward stage (new microbatch) with one fused
+// backward stage (previous microbatch) per turn.
+func (w *WeiPipe) runInterleave(st *wpState) error {
+	p := w.t.Size()
+	for k := 0; k <= st.R; k++ {
+		for step := 0; step < p; step++ {
+			if k < st.R {
+				if err := w.fStage(st, k, step); err != nil {
+					return err
+				}
+			}
+			if k >= 1 {
+				c := p - 1 - step
+				if err := w.bStage(st, k-1, c); err != nil {
+					return err
+				}
+				if err := w.wStage(st, k-1, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runWZB1 splits the backward: each turn pairs a forward with a B pass,
+// and the W pass runs one turn later (bounded pending set of one).
+func (w *WeiPipe) runWZB1(st *wpState) error {
+	p := w.t.Size()
+	type pending struct{ k, c int }
+	var queue []pending
+	for k := 0; k <= st.R; k++ {
+		for step := 0; step < p; step++ {
+			if k < st.R {
+				if err := w.fStage(st, k, step); err != nil {
+					return err
+				}
+			}
+			if k >= 1 {
+				c := p - 1 - step
+				if err := w.bStage(st, k-1, c); err != nil {
+					return err
+				}
+				queue = append(queue, pending{k - 1, c})
+				if len(queue) > 1 {
+					q := queue[0]
+					queue = queue[1:]
+					if err := w.wStage(st, q.k, q.c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for _, q := range queue {
+		if err := w.wStage(st, q.k, q.c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWZB2 runs all B passes of a microbatch (reverse order, interleaved
+// with the next microbatch's forwards), then its W passes in forward chunk
+// order.
+func (w *WeiPipe) runWZB2(st *wpState) error {
+	p := w.t.Size()
+	for k := 0; k <= st.R; k++ {
+		for step := 0; step < p; step++ {
+			if k < st.R {
+				if err := w.fStage(st, k, step); err != nil {
+					return err
+				}
+			}
+			if k >= 1 {
+				if err := w.bStage(st, k-1, p-1-step); err != nil {
+					return err
+				}
+			}
+		}
+		if k >= 1 {
+			for c := 0; c < p; c++ {
+				if err := w.wStage(st, k-1, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---- belt plumbing -------------------------------------------------------
+
+// recvBeltChunk receives belt-copy `belt` of chunk c for use index `use`,
+// installs it into the local model buffer and forwards it downstream.
+func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
+	src := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
+	if use == 0 {
+		src = w.owner(c)
+	}
+	payload, err := w.t.Recv(src, Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use)})
+	if err != nil {
+		return err
+	}
+	lo, hi := w.chunkRange(c)
+	w.mdl.SetChunk(lo, hi, payload)
+	if use < w.totalUses()-1 {
+		return w.t.Send((w.t.Rank()+1)%w.t.Size(),
+			Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use+1)}, payload)
+	}
+	return nil
+}
+
+// accumulateAndForwardD folds this worker's local gradient contribution for
+// chunk c into the belt accumulator and passes it on (or retires it to the
+// owner after the final use).
+func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
+	if use > 0 {
+		prev := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
+		d, err := w.t.Recv(prev, Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use)})
+		if err != nil {
+			return err
+		}
+		if len(d) != len(local) {
+			return fmt.Errorf("pipeline: D chunk size mismatch %d != %d", len(d), len(local))
+		}
+		for i := range local {
+			local[i] += d[i]
+		}
+	}
+	maybeRoundF16(w.opts, local)
+	if use < w.totalUses()-1 {
+		return w.t.Send((w.t.Rank()+1)%w.t.Size(),
+			Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use+1)}, local)
+	}
+	return w.t.Send(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local)
+}
+
+// ---- compute stages ------------------------------------------------------
+
+// fStage runs the forward of chunk c for this worker's round-k microbatch.
+// The belt use index equals the microbatch index kP+rank.
+func (w *WeiPipe) fStage(st *wpState, k, c int) error {
+	mb := k*w.t.Size() + w.t.Rank()
+	if err := w.recvBeltChunk(beltFwd, c, mb); err != nil {
+		return err
+	}
+	b := st.batches[mb]
+	caches, ok := st.caches[mb]
+	if !ok {
+		caches = newCaches(0, len(w.mdl.Modules), b.G(), b.S())
+		st.caches[mb] = caches
+		st.wRemaining[mb] = w.t.Size()
+	}
+	lo, hi := w.chunkRange(c)
+	out, loss := forwardRange(w.mdl, lo, hi, st.fwdX[mb], b, caches[lo:hi], w.opts.Recompute)
+	st.lossSum += loss
+	if out != nil {
+		st.fwdX[mb] = out
+	} else {
+		delete(st.fwdX, mb)
+	}
+	return nil
+}
+
+// bStage runs the B pass of chunk c for this worker's round-k microbatch.
+func (w *WeiPipe) bStage(st *wpState, k, c int) error {
+	mb := k*w.t.Size() + w.t.Rank()
+	if err := w.recvBeltChunk(beltBwd, c, mb); err != nil {
+		return err
+	}
+	caches := st.caches[mb]
+	lo, hi := w.chunkRange(c)
+	dx := backwardRangeB(w.mdl, lo, hi, st.bwdDy[mb], caches[lo:hi], w.opts.Recompute)
+	if lo > 0 && dx != nil {
+		st.bwdDy[mb] = dx
+	} else {
+		delete(st.bwdDy, mb)
+	}
+	return nil
+}
+
+// wStage runs the W pass of chunk c for this worker's round-k microbatch,
+// folds the result into the belt accumulator and forwards it. When the
+// microbatch's last W pass completes, its activations are released.
+func (w *WeiPipe) wStage(st *wpState, k, c int) error {
+	mb := k*w.t.Size() + w.t.Rank()
+	caches := st.caches[mb]
+	lo, hi := w.chunkRange(c)
+	grads := make([]*nn.ParamSet, len(w.mdl.Modules))
+	for i := lo; i < hi; i++ {
+		grads[i] = w.mdl.Modules[i].Params().NewLike()
+	}
+	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
+	local := make([]float32, w.mdl.ChunkSize(lo, hi))
+	flattenGradsRange(w.mdl, grads, lo, hi, local)
+	if err := w.accumulateAndForwardD(c, mb, local); err != nil {
+		return err
+	}
+	st.wRemaining[mb]--
+	if st.wRemaining[mb] == 0 {
+		delete(st.caches, mb)
+		delete(st.wRemaining, mb)
+	}
+	return nil
+}
+
+var _ Trainer = (*WeiPipe)(nil)

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+)
+
+// ZeroBubble implements the ZB1/ZB2 schedules of "Zero Bubble Pipeline
+// Parallelism" on the 1F1B skeleton: the backward pass is split into a B
+// pass (activation gradients — on the critical path, sent upstream
+// immediately) and a W pass (weight gradients — off the critical path,
+// used as filler work). Functionally the two variants differ in how long W
+// passes are deferred:
+//
+//   - ZB1 keeps at most `warmup` W passes pending, draining the oldest
+//     after every steady-state B pass (bounded extra memory).
+//   - ZB2 defers every W pass to the end of the iteration (near-zero
+//     bubble in time, at roughly twice ZB1's retained-activation memory).
+//
+// Per the paper, recomputation is never combined with zero-bubble
+// schedules (it would save nothing: the B pass needs the activations that
+// checkpointing would have dropped), so Options.Recompute is ignored.
+type ZeroBubble struct {
+	*ppBase
+	variant int // 1 or 2
+}
+
+// NewZeroBubble builds a ZB1 (variant=1) or ZB2 (variant=2) stage.
+func NewZeroBubble(t Transport, cfg model.Config, opts Options, variant int) (*ZeroBubble, error) {
+	if variant != 1 && variant != 2 {
+		panic("pipeline: zero-bubble variant must be 1 or 2")
+	}
+	b, err := newPPBase(t, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroBubble{ppBase: b, variant: variant}, nil
+}
+
+// TrainIteration implements Trainer.
+func (z *ZeroBubble) TrainIteration(batches []data.Batch) (float64, error) {
+	z.beginIteration()
+	n := len(batches)
+	warmup := z.t.Size() - 1 - z.t.Rank()
+	if warmup > n {
+		warmup = n
+	}
+	var pendingW []int // microbatches whose W pass is deferred
+
+	for m := 0; m < warmup; m++ {
+		if err := z.forwardMB(m, batches[m], false); err != nil {
+			return 0, err
+		}
+	}
+	for m := warmup; m < n; m++ {
+		if err := z.forwardMB(m, batches[m], false); err != nil {
+			return 0, err
+		}
+		bm := m - warmup
+		if err := z.backwardMBInput(bm, batches[bm], false); err != nil {
+			return 0, err
+		}
+		pendingW = append(pendingW, bm)
+		if z.variant == 1 && len(pendingW) > warmup {
+			z.backwardMBParams(pendingW[0])
+			pendingW = pendingW[1:]
+		}
+	}
+	for m := n - warmup; m < n; m++ {
+		if err := z.backwardMBInput(m, batches[m], false); err != nil {
+			return 0, err
+		}
+		pendingW = append(pendingW, m)
+	}
+	for _, m := range pendingW {
+		z.backwardMBParams(m)
+	}
+	if err := z.step(n); err != nil {
+		return 0, err
+	}
+	return z.finishLoss(n)
+}
+
+var _ Trainer = (*ZeroBubble)(nil)

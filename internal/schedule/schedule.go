@@ -1,0 +1,773 @@
+// Package schedule compiles each parallel-training strategy into a
+// discrete-event task graph for internal/sim: per-worker compute ops in the
+// strategy's program order, link tasks for every point-to-point transfer on
+// the ring, and fabric tasks for ring collectives. Task durations come from
+// the analytic cost model and the cluster topology.
+package schedule
+
+import (
+	"fmt"
+
+	"weipipe/internal/cluster"
+	"weipipe/internal/cost"
+	"weipipe/internal/sim"
+)
+
+// Spec bundles the inputs of a schedule build.
+type Spec struct {
+	W   cost.Workload
+	GPU cluster.GPUSpec
+	Top cluster.Topology
+	// Overlap enables communication/computation overlap (the paper's
+	// batch_isend_irecv prefetching). Disabling it is an ablation: belt
+	// chunks are only forwarded after the local compute that used them.
+	Overlap bool
+	// WireFP32 doubles every wire payload, ablating the paper's fp16/bf16
+	// wire format against full-precision transfers.
+	WireFP32 bool
+	// BeltBuffers overrides WeiPipe's per-worker, per-belt chunk buffer
+	// depth (default 2). Deeper buffers trade memory for belt slack.
+	BeltBuffers int
+	// TerminalGradAllReduce replaces WeiPipe's in-transit gradient
+	// accumulation with an end-of-iteration ring all-reduce of the full
+	// gradient — the design alternative the D belt avoids.
+	TerminalGradAllReduce bool
+}
+
+// wireScale returns the payload multiplier of the wire-format ablation.
+func (s Spec) wireScale() float64 {
+	if s.WireFP32 {
+		return 2
+	}
+	return 1
+}
+
+// Build compiles the named strategy. Strategy names match the pipeline
+// package's Strategy constants.
+func Build(strategy string, spec Spec) ([]sim.Task, error) {
+	spec.W = spec.W.WithDefaults()
+	if spec.W.P != spec.Top.P {
+		return nil, fmt.Errorf("schedule: workload P=%d but topology P=%d", spec.W.P, spec.Top.P)
+	}
+	if spec.W.L%spec.W.P != 0 {
+		return nil, fmt.Errorf("schedule: %d layers not divisible by %d workers", spec.W.L, spec.W.P)
+	}
+	if spec.W.N%spec.W.P != 0 {
+		return nil, fmt.Errorf("schedule: %d microbatches not divisible by %d workers", spec.W.N, spec.W.P)
+	}
+	switch strategy {
+	case "gpipe", "1f1b", "zb1", "zb2":
+		return buildPP(strategy, spec)
+	case "weipipe-naive":
+		return buildWeiPipeNaive(spec)
+	case "weipipe-interleave", "wzb1", "wzb2":
+		return buildWeiPipe(strategy, spec)
+	case "fsdp":
+		return buildFSDP(spec)
+	case "dp":
+		return buildDP(spec)
+	case "tp":
+		return buildTP(spec)
+	case "sp":
+		return buildSP(spec)
+	default:
+		return nil, fmt.Errorf("schedule: unknown strategy %q", strategy)
+	}
+}
+
+// builder accumulates tasks with per-worker program-order chaining.
+type builder struct {
+	tasks []sim.Task
+	last  map[int]int   // last program-order compute task per worker
+	prog  map[int][]int // per-worker compute ids in program order
+	spec  Spec
+}
+
+func newBuilder(spec Spec) *builder {
+	return &builder{last: make(map[int]int), prog: make(map[int][]int), spec: spec}
+}
+
+// raw appends a task without program-order chaining and returns its id.
+func (b *builder) raw(res string, worker int, dur float64, kind, label string, deps []int) int {
+	id := len(b.tasks)
+	d := make([]int, len(deps))
+	copy(d, deps)
+	b.tasks = append(b.tasks, sim.Task{
+		ID: id, Resource: res, Worker: worker, Dur: dur, Deps: d, Kind: kind, Label: label,
+	})
+	return id
+}
+
+// compute appends a compute task on worker w, chained after the worker's
+// previous compute task.
+func (b *builder) compute(w int, dur float64, kind, label string, deps ...int) int {
+	if prev, ok := b.last[w]; ok {
+		deps = append(deps, prev)
+	}
+	id := b.raw(fmt.Sprintf("w%d", w), w, dur, kind, label, deps)
+	b.last[w] = id
+	b.prog[w] = append(b.prog[w], id)
+	return id
+}
+
+// successorOf returns the compute task following id in worker w's program
+// order, or -1 if id is the worker's last op.
+func (b *builder) successorOf(w, id int) int {
+	prog := b.prog[w]
+	for i, t := range prog {
+		if t == id {
+			if i+1 < len(prog) {
+				return prog[i+1]
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// linkFwd appends a transfer on ring link from→from+1.
+func (b *builder) linkFwd(from int, bytes float64, label string, deps ...int) int {
+	dur := bytes*b.spec.wireScale()/b.spec.Top.SendBW[from] + b.spec.Top.Latency[from]
+	return b.raw(fmt.Sprintf("l%d", from), -1, dur, "comm", label, deps)
+}
+
+// linkRev appends a transfer on the reverse direction of ring link
+// `link` (i.e. from link+1 down to link); full-duplex links give the
+// reverse direction its own engine with the same bandwidth.
+func (b *builder) linkRev(link int, bytes float64, label string, deps ...int) int {
+	dur := bytes*b.spec.wireScale()/b.spec.Top.SendBW[link] + b.spec.Top.Latency[link]
+	return b.raw(fmt.Sprintf("r%d", link), -1, dur, "comm", label, deps)
+}
+
+// fabric appends a collective occupying the shared fabric.
+func (b *builder) fabric(dur float64, label string, deps ...int) int {
+	return b.raw("fabric", -1, dur, "coll", label, deps)
+}
+
+// ---- per-stage / per-chunk durations ---------------------------------------
+
+// stageTimes returns the F/B/W durations of worker r's stage (L/P layers,
+// plus the LM head on the last stage; the embedding lookup is negligible).
+func stageTimes(w cost.Workload, t cost.OpTimes, r int) (f, bp, wp float64) {
+	lp := float64(w.L) / float64(w.P)
+	f = lp * t.F
+	bp = lp * t.B
+	wp = lp * t.W
+	if r == w.P-1 {
+		f += t.HeadF
+		bp += t.HeadB
+		wp += t.HeadW
+	}
+	return
+}
+
+// chunkBytes returns the fp16 wire size of chunk c's weights (gradient
+// chunks are the same size).
+func chunkBytes(w cost.Workload, c int) float64 {
+	lp := float64(w.L) / float64(w.P)
+	bytes := lp * w.LayerWeightBytes()
+	if c == 0 {
+		bytes += w.EmbedParams() * 2
+	}
+	if c == w.P-1 {
+		bytes += w.HeadParams() * 2
+	}
+	return bytes
+}
+
+// ---- activation-passing pipelines -------------------------------------------
+
+func buildPP(strategy string, spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	p := w.P
+	n := w.N
+	actBytes := w.ActBoundaryBytes()
+	b := newBuilder(spec)
+
+	// Pre-create compute ops in each rank's program order; cross-rank link
+	// tasks are appended afterwards and wired by mutating Deps.
+	type opRef struct{ f, bi, bw int } // forward, B pass, W pass task ids
+	ops := make([][]opRef, p)
+	for r := 0; r < p; r++ {
+		ops[r] = make([]opRef, n)
+		for m := range ops[r] {
+			ops[r][m] = opRef{f: -1, bi: -1, bw: -1}
+		}
+	}
+
+	for r := 0; r < p; r++ {
+		fDur, bDur, wDur := stageTimes(w, t, r)
+		emitF := func(m int) {
+			ops[r][m].f = b.compute(r, fDur, "F", fmt.Sprintf("F%d@w%d", m, r))
+		}
+		emitB := func(m int) {
+			ops[r][m].bi = b.compute(r, bDur, "B", fmt.Sprintf("B%d@w%d", m, r))
+		}
+		emitW := func(m int) {
+			ops[r][m].bw = b.compute(r, wDur, "W", fmt.Sprintf("W%d@w%d", m, r))
+		}
+		warmup := p - 1 - r
+		if warmup > n {
+			warmup = n
+		}
+		switch strategy {
+		case "gpipe":
+			for m := 0; m < n; m++ {
+				emitF(m)
+			}
+			for m := n - 1; m >= 0; m-- {
+				emitB(m)
+				emitW(m)
+			}
+		case "1f1b":
+			for m := 0; m < warmup; m++ {
+				emitF(m)
+			}
+			for m := warmup; m < n; m++ {
+				emitF(m)
+				emitB(m - warmup)
+				emitW(m - warmup)
+			}
+			for m := n - warmup; m < n; m++ {
+				emitB(m)
+				emitW(m)
+			}
+		case "zb1", "zb2":
+			var pending []int
+			limit := warmup
+			if strategy == "zb2" {
+				limit = n + 1 // never drain early
+			}
+			if limit < 1 {
+				limit = 1
+			}
+			for m := 0; m < warmup; m++ {
+				emitF(m)
+			}
+			for m := warmup; m < n; m++ {
+				emitF(m)
+				emitB(m - warmup)
+				pending = append(pending, m-warmup)
+				if len(pending) > limit {
+					emitW(pending[0])
+					pending = pending[1:]
+				}
+			}
+			for m := n - warmup; m < n; m++ {
+				emitB(m)
+				pending = append(pending, m)
+			}
+			for _, m := range pending {
+				emitW(m)
+			}
+		}
+	}
+
+	// Activation transfers r→r+1: F at r+1 waits on the link task, which
+	// waits on F at r. Megatron-style stage-boundary sends are blocking —
+	// the sender's next compute op also waits for the transfer — which is
+	// exactly the coupling WeiPipe's weight prefetching avoids.
+	for r := 0; r < p-1; r++ {
+		for m := 0; m < n; m++ {
+			lt := b.linkFwd(r, actBytes, fmt.Sprintf("act%d@l%d", m, r), ops[r][m].f)
+			b.tasks[ops[r+1][m].f].Deps = append(b.tasks[ops[r+1][m].f].Deps, lt)
+			if succ := b.successorOf(r, ops[r][m].f); succ >= 0 {
+				b.tasks[succ].Deps = append(b.tasks[succ].Deps, lt)
+			}
+		}
+	}
+	// Gradient transfers r+1→r (reverse direction of link r), also blocking
+	// on the sender.
+	for r := 0; r < p-1; r++ {
+		for m := 0; m < n; m++ {
+			lt := b.linkRev(r, actBytes, fmt.Sprintf("grad%d@r%d", m, r), ops[r+1][m].bi)
+			b.tasks[ops[r][m].bi].Deps = append(b.tasks[ops[r][m].bi].Deps, lt)
+			if succ := b.successorOf(r+1, ops[r+1][m].bi); succ >= 0 {
+				b.tasks[succ].Deps = append(b.tasks[succ].Deps, lt)
+			}
+		}
+	}
+	return b.tasks, nil
+}
+
+// ---- WeiPipe-Naive (lockstep rotation) ---------------------------------------
+
+// buildWeiPipeNaive models the paper's Figure-1 schedule faithfully: the
+// two weight flows ride one shared belt rotation, each worker performs
+// exactly one stage op per turn (a forward stage, or a fused backward
+// stage taking ≈2× as long), and every turn ends with a global barrier —
+// the rotation cannot advance past a busy worker. Both flows plus the
+// gradient flow cross every link every turn whether or not they are used,
+// which is the redundant transmission WeiPipe-Interleave eliminates. The
+// bubble the paper attributes to Naive (forward workers idling while any
+// worker is in its longer backward turn) emerges from the barriers.
+func buildWeiPipeNaive(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	p := w.P
+	rounds := w.N / p
+	b := newBuilder(spec)
+
+	chunkDur := func(c int, backward bool) float64 {
+		lp := float64(w.L) / float64(p)
+		d := lp * t.F
+		if backward {
+			d = lp * (t.B + t.W)
+		}
+		if c == p-1 {
+			if backward {
+				d += t.HeadB + t.HeadW
+			} else {
+				d += t.HeadF
+			}
+		}
+		return d
+	}
+
+	totalTurns := 2*rounds*p + p - 1
+	prevBarrier := -1
+	maxBytes := chunkBytes(w, 0)
+	if hb := chunkBytes(w, p-1); hb > maxBytes {
+		maxBytes = hb
+	}
+	for turn := 0; turn < totalTurns; turn++ {
+		var turnTasks []int
+		for worker := 0; worker < p; worker++ {
+			l := turn - worker // worker's local turn
+			if l < 0 || l >= 2*rounds*p {
+				continue
+			}
+			k := l / (2 * p)
+			r := l % (2 * p)
+			deps := []int{}
+			if prevBarrier >= 0 {
+				deps = append(deps, prevBarrier)
+			}
+			var id int
+			if r < p {
+				id = b.compute(worker, chunkDur(r, false), "F",
+					fmt.Sprintf("F c%d k%d@w%d", r, k, worker), deps...)
+			} else {
+				c := 2*p - 1 - r
+				id = b.compute(worker, chunkDur(c, true), "B",
+					fmt.Sprintf("B+W c%d k%d@w%d", c, k, worker), deps...)
+			}
+			turnTasks = append(turnTasks, id)
+		}
+		// Both weight flows plus the gradient flow hop every link every
+		// turn, used or not (Naive's redundant transmission).
+		for link := 0; link < p; link++ {
+			deps := []int{}
+			if prevBarrier >= 0 {
+				deps = append(deps, prevBarrier)
+			}
+			for flow := 0; flow < 3; flow++ {
+				turnTasks = append(turnTasks,
+					b.linkFwd(link, maxBytes, fmt.Sprintf("belt t%d l%d f%d", turn, link, flow), deps...))
+			}
+		}
+		prevBarrier = b.raw("barrier", -1, 0, "coll", fmt.Sprintf("turn%d", turn), turnTasks)
+	}
+	return b.tasks, nil
+}
+
+// ---- WeiPipe (weight-passing) -------------------------------------------------
+
+func buildWeiPipe(strategy string, spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	p := w.P
+	rounds := w.N / p
+	uses := rounds * p
+	b := newBuilder(spec)
+
+	chunkF := make([]float64, p)
+	chunkB := make([]float64, p)
+	chunkW := make([]float64, p)
+	lp := float64(w.L) / float64(p)
+	for c := 0; c < p; c++ {
+		chunkF[c] = lp * t.F
+		chunkB[c] = lp * t.B
+		chunkW[c] = lp * t.W
+		if c == p-1 {
+			chunkF[c] += t.HeadF
+			chunkB[c] += t.HeadB
+			chunkW[c] += t.HeadW
+		}
+	}
+
+	// Compute ops per (chunk, use): fOp/bOp/wOp[c][use]. The worker of use
+	// j is j mod p. Program order is emitted per worker below; link tasks
+	// are wired afterwards.
+	mk := func() [][]int {
+		m := make([][]int, p)
+		for c := range m {
+			m[c] = make([]int, uses)
+			for j := range m[c] {
+				m[c][j] = -1
+			}
+		}
+		return m
+	}
+	fOp, bOp, wOp := mk(), mk(), mk()
+
+	for worker := 0; worker < p; worker++ {
+		use := func(k int) int { return k*p + worker }
+		emitF := func(k, c int) {
+			fOp[c][use(k)] = b.compute(worker, chunkF[c], "F", fmt.Sprintf("F c%d k%d@w%d", c, k, worker))
+		}
+		emitB := func(k, c int) {
+			bOp[c][use(k)] = b.compute(worker, chunkB[c], "B", fmt.Sprintf("B c%d k%d@w%d", c, k, worker))
+		}
+		emitW := func(k, c int) {
+			wOp[c][use(k)] = b.compute(worker, chunkW[c], "W", fmt.Sprintf("W c%d k%d@w%d", c, k, worker))
+		}
+		switch strategy {
+		case "weipipe-naive":
+			for k := 0; k < rounds; k++ {
+				for c := 0; c < p; c++ {
+					emitF(k, c)
+				}
+				for c := p - 1; c >= 0; c-- {
+					emitB(k, c)
+					emitW(k, c)
+				}
+			}
+		case "weipipe-interleave":
+			for k := 0; k <= rounds; k++ {
+				for step := 0; step < p; step++ {
+					if k < rounds {
+						emitF(k, step)
+					}
+					if k >= 1 {
+						emitB(k-1, p-1-step)
+						emitW(k-1, p-1-step)
+					}
+				}
+			}
+		case "wzb1":
+			type pw struct{ k, c int }
+			var queue []pw
+			for k := 0; k <= rounds; k++ {
+				for step := 0; step < p; step++ {
+					if k < rounds {
+						emitF(k, step)
+					}
+					if k >= 1 {
+						c := p - 1 - step
+						emitB(k-1, c)
+						queue = append(queue, pw{k - 1, c})
+						if len(queue) > 1 {
+							q := queue[0]
+							queue = queue[1:]
+							emitW(q.k, q.c)
+						}
+					}
+				}
+			}
+			for _, q := range queue {
+				emitW(q.k, q.c)
+			}
+		case "wzb2":
+			for k := 0; k <= rounds; k++ {
+				for step := 0; step < p; step++ {
+					if k < rounds {
+						emitF(k, step)
+					}
+					if k >= 1 {
+						emitB(k-1, p-1-step)
+					}
+				}
+				if k >= 1 {
+					for c := 0; c < p; c++ {
+						emitW(k-1, c)
+					}
+				}
+			}
+		}
+	}
+
+	// Belt link tasks. Forward and backward weight belts hop j−1 → j with
+	// store-and-forward relaying (with Overlap) or compute-gated relaying
+	// (without). The D belt hop j−1 → j carries the accumulator and always
+	// depends on the producer's W pass.
+	//
+	// Flow control: a worker holds at most beltBuffers in-flight chunks per
+	// belt, so the hop delivering its n-th chunk of a belt waits for the
+	// compute that consumed its (n−beltBuffers)-th — finite buffering is
+	// what paces the ring.
+	beltBuffers := spec.BeltBuffers
+	if beltBuffers <= 0 {
+		beltBuffers = 2
+	}
+
+	// consumption order per worker per belt: fwd belt in (k, c) order, bwd
+	// belt in (k, P−1−c) order. earlierConsumer returns the compute op that
+	// consumed the chunk `beltBuffers` arrivals earlier at worker wk, or -1.
+	fwdEarlier := func(wk, k, c int) int {
+		idx := k*p + c - beltBuffers
+		if idx < 0 {
+			return -1
+		}
+		return fOp[idx%p][(idx/p)*p+wk]
+	}
+	bwdEarlier := func(wk, k, c int) int {
+		idx := k*p + (p - 1 - c) - beltBuffers
+		if idx < 0 {
+			return -1
+		}
+		return bOp[p-1-idx%p][(idx/p)*p+wk]
+	}
+
+	for c := 0; c < p; c++ {
+		bytes := chunkBytes(w, c)
+		var prevFLink, prevBLink = -1, -1
+		for j := 1; j < uses; j++ {
+			from := (j - 1) % p
+			dst := j % p
+			k := j / p
+			fdeps := []int{}
+			bdeps := []int{}
+			if prevFLink >= 0 {
+				fdeps = append(fdeps, prevFLink)
+			}
+			if prevBLink >= 0 {
+				bdeps = append(bdeps, prevBLink)
+			}
+			if e := fwdEarlier(dst, k, c); e >= 0 {
+				fdeps = append(fdeps, e)
+			}
+			if e := bwdEarlier(dst, k, c); e >= 0 {
+				bdeps = append(bdeps, e)
+			}
+			if !spec.Overlap {
+				fdeps = append(fdeps, fOp[c][j-1])
+				bdeps = append(bdeps, bOp[c][j-1])
+			}
+			dBytes := bytes
+			if spec.TerminalGradAllReduce {
+				dBytes = 0 // ablation: no D belt; gradients all-reduced at the end
+			}
+			fl := b.linkFwd(from, bytes, fmt.Sprintf("Wf c%d u%d", c, j), fdeps...)
+			bl := b.linkFwd(from, bytes, fmt.Sprintf("Wb c%d u%d", c, j), bdeps...)
+			dl := b.linkFwd(from, dBytes, fmt.Sprintf("D c%d u%d", c, j), wOp[c][j-1])
+			b.tasks[fOp[c][j]].Deps = append(b.tasks[fOp[c][j]].Deps, fl)
+			b.tasks[bOp[c][j]].Deps = append(b.tasks[bOp[c][j]].Deps, bl)
+			b.tasks[wOp[c][j]].Deps = append(b.tasks[wOp[c][j]].Deps, dl)
+			prevFLink, prevBLink = fl, bl
+		}
+	}
+	if spec.TerminalGradAllReduce {
+		deps := make([]int, 0, p)
+		for worker := 0; worker < p; worker++ {
+			if id, ok := b.last[worker]; ok {
+				deps = append(deps, id)
+			}
+		}
+		b.fabric(spec.Top.RingAllReduceTime(w.TotalParams()*2*spec.wireScale()), "grad allreduce", deps...)
+	}
+	return b.tasks, nil
+}
+
+// ---- FSDP -----------------------------------------------------------------
+
+// buildFSDP simulates one representative data-parallel rank plus the shared
+// collective fabric; all ranks are symmetric, so the representative's
+// makespan is the iteration time.
+func buildFSDP(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	top := spec.Top
+	nLocal := w.N / w.P
+	b := newBuilder(spec)
+
+	// modules: embed, L layers, head
+	nMods := w.L + 2
+	modBytes := func(i int) float64 {
+		switch i {
+		case 0:
+			return w.EmbedParams() * 2
+		case nMods - 1:
+			return w.HeadParams() * 2
+		default:
+			return w.LayerWeightBytes()
+		}
+	}
+	modF := func(i int) float64 {
+		switch i {
+		case 0:
+			return 0
+		case nMods - 1:
+			return t.HeadF
+		default:
+			return t.F
+		}
+	}
+	modBW := func(i int) float64 {
+		switch i {
+		case 0:
+			return 0
+		case nMods - 1:
+			return t.HeadB + t.HeadW
+		default:
+			return t.B + t.W
+		}
+	}
+
+	// ZeRO-3 gathers sit on the critical path: with the small per-GPU
+	// microbatches of the paper's configurations, DeepSpeed's prefetch
+	// cannot hide the gathers behind compute, so each module's all-gather
+	// blocks the compute that needs it and is itself gated on the previous
+	// compute — the collective-communication dependence the paper contrasts
+	// with WeiPipe's fully-prefetchable P2P belts.
+	for m := 0; m < nLocal; m++ {
+		fwdCompute := make([]int, nMods)
+		for i := 0; i < nMods; i++ {
+			deps := []int{}
+			if prev, ok := b.last[0]; ok {
+				deps = append(deps, prev)
+			}
+			g := b.fabric(top.RingAllGatherTime(modBytes(i)), fmt.Sprintf("ag m%d mod%d", m, i), deps...)
+			fwdCompute[i] = b.compute(0, modF(i), "F", fmt.Sprintf("F m%d mod%d", m, i), g)
+		}
+		bwdCompute := make([]int, nMods)
+		for i := nMods - 1; i >= 0; i-- {
+			deps := []int{}
+			if prev, ok := b.last[0]; ok {
+				deps = append(deps, prev)
+			}
+			g := b.fabric(top.RingAllGatherTime(modBytes(i)), fmt.Sprintf("ag-b m%d mod%d", m, i), deps...)
+			bwdCompute[i] = b.compute(0, modBW(i), "B", fmt.Sprintf("BW m%d mod%d", m, i), g)
+		}
+		if m == nLocal-1 {
+			// reduce-scatter each module's gradient, overlapped with the
+			// remaining backward via the fabric.
+			for i := nMods - 1; i >= 0; i-- {
+				b.fabric(top.RingAllGatherTime(modBytes(i)), fmt.Sprintf("rs mod%d", i), bwdCompute[i])
+			}
+		}
+	}
+	return b.tasks, nil
+}
+
+// ---- DP --------------------------------------------------------------------
+
+// buildDP simulates one representative data-parallel rank: full local
+// compute per microbatch, with per-layer gradient all-reduces overlapped
+// after the last microbatch's W passes (bucketed DDP style).
+func buildDP(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	top := spec.Top
+	nLocal := w.N / w.P
+	b := newBuilder(spec)
+
+	for m := 0; m < nLocal; m++ {
+		b.compute(0, float64(w.L)*t.F+t.HeadF, "F", fmt.Sprintf("F m%d", m))
+		last := m == nLocal-1
+		if !last {
+			b.compute(0, float64(w.L)*(t.B+t.W)+t.HeadB+t.HeadW, "B", fmt.Sprintf("BW m%d", m))
+			continue
+		}
+		// last microbatch: backward layer by layer so all-reduces overlap
+		bw := b.compute(0, t.HeadB+t.HeadW, "B", "BW head")
+		b.fabric(top.RingAllReduceTime(w.HeadParams()*2), "ar head", bw)
+		for l := w.L - 1; l >= 0; l-- {
+			bw = b.compute(0, t.B+t.W, "B", fmt.Sprintf("BW l%d", l))
+			b.fabric(top.RingAllReduceTime(w.LayerWeightBytes()), fmt.Sprintf("ar l%d", l), bw)
+		}
+		b.fabric(top.RingAllReduceTime(w.EmbedParams()*2), "ar embed", bw)
+	}
+	return b.tasks, nil
+}
+
+// ---- Tensor parallelism -----------------------------------------------------
+
+// buildTP simulates one representative rank of a Megatron-style TP group
+// (all ranks are symmetric): each layer's compute is 1/P of the full layer,
+// but every layer requires two activation-sized ring all-reduces in the
+// forward and two in the backward — all blocking, since they sit in the
+// middle of the layer. This is the bandwidth hunger the paper contrasts
+// WeiPipe's fixed-size weight traffic against.
+func buildTP(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	top := spec.Top
+	p := float64(w.P)
+	b := newBuilder(spec)
+	actBytes := w.ActBoundaryBytes() * spec.wireScale()
+
+	coll := func(label string) {
+		deps := []int{}
+		if prev, ok := b.last[0]; ok {
+			deps = append(deps, prev)
+		}
+		g := b.fabric(top.RingAllReduceTime(actBytes), label, deps...)
+		// blocking: thread the collective into program order
+		b.compute(0, 0, "F", label+" sync", g)
+	}
+
+	for m := 0; m < w.N; m++ {
+		for l := 0; l < w.L; l++ {
+			b.compute(0, t.F/p/2, "F", fmt.Sprintf("F attn m%d l%d", m, l))
+			coll(fmt.Sprintf("ar-f1 m%d l%d", m, l))
+			b.compute(0, t.F/p/2, "F", fmt.Sprintf("F ffn m%d l%d", m, l))
+			coll(fmt.Sprintf("ar-f2 m%d l%d", m, l))
+		}
+		b.compute(0, t.HeadF, "F", fmt.Sprintf("F head m%d", m))
+		b.compute(0, t.HeadB+t.HeadW, "B", fmt.Sprintf("BW head m%d", m))
+		for l := w.L - 1; l >= 0; l-- {
+			b.compute(0, (t.B+t.W)/p/2, "B", fmt.Sprintf("BW ffn m%d l%d", m, l))
+			coll(fmt.Sprintf("ar-b1 m%d l%d", m, l))
+			b.compute(0, (t.B+t.W)/p/2, "B", fmt.Sprintf("BW attn m%d l%d", m, l))
+			coll(fmt.Sprintf("ar-b2 m%d l%d", m, l))
+		}
+	}
+	return b.tasks, nil
+}
+
+// ---- Sequence parallelism ----------------------------------------------------
+
+// buildSP simulates one representative rank of a sequence-parallel group
+// (allgather-KV variant): compute splits 1/P along the sequence, but every
+// layer all-gathers keys and values forward and reduce-scatters their
+// gradients backward — activation-sized collectives on the critical path,
+// plus a DP-style replicated-weight gradient all-reduce per iteration.
+func buildSP(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	t := w.Times(spec.GPU)
+	top := spec.Top
+	p := float64(w.P)
+	b := newBuilder(spec)
+	kvBytes := w.ActBoundaryBytes() * spec.wireScale() // one of K or V, full sequence
+
+	coll := func(label string, bytes float64) {
+		deps := []int{}
+		if prev, ok := b.last[0]; ok {
+			deps = append(deps, prev)
+		}
+		g := b.fabric(top.RingAllGatherTime(bytes), label, deps...)
+		b.compute(0, 0, "F", label+" sync", g)
+	}
+
+	for m := 0; m < w.N; m++ {
+		for l := 0; l < w.L; l++ {
+			coll(fmt.Sprintf("ag-kv m%d l%d", m, l), 2*kvBytes)
+			b.compute(0, t.F/p, "F", fmt.Sprintf("F m%d l%d", m, l))
+		}
+		b.compute(0, t.HeadF/p, "F", fmt.Sprintf("F head m%d", m))
+		b.compute(0, (t.HeadB+t.HeadW)/p, "B", fmt.Sprintf("BW head m%d", m))
+		for l := w.L - 1; l >= 0; l-- {
+			b.compute(0, (t.B+t.W)/p, "B", fmt.Sprintf("BW m%d l%d", m, l))
+			coll(fmt.Sprintf("rs-kv m%d l%d", m, l), 2*kvBytes)
+		}
+	}
+	// replicated-weight gradient all-reduce
+	deps := []int{}
+	if prev, ok := b.last[0]; ok {
+		deps = append(deps, prev)
+	}
+	b.fabric(top.RingAllReduceTime(w.TotalParams()*2*spec.wireScale()), "grad allreduce", deps...)
+	return b.tasks, nil
+}

@@ -1,0 +1,229 @@
+package schedule
+
+import (
+	"testing"
+
+	"weipipe/internal/cluster"
+	"weipipe/internal/cost"
+	"weipipe/internal/sim"
+)
+
+var allStrategies = []string{
+	"gpipe", "1f1b", "zb1", "zb2",
+	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2",
+	"fsdp", "dp",
+}
+
+func runStrategy(t *testing.T, strategy string, w cost.Workload, top cluster.Topology) *sim.Result {
+	t.Helper()
+	spec := Spec{W: w, GPU: cluster.A800(), Top: top, Overlap: true}
+	tasks, err := Build(strategy, spec)
+	if err != nil {
+		t.Fatalf("%s build: %v", strategy, err)
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatalf("%s run: %v", strategy, err)
+	}
+	return res
+}
+
+// throughput in tokens/second/GPU.
+func tput(w cost.Workload, res *sim.Result) float64 {
+	return w.Tokens() / (res.Makespan * float64(w.P))
+}
+
+func smallWorkload(p int) cost.Workload {
+	return cost.Workload{H: 1024, S: 4096, G: 4, L: 2 * p, N: 4 * p, P: p, Recompute: true}.WithDefaults()
+}
+
+func TestAllStrategiesBuildAndRun(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		w := smallWorkload(p)
+		top := cluster.NVLinkSingle(p)
+		for _, s := range allStrategies {
+			wl := w
+			if s == "zb1" || s == "zb2" {
+				wl.Recompute = false
+			}
+			res := runStrategy(t, s, wl, top)
+			if res.Makespan <= 0 {
+				t.Errorf("%s p=%d: makespan %v", s, p, res.Makespan)
+			}
+			if br := res.BubbleRatio(); br < 0 || br >= 1 {
+				t.Errorf("%s p=%d: bubble %v", s, p, br)
+			}
+		}
+	}
+}
+
+func TestComputeLowerBound(t *testing.T) {
+	// No schedule can beat the serial compute of its own critical path:
+	// makespan ≥ per-worker compute (F+B+W for all its microbatch-stages).
+	p := 4
+	w := smallWorkload(p)
+	top := cluster.NVLinkSingle(p)
+	tms := w.Times(cluster.A800())
+	lp := float64(w.L) / float64(p)
+	perWorker := float64(w.N) * lp * (tms.F + tms.B + tms.W) // stage work for N mbs
+	for _, s := range []string{"1f1b", "gpipe", "weipipe-interleave", "weipipe-naive"} {
+		res := runStrategy(t, s, w, top)
+		if res.Makespan < perWorker {
+			t.Errorf("%s makespan %v below compute bound %v", s, res.Makespan, perWorker)
+		}
+	}
+}
+
+func TestWeiPipeWinsLongContextEthernet(t *testing.T) {
+	// The headline claim: with long context (large G·S/H) on an
+	// Ethernet-constrained ring, WeiPipe-Interleave out-throughputs 1F1B
+	// and FSDP.
+	p := 8
+	w := cost.Workload{H: 2048, S: 16384, G: 4, L: 32, N: 32, P: p, Recompute: true}.WithDefaults()
+	top := cluster.NVLinkEthernet(p, 4)
+
+	wp := tput(w, runStrategy(t, "weipipe-interleave", w, top))
+	f1b := tput(w, runStrategy(t, "1f1b", w, top))
+	fsdp := tput(w, runStrategy(t, "fsdp", w, top))
+
+	if wp <= f1b {
+		t.Errorf("weipipe %v ≤ 1f1b %v on ethernet long-context", wp, f1b)
+	}
+	if wp <= fsdp {
+		t.Errorf("weipipe %v ≤ fsdp %v on ethernet long-context", wp, fsdp)
+	}
+	// paper reports ~30–80% gains; require at least 15% here
+	if wp < 1.15*maxf(f1b, fsdp) {
+		t.Errorf("weipipe advantage too small: wp=%v 1f1b=%v fsdp=%v", wp, f1b, fsdp)
+	}
+}
+
+func TestShortContextNVLinkCanFavorBaselines(t *testing.T) {
+	// Table 4's honest negative result: small model / short activations on
+	// pure NVLink lets the zero-bubble baselines catch up or win.
+	p := 8
+	w := cost.Workload{H: 4096, S: 512, G: 1, L: 16, N: 32, P: p, Recompute: false}.WithDefaults()
+	top := cluster.NVLinkSingle(p)
+	wp := tput(w, runStrategy(t, "weipipe-interleave", w, top))
+	zb2 := tput(w, runStrategy(t, "zb2", w, top))
+	if zb2 < wp*0.9 {
+		t.Errorf("expected zb2 (%v) competitive with weipipe (%v) at short context on NVLink", zb2, wp)
+	}
+}
+
+func TestInterleaveBeatsNaive(t *testing.T) {
+	p := 4
+	w := smallWorkload(p)
+	top := cluster.NVLinkSingle(p)
+	inter := runStrategy(t, "weipipe-interleave", w, top)
+	naive := runStrategy(t, "weipipe-naive", w, top)
+	if inter.Makespan >= naive.Makespan {
+		t.Errorf("interleave %v not faster than naive %v", inter.Makespan, naive.Makespan)
+	}
+	if inter.BubbleRatio() >= naive.BubbleRatio() {
+		t.Errorf("interleave bubble %v not below naive %v", inter.BubbleRatio(), naive.BubbleRatio())
+	}
+}
+
+func TestZeroBubbleReducesBubble(t *testing.T) {
+	p := 4
+	w := smallWorkload(p)
+	w.Recompute = false
+	top := cluster.NVLinkSingle(p)
+	f1b := runStrategy(t, "1f1b", w, top)
+	zb2 := runStrategy(t, "zb2", w, top)
+	if zb2.BubbleRatio() >= f1b.BubbleRatio() {
+		t.Errorf("zb2 bubble %v not below 1f1b %v", zb2.BubbleRatio(), f1b.BubbleRatio())
+	}
+}
+
+func TestOverlapAblation(t *testing.T) {
+	// Disabling communication/computation overlap must not speed WeiPipe up.
+	p := 4
+	w := cost.Workload{H: 2048, S: 8192, G: 4, L: 8, N: 16, P: p, Recompute: true}.WithDefaults()
+	top := cluster.NVLinkEthernet(p, 2)
+	spec := Spec{W: w, GPU: cluster.A800(), Top: top, Overlap: true}
+	on, err := Build("weipipe-interleave", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Overlap = false
+	off, err := Build("weipipe-interleave", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOn, err := sim.Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := sim.Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.Makespan > rOff.Makespan+1e-9 {
+		t.Errorf("overlap on (%v) slower than off (%v)", rOn.Makespan, rOff.Makespan)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	w := smallWorkload(4)
+	if _, err := Build("nope", Spec{W: w, GPU: cluster.A800(), Top: cluster.NVLinkSingle(4)}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := Build("1f1b", Spec{W: w, GPU: cluster.A800(), Top: cluster.NVLinkSingle(8)}); err == nil {
+		t.Fatal("P mismatch accepted")
+	}
+	bad := w
+	bad.N = 7
+	if _, err := Build("1f1b", Spec{W: bad, GPU: cluster.A800(), Top: cluster.NVLinkSingle(4)}); err == nil {
+		t.Fatal("indivisible N accepted")
+	}
+}
+
+func TestWeiPipeCommVolumeIndependentOfSeqLen(t *testing.T) {
+	// Doubling S (halving G to keep tokens fixed) must leave WeiPipe's wire
+	// bytes unchanged while 1F1B's activation messages stay as big (G·S
+	// fixed here, so compare against G·S growth instead): directly assert
+	// chunk bytes don't depend on S or G.
+	a := cost.Workload{H: 1024, S: 4096, G: 16, L: 8, N: 8, P: 4}.WithDefaults()
+	b := cost.Workload{H: 1024, S: 16384, G: 64, L: 8, N: 8, P: 4}.WithDefaults()
+	if chunkBytes(a, 1) != chunkBytes(b, 1) {
+		t.Fatal("chunk bytes must not depend on S or G")
+	}
+	if a.ActBoundaryBytes() >= b.ActBoundaryBytes() {
+		t.Fatal("activation bytes must grow with G·S")
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTPAndSPSchedulesBuildAndRun(t *testing.T) {
+	w := cost.Workload{H: 1024, S: 4096, G: 4, L: 8, N: 8, P: 4, Recompute: true}.WithDefaults()
+	for _, topo := range []cluster.Topology{cluster.NVLinkSingle(4), cluster.NVLinkEthernet(4, 2)} {
+		tp := runStrategy(t, "tp", w, topo)
+		sp := runStrategy(t, "sp", w, topo)
+		if tp.Makespan <= 0 || sp.Makespan <= 0 {
+			t.Fatalf("%s: zero makespan", topo.Name)
+		}
+	}
+	// Both collapse on Ethernet relative to NVLink, far more than WeiPipe.
+	nvl := cluster.NVLinkSingle(4)
+	eth := cluster.NVLinkEthernet(4, 2)
+	ratio := func(s string) float64 {
+		return runStrategy(t, s, w, eth).Makespan / runStrategy(t, s, w, nvl).Makespan
+	}
+	if ratio("tp") < 3 || ratio("sp") < 3 {
+		t.Errorf("tp/sp slowdown on ethernet too small: %f %f", ratio("tp"), ratio("sp"))
+	}
+	// WeiPipe also slows at this small compute (its belts outweigh the tiny
+	// per-turn FLOPs), but far less than the activation-collective schemes.
+	wr := ratio("weipipe-interleave")
+	if wr >= ratio("tp") || wr >= ratio("sp") {
+		t.Errorf("weipipe slowdown %f not below tp %f / sp %f", wr, ratio("tp"), ratio("sp"))
+	}
+}

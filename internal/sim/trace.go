@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace format
+// (chrome://tracing, Perfetto). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  string            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the schedule as a Chrome/Perfetto trace: one track
+// per resource (compute engines first, then links and the fabric), one
+// complete event per task. Load the output in chrome://tracing or
+// ui.perfetto.dev.
+func (r *Result) ChromeTrace() ([]byte, error) {
+	events := make([]chromeEvent, 0, len(r.Tasks))
+	for _, t := range r.Tasks {
+		if t.Dur == 0 {
+			continue // barriers and zero-cost syncs only clutter the view
+		}
+		events = append(events, chromeEvent{
+			Name: t.Label,
+			Cat:  t.Kind,
+			Ph:   "X",
+			Ts:   t.Start * 1e6,
+			Dur:  (t.End - t.Start) * 1e6,
+			Pid:  0,
+			Tid:  t.Resource,
+			Args: map[string]string{"kind": t.Kind},
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	return json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+}
+
+// ResourceBusy returns each resource's total occupied time, a utilisation
+// view of links and compute engines.
+func (r *Result) ResourceBusy() map[string]float64 {
+	out := make(map[string]float64)
+	for _, t := range r.Tasks {
+		out[t.Resource] += t.End - t.Start
+	}
+	return out
+}
+
+// LinkUtilisation returns every link resource's busy fraction of the
+// makespan, sorted by resource name — the simulator's view of the paper's
+// bandwidth-pressure argument.
+func (r *Result) LinkUtilisation() []struct {
+	Resource string
+	Fraction float64
+} {
+	busy := r.ResourceBusy()
+	var out []struct {
+		Resource string
+		Fraction float64
+	}
+	for res, b := range busy {
+		if len(res) > 0 && (res[0] == 'l' || res[0] == 'r') || res == "fabric" {
+			out = append(out, struct {
+				Resource string
+				Fraction float64
+			}{res, b / r.Makespan})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("makespan=%.3fs bubble=%.1f%% tasks=%d",
+		r.Makespan, r.BubbleRatio()*100, len(r.Tasks))
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func traceFixture(t *testing.T) *Result {
+	t.Helper()
+	tasks := []Task{
+		{ID: 0, Resource: "w0", Worker: 0, Dur: 1, Kind: "F", Label: "F0"},
+		{ID: 1, Resource: "l0", Worker: -1, Dur: 0.5, Deps: []int{0}, Kind: "comm", Label: "act"},
+		{ID: 2, Resource: "w1", Worker: 1, Dur: 2, Deps: []int{1}, Kind: "B", Label: "B0"},
+		{ID: 3, Resource: "barrier", Worker: -1, Dur: 0, Deps: []int{2}, Kind: "coll", Label: "sync"},
+	}
+	r, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	r := traceFixture(t)
+	blob, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  string  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// zero-duration barrier excluded → 3 events
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(parsed.TraceEvents))
+	}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+	// B0 on worker 1 runs after the link: ts = 1.5s = 1.5e6 µs
+	found := false
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "B0" {
+			found = true
+			if e.Ts != 1.5e6 || e.Dur != 2e6 || e.Tid != "w1" {
+				t.Fatalf("B0 event wrong: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("B0 missing from trace")
+	}
+}
+
+func TestResourceBusyAndLinkUtilisation(t *testing.T) {
+	r := traceFixture(t)
+	busy := r.ResourceBusy()
+	if busy["w0"] != 1 || busy["l0"] != 0.5 || busy["w1"] != 2 {
+		t.Fatalf("busy = %v", busy)
+	}
+	util := r.LinkUtilisation()
+	if len(util) != 1 || util[0].Resource != "l0" {
+		t.Fatalf("util = %v", util)
+	}
+	want := 0.5 / r.Makespan
+	if diff := util[0].Fraction - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("l0 utilisation %v, want %v", util[0].Fraction, want)
+	}
+	if !strings.Contains(r.String(), "makespan") {
+		t.Fatal("String() malformed")
+	}
+}

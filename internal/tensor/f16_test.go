@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF16ExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // max finite half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := F16ToF32(c.h); got != c.f {
+			t.Errorf("F16ToF32(%#04x) = %v, want %v", c.h, got, c.f)
+		}
+	}
+}
+
+func TestF16Overflow(t *testing.T) {
+	if got := F32ToF16(1e6); got != 0x7c00 {
+		t.Fatalf("overflow = %#04x, want +inf", got)
+	}
+	if got := F32ToF16(-1e6); got != 0xfc00 {
+		t.Fatalf("neg overflow = %#04x, want -inf", got)
+	}
+}
+
+func TestF16NaN(t *testing.T) {
+	h := F32ToF16(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+		t.Fatalf("NaN encoding = %#04x", h)
+	}
+	if !math.IsNaN(float64(F16ToF32(h))) {
+		t.Fatal("F16ToF32(NaN) not NaN")
+	}
+}
+
+func TestF16Subnormals(t *testing.T) {
+	// smallest positive subnormal half = 2^-24
+	tiny := float32(math.Ldexp(1, -24))
+	if got := F32ToF16(tiny); got != 0x0001 {
+		t.Fatalf("subnormal = %#04x, want 0x0001", got)
+	}
+	if got := F16ToF32(0x0001); got != tiny {
+		t.Fatalf("round-trip subnormal = %v, want %v", got, tiny)
+	}
+	// below half the smallest subnormal flushes to zero
+	if got := F32ToF16(float32(math.Ldexp(1, -26))); got != 0 {
+		t.Fatalf("underflow = %#04x, want 0", got)
+	}
+}
+
+// Property: round-tripping any representable half is the identity.
+func TestF16RoundTripExhaustiveFinite(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		hu := uint16(h)
+		if hu&0x7c00 == 0x7c00 && hu&0x3ff != 0 {
+			continue // NaN payloads need not round-trip exactly
+		}
+		if got := F32ToF16(F16ToF32(hu)); got != hu {
+			// -0 vs +0 must still round-trip
+			t.Fatalf("round trip %#04x -> %v -> %#04x", hu, F16ToF32(hu), got)
+		}
+	}
+}
+
+// Property: f16 quantisation error is bounded by 2^-11 relative for normals.
+func TestF16RelativeError(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		a := math.Abs(float64(v))
+		if a < 6.2e-5 || a > 65000 {
+			return true // outside half normal range
+		}
+		rt := float64(F16ToF32(F32ToF16(v)))
+		return math.Abs(rt-float64(v)) <= a*math.Ldexp(1, -11)+1e-30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBF16RoundTrip(t *testing.T) {
+	vals := []float32{0, 1, -1, 3.14159, 1e20, -1e-20, 65504}
+	for _, v := range vals {
+		rt := BF16ToF32(F32ToBF16(v))
+		if v == 0 {
+			if rt != 0 {
+				t.Fatalf("bf16(0) = %v", rt)
+			}
+			continue
+		}
+		rel := math.Abs(float64(rt-v)) / math.Abs(float64(v))
+		if rel > 1.0/128 {
+			t.Fatalf("bf16 rel err %v for %v (got %v)", rel, v, rt)
+		}
+	}
+	if !math.IsNaN(float64(BF16ToF32(F32ToBF16(float32(math.NaN()))))) {
+		t.Fatal("bf16 NaN lost")
+	}
+}
+
+func TestRoundTensorsAndPack(t *testing.T) {
+	rng := NewRNG(3)
+	x := New(64)
+	FillNormal(x, rng, 1)
+	y := x.Clone()
+	RoundF16(y)
+	for i := range y.Data {
+		if got := F16ToF32(F32ToF16(x.Data[i])); got != y.Data[i] {
+			t.Fatalf("RoundF16 mismatch at %d", i)
+		}
+	}
+	packed := PackF16(x.Data)
+	un := UnpackF16(packed)
+	for i := range un {
+		if un[i] != y.Data[i] {
+			t.Fatalf("Pack/Unpack mismatch at %d", i)
+		}
+	}
+	z := x.Clone()
+	RoundBF16(z)
+	for i := range z.Data {
+		if got := BF16ToF32(F32ToBF16(x.Data[i])); got != z.Data[i] {
+			t.Fatalf("RoundBF16 mismatch at %d", i)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	r := NewRNG(5)
+	var sum, sum2 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFillers(t *testing.T) {
+	r := NewRNG(6)
+	x := New(10, 20)
+	FillXavier(x, r)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range x.Data {
+		if math.Abs(float64(v)) > limit {
+			t.Fatalf("xavier value %v exceeds limit %v", v, limit)
+		}
+	}
+	FillUniform(x, r, 2, 3)
+	for _, v := range x.Data {
+		if v < 2 || v >= 3 {
+			t.Fatalf("uniform value %v outside [2,3)", v)
+		}
+	}
+	FillNormal(x, r, 0.02)
+	if x.MaxAbs() > 0.2 {
+		t.Fatalf("normal(0.02) value too large: %v", x.MaxAbs())
+	}
+}

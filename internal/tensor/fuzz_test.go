@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip checks the fp16 codec invariants on arbitrary floats:
+// the round trip never panics, preserves sign and ordering class, and is
+// idempotent (rounding a rounded value changes nothing).
+func FuzzF16RoundTrip(f *testing.F) {
+	for _, seed := range []float32{0, 1, -1, 0.5, 65504, 1e-8, 3.14159, -2.71828, 1e30} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float32) {
+		h := F32ToF16(v)
+		back := F16ToF32(h)
+		switch {
+		case math.IsNaN(float64(v)):
+			if !math.IsNaN(float64(back)) {
+				t.Fatalf("NaN lost: %v -> %#04x -> %v", v, h, back)
+			}
+			return
+		case math.IsInf(float64(v), 1):
+			if !math.IsInf(float64(back), 1) {
+				t.Fatalf("+inf lost")
+			}
+		case math.IsInf(float64(v), -1):
+			if !math.IsInf(float64(back), -1) {
+				t.Fatalf("-inf lost")
+			}
+		}
+		// sign preserved (or flushed to zero)
+		if v > 0 && back < 0 || v < 0 && back > 0 {
+			t.Fatalf("sign flip: %v -> %v", v, back)
+		}
+		// idempotence
+		if again := F16ToF32(F32ToF16(back)); again != back && !math.IsNaN(float64(back)) {
+			t.Fatalf("not idempotent: %v -> %v -> %v", v, back, again)
+		}
+	})
+}
+
+// FuzzBF16RoundTrip mirrors the fp16 fuzz for the bfloat16 codec.
+func FuzzBF16RoundTrip(f *testing.F) {
+	for _, seed := range []float32{0, 1, -1e20, 7.5, 1e-30} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float32) {
+		back := BF16ToF32(F32ToBF16(v))
+		if math.IsNaN(float64(v)) {
+			if !math.IsNaN(float64(back)) {
+				t.Fatal("NaN lost")
+			}
+			return
+		}
+		if v > 0 && back < 0 || v < 0 && back > 0 {
+			t.Fatalf("sign flip: %v -> %v", v, back)
+		}
+		if again := BF16ToF32(F32ToBF16(back)); again != back && !math.IsNaN(float64(back)) {
+			t.Fatalf("not idempotent: %v -> %v -> %v", v, back, again)
+		}
+	})
+}

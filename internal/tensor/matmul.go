@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate FLOP count below which matmuls run on
+// the calling goroutine. Small problems are dominated by goroutine dispatch.
+const parallelThreshold = 1 << 17
+
+// blockK is the k-panel size of the cache-blocked kernel.
+const blockK = 64
+
+// MatMul computes dst = a·b where a is [m,k] and b is [k,n] under the
+// canonical 2-D views. dst must be [m,n] and must not alias a or b.
+func MatMul(dst, a, b *Tensor) { matmulNN(dst, a, b, false) }
+
+// MatMulAcc computes dst += a·b.
+func MatMulAcc(dst, a, b *Tensor) { matmulNN(dst, a, b, true) }
+
+// MatMulTB computes dst = a·bᵀ where a is [m,k] and b is [n,k]. dst must be
+// [m,n] and must not alias a or b. This is the shape of dX = dY·Wᵀ with W
+// stored [in,out], and of attention scores Q·Kᵀ.
+func MatMulTB(dst, a, b *Tensor) { matmulNT(dst, a, b, false) }
+
+// MatMulTBAcc computes dst += a·bᵀ.
+func MatMulTBAcc(dst, a, b *Tensor) { matmulNT(dst, a, b, true) }
+
+// MatMulTA computes dst = aᵀ·b where a is [k,m] and b is [k,n]. dst must be
+// [m,n] and must not alias a or b. This is the shape of dW = Xᵀ·dY.
+func MatMulTA(dst, a, b *Tensor) { matmulTN(dst, a, b, false) }
+
+// MatMulTAAcc computes dst += aᵀ·b.
+func MatMulTAAcc(dst, a, b *Tensor) { matmulTN(dst, a, b, true) }
+
+func matmulNN(dst, a, b *Tensor, acc bool) {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		ad, bd, dd := a.Data, b.Data, dst.Data
+		if !acc {
+			for i := lo; i < hi; i++ {
+				row := dd[i*n : (i+1)*n]
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		// i-k-j loop with k panels: streams b rows, accumulates into dst row.
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				drow := dd[i*n : (i+1)*n]
+				for p := k0; p < k1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := bd[p*n : (p+1)*n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+func matmulNT(dst, a, b *Tensor, acc bool) {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulTB shapes %v x %vᵀ -> %v", a.shape, b.shape, dst.shape))
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		ad, bd, dd := a.Data, b.Data, dst.Data
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			drow := dd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				if acc {
+					drow[j] += s
+				} else {
+					drow[j] = s
+				}
+			}
+		}
+	})
+}
+
+func matmulTN(dst, a, b *Tensor, acc bool) {
+	k, m := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulTA shapes %vᵀ x %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	// Parallelise over output rows (columns of a) so workers never write the
+	// same dst element.
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		ad, bd, dd := a.Data, b.Data, dst.Data
+		if !acc {
+			for i := lo; i < hi; i++ {
+				row := dd[i*n : (i+1)*n]
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		for p := 0; p < k; p++ {
+			arow := ad[p*m : (p+1)*m]
+			brow := bd[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := dd[i*n : (i+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0,rows) into contiguous chunks across GOMAXPROCS
+// workers when the problem is large enough, else runs fn(0,rows) inline.
+func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference kernel tests compare against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.Data[i*k+p]) * float64(b.Data[p*n+j])
+			}
+			out.Data[i*n+j] = float32(s)
+		}
+	}
+	return out
+}
+
+func approxEqual(t *testing.T, got, want *Tensor, tol float64, name string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d != %d", name, got.Size(), want.Size())
+	}
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > tol {
+			t.Fatalf("%s: elem %d: got %v want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulSmallExact(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if dst.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", dst.Data, want)
+		}
+	}
+}
+
+func TestMatMulMatchesNaiveVariousShapes(t *testing.T) {
+	rng := NewRNG(7)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {17, 65, 33}, {64, 64, 64}, {1, 128, 1}, {100, 1, 100}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		b := New(k, n)
+		FillNormal(a, rng, 1)
+		FillNormal(b, rng, 1)
+		dst := New(m, n)
+		MatMul(dst, a, b)
+		approxEqual(t, dst, naiveMatMul(a, b), 1e-3*float64(k), "MatMul")
+	}
+}
+
+func TestMatMulTBMatchesNaive(t *testing.T) {
+	rng := NewRNG(8)
+	for _, s := range [][3]int{{3, 5, 4}, {16, 70, 9}, {65, 64, 65}} {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		b := New(n, k) // will be transposed
+		FillNormal(a, rng, 1)
+		FillNormal(b, rng, 1)
+		bt := New(k, n)
+		Transpose(bt, b)
+		dst := New(m, n)
+		MatMulTB(dst, a, b)
+		approxEqual(t, dst, naiveMatMul(a, bt), 1e-3*float64(k), "MatMulTB")
+	}
+}
+
+func TestMatMulTAMatchesNaive(t *testing.T) {
+	rng := NewRNG(9)
+	for _, s := range [][3]int{{3, 5, 4}, {16, 70, 9}, {65, 64, 65}} {
+		m, k, n := s[0], s[1], s[2]
+		a := New(k, m) // will be transposed
+		b := New(k, n)
+		FillNormal(a, rng, 1)
+		FillNormal(b, rng, 1)
+		at := New(m, k)
+		Transpose(at, a)
+		dst := New(m, n)
+		MatMulTA(dst, a, b)
+		approxEqual(t, dst, naiveMatMul(at, b), 1e-3*float64(k), "MatMulTA")
+	}
+}
+
+func TestMatMulAccAccumulates(t *testing.T) {
+	rng := NewRNG(10)
+	a := New(4, 6)
+	b := New(6, 5)
+	FillNormal(a, rng, 1)
+	FillNormal(b, rng, 1)
+	base := naiveMatMul(a, b)
+
+	dst := New(4, 5)
+	MatMul(dst, a, b)
+	MatMulAcc(dst, a, b)
+	twice := base.Clone()
+	Scale(twice, base, 2)
+	approxEqual(t, dst, twice, 1e-3, "MatMulAcc")
+
+	// TB / TA acc variants
+	bt := New(5, 6)
+	Transpose(bt, b)
+	dst2 := New(4, 5)
+	MatMulTB(dst2, a, bt)
+	MatMulTBAcc(dst2, a, bt)
+	approxEqual(t, dst2, twice, 1e-3, "MatMulTBAcc")
+
+	at := New(6, 4)
+	Transpose(at, a)
+	dst3 := New(4, 5)
+	MatMulTA(dst3, at, b)
+	MatMulTAAcc(dst3, at, b)
+	approxEqual(t, dst3, twice, 1e-3, "MatMulTAAcc")
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	dst := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(dst, a, b)
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, exercised through the three kernels.
+func TestMatMulTransposeIdentityProperty(t *testing.T) {
+	rng := NewRNG(11)
+	f := func(mi, ki, ni uint8) bool {
+		m := int(mi%8) + 1
+		k := int(ki%8) + 1
+		n := int(ni%8) + 1
+		a := New(m, k)
+		b := New(k, n)
+		FillNormal(a, rng, 1)
+		FillNormal(b, rng, 1)
+		ab := New(m, n)
+		MatMul(ab, a, b)
+		abT := New(n, m)
+		Transpose(abT, ab)
+		// Bᵀ·Aᵀ via MatMulTA(Aᵀ from a) — compute directly: (bᵀ)(aᵀ) with
+		// MatMulTA(dst, b, a) is aᵀ-shaped mismatch, so use explicit transposes.
+		bt := New(n, k)
+		Transpose(bt, b)
+		at := New(k, m)
+		Transpose(at, a)
+		btat := New(n, m)
+		MatMul(btat, bt, at)
+		for i := range abT.Data {
+			if math.Abs(float64(abT.Data[i]-btat.Data[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := NewRNG(1)
+	x := New(256, 256)
+	y := New(256, 256)
+	FillNormal(x, rng, 1)
+	FillNormal(y, rng, 1)
+	dst := New(256, 256)
+	b.SetBytes(256 * 256 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}

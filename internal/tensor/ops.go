@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes dst = a + b elementwise. dst may alias a or b.
+func Add(dst, a, b *Tensor) {
+	checkSameSize3(dst, a, b, "Add")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise. dst may alias a or b.
+func Sub(dst, a, b *Tensor) {
+	checkSameSize3(dst, a, b, "Sub")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Mul computes dst = a * b elementwise (Hadamard). dst may alias a or b.
+func Mul(dst, a, b *Tensor) {
+	checkSameSize3(dst, a, b, "Mul")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale computes dst = s * a. dst may alias a.
+func Scale(dst, a *Tensor, s float32) {
+	checkSameSize2(dst, a, "Scale")
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+// Axpy computes dst += s * a.
+func Axpy(dst *Tensor, s float32, a *Tensor) {
+	checkSameSize2(dst, a, "Axpy")
+	for i := range dst.Data {
+		dst.Data[i] += s * a.Data[i]
+	}
+}
+
+// AddInto computes dst += a.
+func AddInto(dst, a *Tensor) {
+	checkSameSize2(dst, a, "AddInto")
+	for i := range dst.Data {
+		dst.Data[i] += a.Data[i]
+	}
+}
+
+// Dot returns the inner product of a and b in float64.
+func Dot(a, b *Tensor) float64 {
+	checkSameSize2(a, b, "Dot")
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// SiLU computes dst = a * sigmoid(a). dst may alias a.
+func SiLU(dst, a *Tensor) {
+	checkSameSize2(dst, a, "SiLU")
+	for i, v := range a.Data {
+		dst.Data[i] = v * sigmoid(v)
+	}
+}
+
+// SiLUBackward computes dst = dy * d(silu)/dx evaluated at x.
+// dst may alias dy but not x.
+func SiLUBackward(dst, x, dy *Tensor) {
+	checkSameSize3(dst, x, dy, "SiLUBackward")
+	for i, v := range x.Data {
+		s := sigmoid(v)
+		dst.Data[i] = dy.Data[i] * (s + v*s*(1-s))
+	}
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(v))))
+}
+
+// SoftmaxRows computes a numerically stable softmax over each row of the
+// canonical 2-D view of a, writing into dst. dst may alias a.
+func SoftmaxRows(dst, a *Tensor) {
+	checkSameSize2(dst, a, "SoftmaxRows")
+	c := a.Cols()
+	r := a.Rows()
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		out := dst.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - maxv)))
+			out[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1.0 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+// SoftmaxRowsBackward computes dx for y = softmax(x) row-wise given y and dy:
+// dx = y ⊙ (dy − sum(dy ⊙ y)). dst may alias dy.
+func SoftmaxRowsBackward(dst, y, dy *Tensor) {
+	checkSameSize3(dst, y, dy, "SoftmaxRowsBackward")
+	c := y.Cols()
+	r := y.Rows()
+	for i := 0; i < r; i++ {
+		yr := y.Data[i*c : (i+1)*c]
+		dyr := dy.Data[i*c : (i+1)*c]
+		out := dst.Data[i*c : (i+1)*c]
+		var dot float64
+		for j := range yr {
+			dot += float64(yr[j]) * float64(dyr[j])
+		}
+		d := float32(dot)
+		for j := range yr {
+			out[j] = yr[j] * (dyr[j] - d)
+		}
+	}
+}
+
+// Transpose writes aᵀ of the canonical 2-D view of a into dst, which must
+// have Cols()==a.Rows() and Rows()==a.Cols(). dst must not alias a.
+func Transpose(dst, a *Tensor) {
+	r, c := a.Rows(), a.Cols()
+	if dst.Rows() != c || dst.Cols() != r {
+		panic(fmt.Sprintf("tensor: Transpose dst %v incompatible with src %v", dst.shape, a.shape))
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			dst.Data[j*r+i] = a.Data[i*c+j]
+		}
+	}
+}
+
+func checkSameSize2(a, b *Tensor, op string) {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+func checkSameSize3(a, b, c *Tensor, op string) {
+	if a.Size() != b.Size() || a.Size() != c.Size() {
+		panic(fmt.Sprintf("tensor: %s size mismatch %v, %v, %v", op, a.shape, b.shape, c.shape))
+	}
+}

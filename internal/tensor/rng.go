@@ -1,0 +1,79 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic PRNG (splitmix64 core) used for reproducible
+// parameter initialisation and synthetic data. It is deliberately independent
+// of math/rand so that seeds produce identical streams across Go versions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the spare is discarded to keep the stream position predictable).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Split returns a new independent generator derived from this one, used to
+// give each module its own stream so initialisation is order-independent.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// FillNormal fills t with N(0, std²) values.
+func FillNormal(t *Tensor, r *RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+}
+
+// FillXavier fills t (viewed as [fanIn, fanOut]) with Xavier-uniform values.
+func FillXavier(t *Tensor, r *RNG) {
+	fanIn, fanOut := t.Rows(), t.Cols()
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.Data {
+		t.Data[i] = float32((2*r.Float64() - 1) * limit)
+	}
+}
+
+// FillUniform fills t with uniform values in [lo, hi).
+func FillUniform(t *Tensor, r *RNG, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + r.Float64()*(hi-lo))
+	}
+}

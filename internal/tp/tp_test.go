@@ -1,0 +1,205 @@
+package tp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/pipeline"
+	"weipipe/internal/tensor"
+)
+
+func tpCfg() model.Config {
+	return model.Config{Vocab: 13, Hidden: 8, Layers: 3, Heads: 4, FFNDim: 12, MaxSeq: 6, Seed: 11}
+}
+
+func adamCfg() optim.AdamWConfig {
+	c := optim.DefaultAdamW(0.01)
+	c.Eps = 1e-5
+	return c
+}
+
+// runTP trains one iteration on tpSize ranks and returns each rank's loss
+// and worker.
+func runTP(t *testing.T, tpSize, iters int) ([]float64, []*Worker) {
+	t.Helper()
+	cluster := comm.NewCluster(tpSize)
+	workers := make([]*Worker, tpSize)
+	losses := make([]float64, tpSize)
+	errs := make([]error, tpSize)
+	var wg sync.WaitGroup
+	for r := 0; r < tpSize; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := New(cluster.Transport(r), tpCfg())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			w.SetAdam(adamCfg())
+			workers[r] = w
+			for i := 0; i < iters; i++ {
+				batches := data.Microbatches(uint64(30+i), 4, 2, 13, 6)
+				losses[r], errs[r] = w.TrainIteration(batches)
+				if errs[r] != nil {
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return losses, workers
+}
+
+// serialRef trains the serial reference on identical data.
+func serialRef(t *testing.T, iters int) (*pipeline.Serial, []float64) {
+	t.Helper()
+	s := pipeline.NewSerial(tpCfg(), pipeline.Options{Adam: adamCfg()})
+	var losses []float64
+	for i := 0; i < iters; i++ {
+		batches := data.Microbatches(uint64(30+i), 4, 2, 13, 6)
+		loss, err := s.TrainIteration(batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	return s, losses
+}
+
+func TestTPLossMatchesSerial(t *testing.T) {
+	for _, tpSize := range []int{2, 4} {
+		losses, _ := runTP(t, tpSize, 1)
+		_, ref := serialRef(t, 1)
+		for r := range losses {
+			if math.Abs(losses[r]-ref[0]) > 1e-5 {
+				t.Errorf("T=%d rank %d: loss %.6f vs serial %.6f", tpSize, r, losses[r], ref[0])
+			}
+		}
+	}
+}
+
+func TestTPWeightsMatchSerialAfterStep(t *testing.T) {
+	const iters = 2
+	_, workers := runTP(t, 2, iters)
+	ref, _ := serialRef(t, iters)
+
+	// Reassemble full weights of every layer (needs both ranks running the
+	// gathers concurrently).
+	cfg := tpCfg()
+	for li := 0; li < cfg.Layers; li++ {
+		fulls := make([]map[string]*tensor.Tensor, 2)
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				fulls[r], errs[r] = workers[r].FullBlockWeights(li)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d gather: %v", r, err)
+			}
+		}
+		refBlock := ref.Model().Blocks[li]
+		want := map[string]*tensor.Tensor{
+			"wq": refBlock.Attn.Wq, "wk": refBlock.Attn.Wk, "wv": refBlock.Attn.Wv,
+			"wo": refBlock.Attn.Wo, "w1": refBlock.Ffn.W1, "w3": refBlock.Ffn.W3,
+			"w2": refBlock.Ffn.W2, "norm1.g": refBlock.Norm1.Gain, "norm2.g": refBlock.Norm2.Gain,
+		}
+		for name, wantT := range want {
+			got := fulls[0][name]
+			if got.Size() != wantT.Size() {
+				t.Fatalf("layer %d %s: size %d vs %d", li, name, got.Size(), wantT.Size())
+			}
+			for i := range got.Data {
+				if d := math.Abs(float64(got.Data[i] - wantT.Data[i])); d > 5e-4 {
+					t.Fatalf("layer %d %s[%d]: tp %v vs serial %v", li, name, i, got.Data[i], wantT.Data[i])
+				}
+			}
+			// both ranks must reassemble identically
+			for i := range got.Data {
+				if got.Data[i] != fulls[1][name].Data[i] {
+					t.Fatalf("layer %d %s: ranks disagree at %d", li, name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTPReplicatedParamsStayInSync(t *testing.T) {
+	_, workers := runTP(t, 2, 2)
+	a := workers[0].embed.Params().Flatten()
+	b := workers[1].embed.Params().Flatten()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("embedding diverged at %d", i)
+		}
+	}
+	ha := workers[0].head.Params().Flatten()
+	hb := workers[1].head.Params().Flatten()
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("head diverged at %d", i)
+		}
+	}
+}
+
+func TestTPTrafficIsActivationSized(t *testing.T) {
+	// TP's all-reduces move activation-sized tensors four times per layer
+	// per microbatch — the bandwidth hunger the paper contrasts WeiPipe
+	// against. Verify the traffic scales with G·S.
+	cluster := comm.NewCluster(2)
+	run := func(g, s int) int64 {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		before := cluster.Stats(0).TotalSentBytes() + cluster.Stats(1).TotalSentBytes()
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				cfg := tpCfg()
+				cfg.MaxSeq = s
+				w, err := New(cluster.Transport(r), cfg)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				w.SetAdam(adamCfg())
+				_, errs[r] = w.TrainIteration(data.Microbatches(9, 2, g, 13, s))
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cluster.Stats(0).TotalSentBytes() + cluster.Stats(1).TotalSentBytes() - before
+	}
+	base := run(2, 6)
+	bigS := run(2, 12)
+	if bigS < base*18/10 {
+		t.Fatalf("TP traffic did not scale with S: %d vs %d", bigS, base)
+	}
+}
+
+func TestTPRejectsIndivisibleShapes(t *testing.T) {
+	cluster := comm.NewCluster(3)
+	if _, err := New(cluster.Transport(0), tpCfg()); err == nil {
+		t.Fatal("4 heads on 3 ranks accepted")
+	}
+}

@@ -1,0 +1,212 @@
+// Package weipipe is a from-scratch Go reproduction of "WeiPipe: Weight
+// Pipeline Parallelism for Communication-Effective Long-Context Large Model
+// Training" (PPoPP 2025).
+//
+// It bundles two cooperating systems behind one API:
+//
+//   - A functional distributed-training runtime: goroutine (or TCP) ranks
+//     train a real Llama-style transformer on CPU under WeiPipe-Naive,
+//     WeiPipe-Interleave, WZB1, WZB2 and every baseline the paper compares
+//     against (GPipe, 1F1B, ZB1, ZB2, FSDP/ZeRO-3, DP). All strategies are
+//     verified to produce the serial reference's gradients.
+//
+//   - A deterministic performance simulator that models A800 GPUs on
+//     NVLink/PCIe/Ethernet rings and regenerates every table and figure of
+//     the paper's evaluation (see internal/bench and cmd/weipipe-bench).
+//
+// RunCluster/NewTrainer drive the first system, Simulate the second; the
+// cmd/ tools and examples/ directory show both in use. Beyond the paper,
+// the module also provides tensor and sequence parallelism (internal/tp,
+// internal/sp), hybrid WeiPipe×DP rings (NewHybridTrainer), checkpointing,
+// and sampling-based generation.
+package weipipe
+
+import (
+	"weipipe/internal/checkpoint"
+	"weipipe/internal/cluster"
+	"weipipe/internal/comm"
+	"weipipe/internal/cost"
+	"weipipe/internal/data"
+	"weipipe/internal/generate"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/pipeline"
+	"weipipe/internal/schedule"
+	"weipipe/internal/sim"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Config describes a Llama-style model (vocab, hidden, layers, heads…).
+	Config = model.Config
+	// Model is a built transformer.
+	Model = model.Model
+	// Options configures training (optimizer, recomputation, wire precision).
+	Options = pipeline.Options
+	// Strategy names a parallel training strategy.
+	Strategy = pipeline.Strategy
+	// Trainer runs training iterations for one rank.
+	Trainer = pipeline.Trainer
+	// Batch is one microbatch of token sequences and next-token targets.
+	Batch = data.Batch
+	// Workload parameterises the performance model (H, S, G, L, N, P).
+	Workload = cost.Workload
+	// Topology is a ring of workers with per-link bandwidth and latency.
+	Topology = cluster.Topology
+	// GPUSpec describes an accelerator for the performance model.
+	GPUSpec = cluster.GPUSpec
+	// Transport is the message fabric a rank communicates over.
+	Transport = comm.Transport
+	// ClusterResult is the outcome of RunCluster.
+	ClusterResult = pipeline.ClusterResult
+)
+
+// The training strategies.
+const (
+	Serial            = pipeline.StrategySerial
+	DP                = pipeline.StrategyDP
+	FSDP              = pipeline.StrategyFSDP
+	GPipe             = pipeline.StrategyGPipe
+	OneFOneB          = pipeline.Strategy1F1B
+	ZB1               = pipeline.StrategyZB1
+	ZB2               = pipeline.StrategyZB2
+	WeiPipeNaive      = pipeline.StrategyWeiPipeNaive
+	WeiPipeInterleave = pipeline.StrategyWeiPipeInterleave
+	WZB1              = pipeline.StrategyWZB1
+	WZB2              = pipeline.StrategyWZB2
+)
+
+// Strategies lists every distributed strategy.
+func Strategies() []Strategy { return pipeline.Strategies() }
+
+// DefaultOptions returns training options with the paper's AdamW
+// hyperparameters at the given learning rate.
+func DefaultOptions(lr float64) Options {
+	return Options{Adam: optim.DefaultAdamW(lr)}
+}
+
+// NewTrainer builds a trainer for one rank on transport t. Every rank must
+// pass the same cfg (models are rebuilt from the seed, never broadcast).
+func NewTrainer(s Strategy, t Transport, cfg Config, opts Options) (Trainer, error) {
+	return pipeline.New(s, t, cfg, opts)
+}
+
+// NewInprocCluster returns p connected in-process transports (rank order).
+func NewInprocCluster(p int) []Transport {
+	return comm.NewCluster(p).Transports()
+}
+
+// DialTCP joins a TCP mesh; addrs lists every rank's listen address.
+func DialTCP(rank int, addrs []string) (Transport, error) {
+	return comm.DialTCP(rank, addrs)
+}
+
+// LoopbackAddrs allocates n free loopback addresses for a local TCP mesh.
+func LoopbackAddrs(n int) ([]string, error) { return comm.LoopbackAddrs(n) }
+
+// RunCluster trains iters iterations of strategy s on p in-process ranks
+// and returns losses plus the assembled final weights.
+func RunCluster(s Strategy, p int, cfg Config, opts Options, iters int,
+	batchesFn func(iter int) []Batch) (*ClusterResult, error) {
+	return pipeline.RunCluster(s, p, cfg, opts, iters, batchesFn)
+}
+
+// Microbatches generates the n deterministic microbatches of one iteration.
+func Microbatches(seed uint64, n, g, vocab, seq int) []Batch {
+	return data.Microbatches(seed, n, g, vocab, seq)
+}
+
+// A800 returns the paper's GPU spec.
+func A800() GPUSpec { return cluster.A800() }
+
+// Topology presets (see internal/cluster for details).
+var (
+	NVLinkSingle      = cluster.NVLinkSingle
+	NVLinkTwoClusters = cluster.NVLinkTwoClusters
+	PCIeEthernet      = cluster.PCIeEthernet
+	NVLinkEthernet    = cluster.NVLinkEthernet
+)
+
+// SimResult summarises one performance simulation.
+type SimResult struct {
+	// TokensPerSecPerGPU is the modelled training throughput.
+	TokensPerSecPerGPU float64
+	// IterationSeconds is the simulated iteration wall time.
+	IterationSeconds float64
+	// BubbleRatio is the compute-idle fraction.
+	BubbleRatio float64
+	// MemoryGB is the modelled peak per-worker memory.
+	MemoryGB float64
+	// OOM is set when the workload exceeds the GPU budget (other fields
+	// except MemoryGB are zero).
+	OOM bool
+}
+
+// Simulate runs the performance model for one strategy on one workload and
+// topology using the paper's A800 GPUs.
+func Simulate(s Strategy, w Workload, top Topology) (SimResult, error) {
+	w = w.WithDefaults()
+	gpu := cluster.A800()
+	out := SimResult{MemoryGB: w.MemoryBytes(string(s)) / (1 << 30)}
+	if !w.FitsMemory(string(s), gpu) {
+		out.OOM = true
+		return out, nil
+	}
+	tasks, err := schedule.Build(string(s), schedule.Spec{W: w, GPU: gpu, Top: top, Overlap: true})
+	if err != nil {
+		return out, err
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		return out, err
+	}
+	out.IterationSeconds = res.Makespan
+	out.TokensPerSecPerGPU = w.Tokens() / (res.Makespan * float64(w.P))
+	out.BubbleRatio = res.BubbleRatio()
+	return out, nil
+}
+
+// BuildModel constructs a model from cfg (deterministic in cfg.Seed).
+func BuildModel(cfg Config) *Model { return model.Build(cfg) }
+
+// LoadWeights writes a flat parameter vector (e.g. ClusterResult.Weights)
+// into a model built with the matching config.
+func LoadWeights(m *Model, weights []float32) {
+	m.SetChunk(0, len(m.Modules), weights)
+}
+
+// GenOptions controls sampling in Generate.
+type GenOptions = generate.Options
+
+// Generate extends prompt by n sampled tokens using the trained model.
+func Generate(m *Model, prompt []int, n int, opts GenOptions) ([]int, error) {
+	return generate.Generate(m, prompt, n, opts)
+}
+
+// Snapshot is a serialisable training state (weights + named sections).
+type Snapshot = checkpoint.Snapshot
+
+// SnapshotModel captures a model's weights into a snapshot.
+func SnapshotModel(m *Model) *Snapshot { return checkpoint.FromModel(m) }
+
+// SaveCheckpoint writes a snapshot to path (atomic temp-file rename).
+func SaveCheckpoint(path string, s *Snapshot) error { return checkpoint.Save(path, s) }
+
+// LoadCheckpoint reads a snapshot from path, verifying its checksum.
+func LoadCheckpoint(path string) (*Snapshot, error) { return checkpoint.Load(path) }
+
+// NewHybridTrainer builds a 2-D WeiPipe×DP trainer: the world splits into
+// rings of wpSize workers (data-parallel replicas); chunk owners all-reduce
+// their accumulated gradients across replicas once per iteration. See
+// pipeline.WeiPipeDP.
+func NewHybridTrainer(t Transport, cfg Config, opts Options, wpSize int) (Trainer, error) {
+	return pipeline.NewWeiPipeDP(t, cfg, opts, pipeline.WeiPipeInterleave, wpSize)
+}
+
+// Simulator-only strategies (no functional Trainer): tensor and sequence
+// parallelism, implemented functionally in internal/tp and internal/sp and
+// modelled for Simulate under these names.
+const (
+	TP Strategy = "tp"
+	SP Strategy = "sp"
+)
