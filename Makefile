@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/comm/... ./internal/pipeline/...
+
+# check is the pre-merge gate: static analysis plus the race detector over the
+# packages with real concurrency (kernel worker pool, transports, pipeline
+# schedules).
+check: vet race
+
+bench:
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/
+	$(GO) test -bench BenchmarkBlock -benchmem -run NONE ./internal/nn/

@@ -1,0 +1,76 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Payload buffer recycling. Every Send copies its payload at the boundary
+// (isolation between ranks), which in a training iteration means thousands of
+// multi-kilobyte allocations for weight, gradient and activation payloads.
+// The pool recycles those buffers through size-classed sync.Pools: Send draws
+// its copy from the pool, and receivers hand exhausted payloads back with
+// Release once they have folded them into local state.
+//
+// Classes grow by powers of two from bufMinLen elements; a buffer is filed
+// under the largest class not exceeding its capacity, so anything fetched
+// from class c is guaranteed to hold bufMinLen<<c elements.
+
+const (
+	bufMinLen     = 64
+	bufNumClasses = 22 // largest class: 64<<21 ≈ 134M floats (536 MB)
+)
+
+var bufPools [bufNumClasses]sync.Pool
+
+// bufClassCeil returns the smallest class whose guaranteed capacity holds n
+// elements, or bufNumClasses if n exceeds every class.
+func bufClassCeil(n int) int {
+	if n <= bufMinLen {
+		return 0
+	}
+	return bits.Len(uint(n-1) >> 6)
+}
+
+// bufClassFloor returns the largest class whose guaranteed capacity is at
+// most c elements, or -1 if c is below the smallest class.
+func bufClassFloor(c int) int {
+	if c < bufMinLen {
+		return -1
+	}
+	f := bits.Len(uint(c)>>6) - 1
+	if f >= bufNumClasses {
+		f = bufNumClasses - 1
+	}
+	return f
+}
+
+// GetBuf returns a length-n buffer with arbitrary contents, recycled from the
+// pool when one is available. The caller owns it until it is passed to
+// Release (or retained forever). Callers must overwrite all n elements.
+func GetBuf(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	if c := bufClassCeil(n); c < bufNumClasses {
+		if v := bufPools[c].Get(); v != nil {
+			return (*v.(*[]float32))[:n]
+		}
+		return make([]float32, n, bufMinLen<<c)
+	}
+	return make([]float32, n)
+}
+
+// Release hands a payload buffer back to the transport pool for reuse by a
+// later Send. The caller must own buf exclusively and must not touch it
+// afterwards. Payloads that were retained — wrapped in a tensor that outlives
+// the call, or returned to other code — must never be released. Releasing
+// foreign buffers is safe but pointless; nil and tiny buffers are dropped.
+func Release(buf []float32) {
+	c := bufClassFloor(cap(buf))
+	if c < 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	bufPools[c].Put(&buf)
+}

@@ -54,6 +54,7 @@ func RingAllReduceSum(t Transport, data []float32, seq int) error {
 		for i := range dst {
 			dst[i] += buf[i]
 		}
+		Release(buf)
 	}
 	// Phase 2: all-gather the reduced shards.
 	for step := 0; step < p-1; step++ {
@@ -69,6 +70,7 @@ func RingAllReduceSum(t Transport, data []float32, seq int) error {
 		}
 		rg := shards[recvID]
 		copy(data[rg[0]:rg[1]], buf)
+		Release(buf)
 	}
 	return nil
 }
@@ -102,6 +104,7 @@ func ReduceScatterSum(t Transport, data []float32, seq int) ([]float32, error) {
 		for i := range dst {
 			dst[i] += buf[i]
 		}
+		Release(buf)
 	}
 	// After p−1 steps this rank holds the full sum of shard (r+1) mod p, and
 	// shard r sits on rank r−1 — rotate one more hop forward so rank r owns
@@ -156,6 +159,7 @@ func AllGather(t Transport, mine []float32, shardLens []int, seq int) ([]float32
 			return nil, err
 		}
 		copy(out[offsets[recvID]:offsets[recvID+1]], buf)
+		Release(buf)
 	}
 	return out, nil
 }

@@ -70,7 +70,9 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 		return fmt.Errorf("comm: send to invalid rank %d", dst)
 	}
 	// Copy at the send boundary: the receiver must never alias our buffer.
-	payload := make([]float32, len(data))
+	// The copy is drawn from the payload pool; the receiver gives it back
+	// with Release once consumed.
+	payload := GetBuf(len(data))
 	copy(payload, data)
 	t.stats.record(tag.Kind, len(data))
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)

@@ -165,7 +165,7 @@ func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
 			t.box.close()
 			return
 		}
-		payload := make([]float32, n)
+		payload := GetBuf(n)
 		for i := range payload {
 			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 		}
@@ -187,7 +187,7 @@ func (t *TCPTransport) Send(dst int, tag Tag, data []float32) error {
 	t.stats.record(tag.Kind, len(data))
 	if dst == t.rank {
 		// self-send: deliver locally, same copy semantics
-		payload := make([]float32, len(data))
+		payload := GetBuf(len(data))
 		copy(payload, data)
 		t.box.deliver(msgKey{src: t.rank, tag: tag}, payload)
 		return nil

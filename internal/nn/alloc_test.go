@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"testing"
+
+	"weipipe/internal/tensor"
+)
+
+// Steady-state Block passes with an arena-backed cache must not allocate.
+// The shapes are kept below the matmul parallel threshold so every kernel
+// runs inline; the first iterations grow the arena to its high-water mark
+// and build the sub-cache tree, after which each round only reuses them.
+func TestBlockForwardSteadyStateZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	const h, heads, f, s = 32, 2, 64, 8
+	rope := NewRopeTable(s, h/heads)
+	blk := NewBlock("b", h, heads, f, rope, rng)
+	x := tensor.New(s, h)
+	tensor.FillUniform(x, rng, -1, 1)
+
+	arena := tensor.NewArena()
+	cache := NewCache(1, s)
+	cache.Arena = arena
+
+	// Warm up: arena growth, sub-cache creation, stash-map sizing.
+	for i := 0; i < 3; i++ {
+		arena.Reset()
+		blk.Forward(x, cache)
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		arena.Reset()
+		blk.Forward(x, cache)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Block.Forward allocates %v times per run, want 0", allocs)
+	}
+}
+
+// The full fwd + B + W round must also be allocation-free once the gradient
+// sub-views are memoized.
+func TestBlockTrainStepSteadyStateAllocBound(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	const h, heads, f, s = 32, 2, 64, 8
+	rope := NewRopeTable(s, h/heads)
+	blk := NewBlock("b", h, heads, f, rope, rng)
+	x := tensor.New(s, h)
+	tensor.FillUniform(x, rng, -1, 1)
+	dy := tensor.New(s, h)
+	dy.Fill(0.01)
+	grads := blk.Params().NewLike()
+
+	arena := tensor.NewArena()
+	cache := NewCache(1, s)
+	cache.Arena = arena
+
+	for i := 0; i < 3; i++ {
+		arena.Reset()
+		blk.Forward(x, cache)
+		blk.BackwardInput(dy, cache)
+		blk.BackwardParams(cache, grads)
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		arena.Reset()
+		blk.Forward(x, cache)
+		blk.BackwardInput(dy, cache)
+		blk.BackwardParams(cache, grads)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state train step allocates %v times per run, want 0", allocs)
+	}
+}

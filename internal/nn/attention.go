@@ -77,9 +77,9 @@ func (a *Attention) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	d := a.HeadDim
 	tokens := g * s
 
-	q := tensor.New(tokens, width)
-	k := tensor.New(tokens, width)
-	v := tensor.New(tokens, width)
+	q := alloc(cache, tokens, width)
+	k := alloc(cache, tokens, width)
+	v := alloc(cache, tokens, width)
 	tensor.MatMul(q, x, a.Wq)
 	tensor.MatMul(k, x, a.Wk)
 	tensor.MatMul(v, x, a.Wv)
@@ -89,15 +89,15 @@ func (a *Attention) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	}
 
 	// probs[(gi*Heads+hi)*S + i][j] = attention weight of query i on key j.
-	probs := tensor.New(g*a.Heads*s, s)
-	ctx := tensor.New(tokens, width)
+	probs := alloc(cache, g*a.Heads*s, s)
+	ctx := alloc(cache, tokens, width)
 	scale := float32(1.0 / math.Sqrt(float64(d)))
 
-	qh := tensor.New(s, d)
-	kh := tensor.New(s, d)
-	vh := tensor.New(s, d)
-	scores := tensor.New(s, s)
-	ctxh := tensor.New(s, d)
+	qh := alloc(cache, s, d)
+	kh := alloc(cache, s, d)
+	vh := alloc(cache, s, d)
+	scores := alloc(cache, s, s)
+	ctxh := alloc(cache, s, d)
 	for gi := 0; gi < g; gi++ {
 		for hi := 0; hi < a.Heads; hi++ {
 			gatherHead(qh, q, gi, hi, s, d, width)
@@ -113,14 +113,14 @@ func (a *Attention) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 					row[j] = negInf
 				}
 			}
-			ph := probs.SliceRows((gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
+			ph := sliceRows(cache, probs, (gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
 			tensor.SoftmaxRows(ph, scores)
 			tensor.MatMul(ctxh, ph, vh)
 			scatterHead(ctx, ctxh, gi, hi, s, d, width)
 		}
 	}
 
-	out := tensor.New(tokens, inDim)
+	out := alloc(cache, tokens, inDim)
 	tensor.MatMul(out, ctx, a.Wo)
 
 	cache.X = x
@@ -146,29 +146,29 @@ func (a *Attention) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tenso
 	v := cache.Get("v")
 	probs := cache.Get("probs")
 
-	dctx := tensor.New(tokens, width)
+	dctx := alloc(cache, tokens, width)
 	tensor.MatMulTB(dctx, dy, a.Wo) // dctx = dy·Woᵀ
 
-	dq := tensor.New(tokens, width)
-	dk := tensor.New(tokens, width)
-	dv := tensor.New(tokens, width)
+	dq := alloc(cache, tokens, width)
+	dk := alloc(cache, tokens, width)
+	dv := alloc(cache, tokens, width)
 
-	qh := tensor.New(s, d)
-	kh := tensor.New(s, d)
-	vh := tensor.New(s, d)
-	dctxh := tensor.New(s, d)
-	dp := tensor.New(s, s)
-	ds := tensor.New(s, s)
-	dqh := tensor.New(s, d)
-	dkh := tensor.New(s, d)
-	dvh := tensor.New(s, d)
+	qh := alloc(cache, s, d)
+	kh := alloc(cache, s, d)
+	vh := alloc(cache, s, d)
+	dctxh := alloc(cache, s, d)
+	dp := alloc(cache, s, s)
+	ds := alloc(cache, s, s)
+	dqh := alloc(cache, s, d)
+	dkh := alloc(cache, s, d)
+	dvh := alloc(cache, s, d)
 	for gi := 0; gi < g; gi++ {
 		for hi := 0; hi < a.Heads; hi++ {
 			gatherHead(qh, q, gi, hi, s, d, width)
 			gatherHead(kh, k, gi, hi, s, d, width)
 			gatherHead(vh, v, gi, hi, s, d, width)
 			gatherHead(dctxh, dctx, gi, hi, s, d, width)
-			ph := probs.SliceRows((gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
+			ph := sliceRows(cache, probs, (gi*a.Heads+hi)*s, (gi*a.Heads+hi+1)*s)
 
 			tensor.MatMulTB(dp, dctxh, vh)  // dp = dctx·vᵀ
 			tensor.MatMulTA(dvh, ph, dctxh) // dv = pᵀ·dctx
@@ -191,7 +191,7 @@ func (a *Attention) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tenso
 		a.rope.ApplyAll(dk, s, a.Heads, -1)
 	}
 
-	dx := tensor.New(tokens, inDim)
+	dx := alloc(cache, tokens, inDim)
 	tensor.MatMulTB(dx, dq, a.Wq)
 	tensor.MatMulTBAcc(dx, dk, a.Wk)
 	tensor.MatMulTBAcc(dx, dv, a.Wv)

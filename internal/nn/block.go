@@ -16,6 +16,14 @@ type Block struct {
 	Norm2  *RMSNorm
 	Ffn    *FFN
 	params *ParamSet
+
+	// One-entry memo of the per-sub-layer views of the last gradient set seen
+	// by BackwardParams. Pipeline runners accumulate every microbatch of an
+	// iteration into one ParamSet, so the views are rebuilt once per
+	// iteration instead of once per W pass (which would allocate in the
+	// steady-state hot path).
+	lastGrads *ParamSet
+	gradViews [4]*ParamSet
 }
 
 // NewBlock builds a transformer layer with hidden size h, the given head
@@ -54,12 +62,12 @@ func (b *Block) Params() *ParamSet { return b.params }
 func (b *Block) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	x1 := b.Norm1.Forward(x, cache.Sub("norm1"))
 	ao := b.Attn.Forward(x1, cache.Sub("attn"))
-	y := tensor.New(x.Shape()...)
+	y := alloc(cache, x.Shape()...)
 	tensor.Add(y, x, ao)
 
 	y1 := b.Norm2.Forward(y, cache.Sub("norm2"))
 	fo := b.Ffn.Forward(y1, cache.Sub("ffn"))
-	z := tensor.New(x.Shape()...)
+	z := alloc(cache, x.Shape()...)
 	tensor.Add(z, y, fo)
 
 	cache.X = x
@@ -71,23 +79,39 @@ func (b *Block) BackwardInput(dz *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	// FFN residual branch: z = y + ffn(norm2(y)).
 	dy1 := b.Ffn.BackwardInput(dz, cache.Sub("ffn"))
 	dyFfn := b.Norm2.BackwardInput(dy1, cache.Sub("norm2"))
-	dy := tensor.New(dz.Shape()...)
+	dy := alloc(cache, dz.Shape()...)
 	tensor.Add(dy, dz, dyFfn)
 
 	// Attention residual branch: y = x + attn(norm1(x)).
 	dx1 := b.Attn.BackwardInput(dy, cache.Sub("attn"))
 	dxAttn := b.Norm1.BackwardInput(dx1, cache.Sub("norm1"))
-	dx := tensor.New(dz.Shape()...)
+	dx := alloc(cache, dz.Shape()...)
 	tensor.Add(dx, dy, dxAttn)
 	return dx
 }
 
 // BackwardParams implements Module (W pass).
 func (b *Block) BackwardParams(cache *Cache, grads *ParamSet) {
-	b.Norm1.BackwardParams(cache.Sub("norm1"), subGrads(grads, "norm1."))
-	b.Attn.BackwardParams(cache.Sub("attn"), subGrads(grads, "attn."))
-	b.Norm2.BackwardParams(cache.Sub("norm2"), subGrads(grads, "norm2."))
-	b.Ffn.BackwardParams(cache.Sub("ffn"), subGrads(grads, "ffn."))
+	v := b.views(grads)
+	b.Norm1.BackwardParams(cache.Sub("norm1"), v[0])
+	b.Attn.BackwardParams(cache.Sub("attn"), v[1])
+	b.Norm2.BackwardParams(cache.Sub("norm2"), v[2])
+	b.Ffn.BackwardParams(cache.Sub("ffn"), v[3])
+}
+
+// views returns the memoized sub-layer views of grads, rebuilding them only
+// when a different gradient set is presented.
+func (b *Block) views(grads *ParamSet) *[4]*ParamSet {
+	if b.lastGrads != grads {
+		b.gradViews = [4]*ParamSet{
+			subGrads(grads, "norm1."),
+			subGrads(grads, "attn."),
+			subGrads(grads, "norm2."),
+			subGrads(grads, "ffn."),
+		}
+		b.lastGrads = grads
+	}
+	return &b.gradViews
 }
 
 // subGrads returns a view of grads restricted to names with the given

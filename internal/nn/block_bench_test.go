@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"testing"
+
+	"weipipe/internal/tensor"
+)
+
+// benchBlock builds a small transformer block plus the input/cache/grads
+// state a steady-state training step reuses.
+func benchBlock() (*Block, *tensor.Tensor, *ParamSet) {
+	rng := tensor.NewRNG(7)
+	const h, heads, f, s = 128, 4, 256, 64
+	rope := NewRopeTable(s, h/heads)
+	blk := NewBlock("b", h, heads, f, rope, rng)
+	x := tensor.New(s, h)
+	tensor.FillUniform(x, rng, -1, 1)
+	grads := blk.Params().NewLike()
+	return blk, x, grads
+}
+
+func BenchmarkBlockForwardBackward(b *testing.B) {
+	blk, x, grads := benchBlock()
+	arena := tensor.NewArena()
+	cache := NewCache(1, x.Rows())
+	cache.Arena = arena
+	dy := tensor.New(x.Shape()...)
+	dy.Fill(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		out := blk.Forward(x, cache)
+		dx := blk.BackwardInput(dy, cache)
+		blk.BackwardParams(cache, grads)
+		_, _ = out, dx
+	}
+}
+
+// BenchmarkBlockForwardBackwardNoArena is the pre-arena allocation path kept
+// as a comparison point: every intermediate comes from tensor.New.
+func BenchmarkBlockForwardBackwardNoArena(b *testing.B) {
+	blk, x, grads := benchBlock()
+	cache := NewCache(1, x.Rows())
+	dy := tensor.New(x.Shape()...)
+	dy.Fill(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := blk.Forward(x, cache)
+		dx := blk.BackwardInput(dy, cache)
+		blk.BackwardParams(cache, grads)
+		_, _ = out, dx
+	}
+}

@@ -18,6 +18,11 @@ type Cache struct {
 	// X is the module input, saved by Forward (the only thing kept when
 	// recomputation is enabled — see Block.ForwardCheckpointed).
 	X *tensor.Tensor
+	// Arena, when non-nil, supplies every tensor the module allocates during
+	// its forward and backward passes. The owner (a pipeline runner) resets
+	// it once the microbatch's W pass has consumed the stash; with a nil
+	// arena modules fall back to fresh heap tensors. Sub-caches inherit it.
+	Arena *tensor.Arena
 
 	stash    map[string]*tensor.Tensor
 	children map[string]*Cache
@@ -76,7 +81,27 @@ func (c *Cache) Sub(name string) *Cache {
 	child, ok := c.children[name]
 	if !ok {
 		child = NewCache(c.G, c.S)
+		child.Arena = c.Arena
 		c.children[name] = child
 	}
 	return child
+}
+
+// alloc returns a scratch tensor from the cache's arena, or a fresh heap
+// tensor when no arena is attached. Modules route every intermediate through
+// it so steady-state training steps reuse buffers instead of allocating.
+func alloc(c *Cache, shape ...int) *tensor.Tensor {
+	if c.Arena != nil {
+		return c.Arena.New(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// sliceRows returns a row view of t, recycling the view header through the
+// cache's arena when one is attached.
+func sliceRows(c *Cache, t *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	if c.Arena != nil {
+		return c.Arena.SliceRows(t, lo, hi)
+	}
+	return t.SliceRows(lo, hi)
 }

@@ -35,8 +35,9 @@ func (e *Embedding) ForwardTokens(tokens [][]int, cache *Cache) *tensor.Tensor {
 	s := len(tokens[0])
 	h := e.W.Cols()
 	v := e.W.Rows()
-	out := tensor.New(g*s, h)
-	flat := make([]float32, g*s) // token ids as float payload for the cache
+	out := alloc(cache, g*s, h)
+	toks := alloc(cache, g*s) // token ids as float payload for the cache
+	flat := toks.Data
 	for gi, seq := range tokens {
 		for si, tok := range seq {
 			if tok < 0 || tok >= v {
@@ -46,7 +47,7 @@ func (e *Embedding) ForwardTokens(tokens [][]int, cache *Cache) *tensor.Tensor {
 			flat[gi*s+si] = float32(tok)
 		}
 	}
-	cache.Put("tokens", tensor.FromSlice(flat, g*s))
+	cache.Put("tokens", toks)
 	return out
 }
 
@@ -58,7 +59,7 @@ func (e *Embedding) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	toks := cache.Get("tokens")
 	h := e.W.Cols()
 	n := toks.Size()
-	out := tensor.New(n, h)
+	out := alloc(cache, n, h)
 	for i := 0; i < n; i++ {
 		tok := int(toks.Data[i])
 		copy(out.Data[i*h:(i+1)*h], e.W.Data[tok*h:(tok+1)*h])

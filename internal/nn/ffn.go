@@ -48,16 +48,16 @@ func (m *FFN) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	f := m.W1.Cols()
 	h := m.W2.Cols()
 
-	u := tensor.New(rows, f)
-	up := tensor.New(rows, f)
+	u := alloc(cache, rows, f)
+	up := alloc(cache, rows, f)
 	tensor.MatMul(u, x, m.W1)
 	tensor.MatMul(up, x, m.W3)
 
-	hid := tensor.New(rows, f)
+	hid := alloc(cache, rows, f)
 	tensor.SiLU(hid, u)
 	tensor.Mul(hid, hid, up)
 
-	y := tensor.New(rows, h)
+	y := alloc(cache, rows, h)
 	tensor.MatMul(y, hid, m.W2)
 
 	cache.X = x
@@ -75,19 +75,19 @@ func (m *FFN) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	rows := x.Rows()
 	f := m.W1.Cols()
 
-	dhid := tensor.New(rows, f)
+	dhid := alloc(cache, rows, f)
 	tensor.MatMulTB(dhid, dy, m.W2) // dhid = dy·W2ᵀ
 
 	// hid = silu(u) ⊙ up
-	dup := tensor.New(rows, f)
+	dup := alloc(cache, rows, f)
 	tensor.SiLU(dup, u)        // reuse: silu(u)
 	tensor.Mul(dup, dup, dhid) // dup = dhid ⊙ silu(u)
 
-	du := tensor.New(rows, f)
+	du := alloc(cache, rows, f)
 	tensor.Mul(du, dhid, up)       // dhid ⊙ up
 	tensor.SiLUBackward(du, u, du) // du = (dhid⊙up) · silu'(u)
 
-	dx := tensor.New(rows, x.Cols())
+	dx := alloc(cache, rows, x.Cols())
 	tensor.MatMulTB(dx, du, m.W1)
 	tensor.MatMulTBAcc(dx, dup, m.W3)
 

@@ -49,9 +49,9 @@ func (o *OutputHead) ForwardLoss(x *tensor.Tensor, targets [][]int, cache *Cache
 	normed := o.Norm.Forward(x, cache.Sub("norm"))
 	n := x.Rows()
 	v := o.W.Cols()
-	logits := tensor.New(n, v)
+	logits := alloc(cache, n, v)
 	tensor.MatMul(logits, normed, o.W)
-	probs := tensor.New(n, v)
+	probs := alloc(cache, n, v)
 	tensor.SoftmaxRows(probs, logits)
 
 	g := len(targets)
@@ -59,7 +59,8 @@ func (o *OutputHead) ForwardLoss(x *tensor.Tensor, targets [][]int, cache *Cache
 	if g*s != n {
 		panic("nn: targets shape mismatch")
 	}
-	flat := make([]float32, n)
+	tgt := alloc(cache, n)
+	flat := tgt.Data
 	var loss float64
 	for gi := 0; gi < g; gi++ {
 		for si := 0; si < s; si++ {
@@ -78,7 +79,7 @@ func (o *OutputHead) ForwardLoss(x *tensor.Tensor, targets [][]int, cache *Cache
 	cache.X = x
 	cache.Put("normed", normed)
 	cache.Put("probs", probs)
-	cache.Put("targets", tensor.FromSlice(flat, n))
+	cache.Put("targets", tgt)
 	return loss / float64(n)
 }
 
@@ -107,7 +108,8 @@ func (o *OutputHead) BackwardFromLoss(cache *Cache) *tensor.Tensor {
 	tgt := cache.Get("targets")
 	n := probs.Rows()
 	v := probs.Cols()
-	dlogits := probs.Clone()
+	dlogits := alloc(cache, n, v)
+	dlogits.CopyFrom(probs)
 	invN := float32(1.0 / float64(n))
 	if o.LossScale != 0 {
 		invN *= o.LossScale
@@ -120,7 +122,7 @@ func (o *OutputHead) BackwardFromLoss(cache *Cache) *tensor.Tensor {
 		}
 	}
 
-	dnormed := tensor.New(n, o.W.Rows())
+	dnormed := alloc(cache, n, o.W.Rows())
 	tensor.MatMulTB(dnormed, dlogits, o.W)
 	dx := o.Norm.BackwardInput(dnormed, cache.Sub("norm"))
 
@@ -146,7 +148,7 @@ func (o *OutputHead) BackwardParams(cache *Cache, grads *ParamSet) {
 // the inference path used by generation.
 func (o *OutputHead) ForwardLogits(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	normed := o.Norm.Forward(x, cache.Sub("norm"))
-	logits := tensor.New(x.Rows(), o.W.Cols())
+	logits := alloc(cache, x.Rows(), o.W.Cols())
 	tensor.MatMul(logits, normed, o.W)
 	return logits
 }

@@ -38,8 +38,8 @@ func (m *RMSNorm) Params() *ParamSet { return m.params }
 func (m *RMSNorm) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	h := m.Gain.Size()
 	rows := x.Size() / h
-	y := tensor.New(rows, h)
-	inv := tensor.New(rows) // 1/rms per row
+	y := alloc(cache, rows, h)
+	inv := alloc(cache, rows) // 1/rms per row
 	g := m.Gain.Data
 	for i := 0; i < rows; i++ {
 		xr := x.Data[i*h : (i+1)*h]
@@ -67,7 +67,7 @@ func (m *RMSNorm) BackwardInput(dy *tensor.Tensor, cache *Cache) *tensor.Tensor 
 	x := cache.X
 	inv := cache.Get("inv")
 	rows := x.Size() / h
-	dx := tensor.New(rows, h)
+	dx := alloc(cache, rows, h)
 	g := m.Gain.Data
 	for i := 0; i < rows; i++ {
 		xr := x.Data[i*h : (i+1)*h]

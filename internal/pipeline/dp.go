@@ -15,21 +15,23 @@ import (
 // microbatches, and ring-all-reduces the flat gradient before every rank
 // takes the identical optimizer step.
 type DP struct {
-	t    Transport
-	mdl  *model.Model
-	opt  *optim.AdamW
-	opts Options
-	seq  int // collective sequence counter (identical across ranks)
+	t     Transport
+	mdl   *model.Model
+	opt   *optim.AdamW
+	opts  Options
+	seq   int // collective sequence counter (identical across ranks)
+	arena *tensor.Arena
 }
 
 // NewDP builds a DP trainer for this rank.
 func NewDP(t Transport, cfg model.Config, opts Options) (*DP, error) {
 	mdl := model.Build(cfg)
 	return &DP{
-		t:    t,
-		mdl:  mdl,
-		opt:  optim.NewAdamW(mdl.NumParams(), opts.Adam),
-		opts: opts,
+		t:     t,
+		mdl:   mdl,
+		opt:   optim.NewAdamW(mdl.NumParams(), opts.Adam),
+		opts:  opts,
+		arena: tensor.NewArena(),
 	}, nil
 }
 
@@ -47,12 +49,13 @@ func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
 	grads := newGrads(d.mdl)
 	var lossSum float64
 	for _, b := range mine {
-		caches := newCaches(0, nMods, b.G(), b.S())
+		caches := newCaches(0, nMods, b.G(), b.S(), d.arena)
 		_, loss := forwardRange(d.mdl, 0, nMods, nil, b, caches, d.opts.Recompute)
 		lossSum += loss
 		var dy *tensor.Tensor
 		backwardRangeB(d.mdl, 0, nMods, dy, caches, d.opts.Recompute)
 		backwardRangeW(d.mdl, 0, nMods, caches, grads)
+		d.arena.Reset()
 	}
 
 	total := d.mdl.NumParams()

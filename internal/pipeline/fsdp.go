@@ -25,6 +25,7 @@ type FSDP struct {
 	opts   []*optim.AdamW
 	o      Options
 	seq    int
+	arena  *tensor.Arena
 }
 
 // NewFSDP builds an FSDP trainer for this rank.
@@ -32,7 +33,7 @@ func NewFSDP(t Transport, cfg model.Config, o Options) (*FSDP, error) {
 	mdl := model.Build(cfg)
 	p := t.Size()
 	r := t.Rank()
-	f := &FSDP{t: t, mdl: mdl, o: o}
+	f := &FSDP{t: t, mdl: mdl, o: o, arena: tensor.NewArena()}
 	for i := range mdl.Modules {
 		size := mdl.ModuleParamSize(i)
 		full := make([]float32, size)
@@ -82,7 +83,7 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 	var lossSum float64
 
 	for _, b := range mine {
-		caches := newCaches(0, nMods, b.G(), b.S())
+		caches := newCaches(0, nMods, b.G(), b.S(), f.arena)
 
 		// Forward: gather each module just in time; the buffer is
 		// overwritten by the next gather, which is FSDP's "free".
@@ -112,6 +113,7 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 			dy = f.mdl.Modules[i].BackwardInput(dy, c)
 			f.mdl.Modules[i].BackwardParams(c, grads[i])
 		}
+		f.arena.Reset()
 	}
 
 	// Reduce-scatter each module's gradient into the owned shards.

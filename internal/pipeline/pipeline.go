@@ -211,13 +211,45 @@ func backwardRangeW(mdl *model.Model, lo, hi int, caches []*nn.Cache, grads []*n
 	}
 }
 
-// newCaches allocates one cache per module in [lo, hi).
-func newCaches(lo, hi, g, s int) []*nn.Cache {
+// newCaches allocates one cache per module in [lo, hi), all drawing scratch
+// from arena (which may be nil for heap allocation). The runner that owns
+// arena must not reset it before the last module's W pass has consumed the
+// stashes.
+func newCaches(lo, hi, g, s int, arena *tensor.Arena) []*nn.Cache {
 	out := make([]*nn.Cache, hi-lo)
 	for i := range out {
 		out[i] = nn.NewCache(g, s)
+		out[i].Arena = arena
 	}
 	return out
+}
+
+// arenaPool recycles per-microbatch scratch arenas: a runner acquires one
+// arena per in-flight microbatch and returns it (reset) once that
+// microbatch's W passes have finished, so the number of live arenas tracks
+// the schedule's peak microbatch concurrency and steady-state steps reuse
+// the same buffers.
+type arenaPool struct {
+	free []*tensor.Arena
+}
+
+func (ap *arenaPool) acquire() *tensor.Arena {
+	if n := len(ap.free); n > 0 {
+		a := ap.free[n-1]
+		ap.free = ap.free[:n-1]
+		return a
+	}
+	return tensor.NewArena()
+}
+
+// release resets a and returns it to the pool. Every tensor allocated from a
+// must be dead: the caller has finished the owning microbatch's W pass.
+func (ap *arenaPool) release(a *tensor.Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	ap.free = append(ap.free, a)
 }
 
 // newGrads allocates a gradient set per module of mdl (nil-safe access by

@@ -29,6 +29,13 @@ type ppBase struct {
 	grads  []*nn.ParamSet
 	lossMB map[int]float64
 	seq    int
+
+	// arenas holds each in-flight microbatch's scratch arena, acquired at
+	// forward time and released (reset + pooled) after the W pass. The pool
+	// therefore holds as many arenas as the schedule's peak in-flight
+	// microbatch count (N for GPipe, warm-up depth for 1F1B/ZB).
+	arenas map[int]*tensor.Arena
+	apool  arenaPool
 }
 
 func newPPBase(t Transport, cfg model.Config, opts Options) (*ppBase, error) {
@@ -59,6 +66,7 @@ func (p *ppBase) beginIteration() {
 	p.caches = make(map[int][]*nn.Cache)
 	p.grads = newGrads(p.mdl)
 	p.lossMB = make(map[int]float64)
+	p.arenas = make(map[int]*tensor.Arena)
 }
 
 // hidden returns the boundary activation width (the hidden size).
@@ -75,7 +83,9 @@ func (p *ppBase) forwardMB(m int, b data.Batch, recompute bool) error {
 		}
 		x = tensor.FromSlice(payload, b.G()*b.S(), p.hidden())
 	}
-	caches := newCaches(p.lo, p.hi, b.G(), b.S())
+	arena := p.apool.acquire()
+	p.arenas[m] = arena
+	caches := newCaches(p.lo, p.hi, b.G(), b.S(), arena)
 	p.caches[m] = caches
 	out, loss := forwardRange(p.mdl, p.lo, p.hi, x, b, caches, recompute)
 	if p.isLast() {
@@ -109,6 +119,8 @@ func (p *ppBase) backwardMBInput(m int, b data.Batch, recompute bool) error {
 func (p *ppBase) backwardMBParams(m int) {
 	backwardRangeW(p.mdl, p.lo, p.hi, p.caches[m], p.grads)
 	delete(p.caches, m)
+	p.apool.release(p.arenas[m])
+	delete(p.arenas, m)
 }
 
 // step averages this stage's accumulated gradients over n microbatches,

@@ -16,15 +16,19 @@ type Serial struct {
 	mdl  *model.Model
 	opt  *optim.AdamW
 	opts Options
+	// arena supplies every per-microbatch intermediate; with one microbatch
+	// in flight at a time it is reset as soon as the W pass has run.
+	arena *tensor.Arena
 }
 
 // NewSerial builds the reference trainer.
 func NewSerial(cfg model.Config, opts Options) *Serial {
 	mdl := model.Build(cfg)
 	return &Serial{
-		mdl:  mdl,
-		opt:  optim.NewAdamW(mdl.NumParams(), opts.Adam),
-		opts: opts,
+		mdl:   mdl,
+		opt:   optim.NewAdamW(mdl.NumParams(), opts.Adam),
+		opts:  opts,
+		arena: tensor.NewArena(),
 	}
 }
 
@@ -40,12 +44,13 @@ func (s *Serial) TrainIteration(batches []data.Batch) (float64, error) {
 	}
 	var lossSum float64
 	for _, b := range batches {
-		caches := newCaches(0, n, b.G(), b.S())
+		caches := newCaches(0, n, b.G(), b.S(), s.arena)
 		_, loss := forwardRange(s.mdl, 0, n, nil, b, caches, s.opts.Recompute)
 		lossSum += loss
 		var dy *tensor.Tensor
 		backwardRangeB(s.mdl, 0, n, dy, caches, s.opts.Recompute)
 		backwardRangeW(s.mdl, 0, n, caches, grads)
+		s.arena.Reset() // grads live on the heap; all scratch is now dead
 	}
 	s.step(grads, len(batches))
 	return lossSum / float64(len(batches)), nil
@@ -82,9 +87,10 @@ func (s *Serial) Loss(batches []data.Batch) float64 {
 	n := len(s.mdl.Modules)
 	var sum float64
 	for _, b := range batches {
-		caches := newCaches(0, n, b.G(), b.S())
+		caches := newCaches(0, n, b.G(), b.S(), s.arena)
 		_, loss := forwardRange(s.mdl, 0, n, nil, b, caches, false)
 		sum += loss
+		s.arena.Reset()
 	}
 	return sum / float64(len(batches))
 }

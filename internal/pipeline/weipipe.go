@@ -98,6 +98,11 @@ type WeiPipe struct {
 
 	iter int
 	curR int // rounds in the current iteration (N/P)
+
+	// apool recycles per-microbatch scratch arenas across rounds and
+	// iterations; at most R microbatches of this worker are in flight, so the
+	// pool stabilises at that many arenas.
+	apool arenaPool
 }
 
 // Belt identifiers used in wire tags.
@@ -156,6 +161,7 @@ type wpState struct {
 	fwdX       map[int]*tensor.Tensor // boundary activations (forward cursor)
 	bwdDy      map[int]*tensor.Tensor // boundary gradients (backward cursor)
 	wRemaining map[int]int            // W passes left before caches release
+	arenas     map[int]*tensor.Arena  // scratch arena, released with caches
 	lossSum    float64
 }
 
@@ -174,11 +180,12 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		fwdX:       make(map[int]*tensor.Tensor),
 		bwdDy:      make(map[int]*tensor.Tensor),
 		wRemaining: make(map[int]int),
+		arenas:     make(map[int]*tensor.Arena),
 	}
 
 	// Inject the owned chunk into both belts; the first user of every belt
 	// chunk is worker 0 at use index 0.
-	payload := make([]float32, len(w.masterW))
+	payload := comm.GetBuf(len(w.masterW))
 	copy(payload, w.masterW)
 	maybeRoundF16(w.opts, payload)
 	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload); err != nil {
@@ -187,6 +194,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload); err != nil {
 		return 0, err
 	}
+	comm.Release(payload) // Send copies; our injection buffer is dead
 
 	var err error
 	switch w.variant {
@@ -235,6 +243,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		}
 	}
 	w.opt.Step(w.masterW, d)
+	comm.Release(d)
 	// Reflect the update in the local replica buffer so Model() exposes
 	// this worker's post-step chunk.
 	lo, hi := w.chunkRange(w.ownChunk)
@@ -378,10 +387,11 @@ func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
 	lo, hi := w.chunkRange(c)
 	w.mdl.SetChunk(lo, hi, payload)
 	if use < w.totalUses()-1 {
-		return w.t.Send((w.t.Rank()+1)%w.t.Size(),
+		err = w.t.Send((w.t.Rank()+1)%w.t.Size(),
 			Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use+1)}, payload)
 	}
-	return nil
+	comm.Release(payload)
+	return err
 }
 
 // accumulateAndForwardD folds this worker's local gradient contribution for
@@ -400,6 +410,7 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 		for i := range local {
 			local[i] += d[i]
 		}
+		comm.Release(d)
 	}
 	maybeRoundF16(w.opts, local)
 	if use < w.totalUses()-1 {
@@ -421,7 +432,9 @@ func (w *WeiPipe) fStage(st *wpState, k, c int) error {
 	b := st.batches[mb]
 	caches, ok := st.caches[mb]
 	if !ok {
-		caches = newCaches(0, len(w.mdl.Modules), b.G(), b.S())
+		arena := w.apool.acquire()
+		st.arenas[mb] = arena
+		caches = newCaches(0, len(w.mdl.Modules), b.G(), b.S(), arena)
 		st.caches[mb] = caches
 		st.wRemaining[mb] = w.t.Size()
 	}
@@ -465,15 +478,20 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 		grads[i] = w.mdl.Modules[i].Params().NewLike()
 	}
 	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
-	local := make([]float32, w.mdl.ChunkSize(lo, hi))
+	local := comm.GetBuf(w.mdl.ChunkSize(lo, hi))
 	flattenGradsRange(w.mdl, grads, lo, hi, local)
 	if err := w.accumulateAndForwardD(c, mb, local); err != nil {
 		return err
 	}
+	comm.Release(local)
 	st.wRemaining[mb]--
 	if st.wRemaining[mb] == 0 {
 		delete(st.caches, mb)
 		delete(st.wRemaining, mb)
+		// The microbatch's boundary tensors (fwdX/bwdDy) and stashes are all
+		// dead now; its scratch arena can be recycled for the next round.
+		w.apool.release(st.arenas[mb])
+		delete(st.arenas, mb)
 	}
 	return nil
 }

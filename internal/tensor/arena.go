@@ -1,0 +1,121 @@
+package tensor
+
+import "sync"
+
+// Arena is a scratch allocator for training hot paths. It hands out tensors
+// backed by reusable buffers with get/reset semantics: allocations between
+// two Resets never alias each other, and Reset recycles every buffer for the
+// next round without freeing, so a steady-state training step performs no
+// heap allocation once the arena has grown to the step's high-water mark.
+//
+// Positional reuse: the n-th allocation after a Reset reuses the n-th slot's
+// buffer (grown if needed) and the same Tensor header, which is what makes
+// the steady state allocation-free — a training step requests the same
+// shapes in the same order every time.
+//
+// Reset invalidates every tensor handed out since the previous Reset; the
+// caller must ensure none of them is still live. Concurrent New/SliceRows
+// calls from multiple goroutines are safe (slot hand-out is mutex-guarded);
+// Reset must not run concurrently with allocation.
+type Arena struct {
+	mu    sync.Mutex
+	slots []*arenaSlot
+	next  int
+}
+
+// arenaSlot pairs a recycled Tensor header with its backing buffer. View
+// slots leave buf untouched (their header points into another tensor).
+type arenaSlot struct {
+	t   *Tensor
+	buf []float32
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// New returns a zero-filled tensor with the given shape, reusing the next
+// slot's buffer and header. Semantically identical to tensor.New except for
+// the Reset lifetime.
+func (a *Arena) New(shape ...int) *Tensor {
+	n := 1
+	ok := len(shape) > 0
+	for _, d := range shape {
+		if d <= 0 {
+			ok = false
+		}
+		n *= d
+	}
+	if !ok {
+		panic("tensor: Arena.New with empty or non-positive shape")
+	}
+	s := a.take()
+	if cap(s.buf) < n {
+		s.buf = make([]float32, n)
+	}
+	buf := s.buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	t := s.t
+	t.Data = buf
+	t.shape = setShape(t.shape, shape)
+	return t
+}
+
+// SliceRows returns a view of rows [lo, hi) of t's canonical 2-D view,
+// using a recycled header instead of allocating one like Tensor.SliceRows.
+// The view shares t's storage and dies with the arena's next Reset.
+func (a *Arena) SliceRows(t *Tensor, lo, hi int) *Tensor {
+	c := t.Cols()
+	if lo < 0 || hi > t.Rows() || lo > hi {
+		panic("tensor: Arena.SliceRows out of range")
+	}
+	s := a.take()
+	v := s.t
+	v.Data = t.Data[lo*c : hi*c : hi*c]
+	if cap(v.shape) < 2 {
+		v.shape = make([]int, 2)
+	}
+	v.shape = v.shape[:2]
+	v.shape[0] = hi - lo
+	v.shape[1] = c
+	return v
+}
+
+// Reset recycles every slot. All tensors handed out since the previous Reset
+// become invalid: their storage will be handed out again.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	a.next = 0
+	a.mu.Unlock()
+}
+
+// Slots reports how many slots the arena has grown to (its high-water mark).
+func (a *Arena) Slots() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.slots)
+}
+
+// take claims the next slot, growing the slot list if needed.
+func (a *Arena) take() *arenaSlot {
+	a.mu.Lock()
+	if a.next == len(a.slots) {
+		a.slots = append(a.slots, &arenaSlot{t: &Tensor{}})
+	}
+	s := a.slots[a.next]
+	a.next++
+	a.mu.Unlock()
+	return s
+}
+
+// setShape copies shape into dst, reusing dst's backing array when possible
+// (so the incoming variadic slice never escapes to the heap).
+func setShape(dst, shape []int) []int {
+	if cap(dst) < len(shape) {
+		dst = make([]int, len(shape))
+	}
+	dst = dst[:len(shape)]
+	copy(dst, shape)
+	return dst
+}

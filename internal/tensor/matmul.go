@@ -1,17 +1,17 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // parallelThreshold is the approximate FLOP count below which matmuls run on
-// the calling goroutine. Small problems are dominated by goroutine dispatch.
+// the calling goroutine. Small problems are dominated by dispatch overhead.
 const parallelThreshold = 1 << 17
 
-// blockK is the k-panel size of the cache-blocked kernel.
+// blockK is the k-panel size of the cache-blocked NN/TN kernels.
 const blockK = 64
+
+// blockN is the j-block width of the NN/TN kernels: the dst row segment and
+// the four active b row segments stay resident in L1 while a k panel streams.
+const blockN = 256
 
 // MatMul computes dst = a·b where a is [m,k] and b is [k,n] under the
 // canonical 2-D views. dst must be [m,n] and must not alias a or b.
@@ -35,44 +35,47 @@ func MatMulTA(dst, a, b *Tensor) { matmulTN(dst, a, b, false) }
 // MatMulTAAcc computes dst += aᵀ·b.
 func MatMulTAAcc(dst, a, b *Tensor) { matmulTN(dst, a, b, true) }
 
+// mmKind selects the concrete kernel of a dispatched matmul.
+type mmKind uint8
+
+const (
+	mmNN mmKind = iota
+	mmNT
+	mmTN
+)
+
+// mmArgs carries a kernel invocation by value through the worker pool, so a
+// dispatch allocates nothing: no closures are formed and the tensor data is
+// referenced through plain slices.
+type mmArgs struct {
+	kind       mmKind
+	acc        bool
+	ad, bd, dd []float32
+	m, n, k    int
+}
+
+// run executes the kernel over dst rows [lo, hi). Every dst element is
+// produced by a fixed-order accumulation that depends only on the shapes,
+// never on the chunking, so parallel and serial runs are bitwise identical.
+func (g *mmArgs) run(lo, hi int) {
+	switch g.kind {
+	case mmNN:
+		mmNNRange(g, lo, hi)
+	case mmNT:
+		mmNTRange(g, lo, hi)
+	case mmTN:
+		mmTNRange(g, lo, hi)
+	}
+}
+
 func matmulNN(dst, a, b *Tensor, acc bool) {
 	m, k := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v -> %v", a.shape, b.shape, dst.shape))
 	}
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		ad, bd, dd := a.Data, b.Data, dst.Data
-		if !acc {
-			for i := lo; i < hi; i++ {
-				row := dd[i*n : (i+1)*n]
-				for j := range row {
-					row[j] = 0
-				}
-			}
-		}
-		// i-k-j loop with k panels: streams b rows, accumulates into dst row.
-		for k0 := 0; k0 < k; k0 += blockK {
-			k1 := k0 + blockK
-			if k1 > k {
-				k1 = k
-			}
-			for i := lo; i < hi; i++ {
-				arow := ad[i*k : (i+1)*k]
-				drow := dd[i*n : (i+1)*n]
-				for p := k0; p < k1; p++ {
-					av := arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := bd[p*n : (p+1)*n]
-					for j, bv := range brow {
-						drow[j] += av * bv
-					}
-				}
-			}
-		}
-	})
+	args := mmArgs{kind: mmNN, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	dispatch(&args, m, m*n*k)
 }
 
 func matmulNT(dst, a, b *Tensor, acc bool) {
@@ -81,25 +84,8 @@ func matmulNT(dst, a, b *Tensor, acc bool) {
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulTB shapes %v x %vᵀ -> %v", a.shape, b.shape, dst.shape))
 	}
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		ad, bd, dd := a.Data, b.Data, dst.Data
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			drow := dd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				if acc {
-					drow[j] += s
-				} else {
-					drow[j] = s
-				}
-			}
-		}
-	})
+	args := mmArgs{kind: mmNT, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	dispatch(&args, m, m*n*k)
 }
 
 func matmulTN(dst, a, b *Tensor, acc bool) {
@@ -110,56 +96,184 @@ func matmulTN(dst, a, b *Tensor, acc bool) {
 	}
 	// Parallelise over output rows (columns of a) so workers never write the
 	// same dst element.
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		ad, bd, dd := a.Data, b.Data, dst.Data
-		if !acc {
-			for i := lo; i < hi; i++ {
-				row := dd[i*n : (i+1)*n]
-				for j := range row {
-					row[j] = 0
-				}
-			}
-		}
-		for p := 0; p < k; p++ {
-			arow := ad[p*m : (p+1)*m]
-			brow := bd[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				drow := dd[i*n : (i+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	})
+	args := mmArgs{kind: mmTN, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	dispatch(&args, m, m*n*k)
 }
 
-// parallelRows splits [0,rows) into contiguous chunks across GOMAXPROCS
-// workers when the problem is large enough, else runs fn(0,rows) inline.
-func parallelRows(rows, flops int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if flops < parallelThreshold || workers <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
+// mmNNRange is a j-blocked i-k-j kernel with a 4-wide k unroll: each pass
+// folds four b rows into the dst row segment, quartering dst load/store
+// traffic versus the scalar i-k-j loop. The per-element accumulation order
+// stays ascending in k (Go's left-associative +), matching the scalar loop.
+func mmNNRange(g *mmArgs, lo, hi int) {
+	ad, bd, dd := g.ad, g.bd, g.dd
+	n, k := g.n, g.k
+	if !g.acc {
+		for i := lo; i < hi; i++ {
+			row := dd[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	for j0 := 0; j0 < n; j0 += blockN {
+		j1 := j0 + blockN
+		if j1 > n {
+			j1 = n
+		}
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				drow := dd[i*n+j0 : i*n+j1]
+				p := k0
+				for ; p+3 < k1; p += 4 {
+					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+					b0 := bd[p*n+j0 : p*n+j1]
+					b1 := bd[(p+1)*n+j0 : (p+1)*n+j1]
+					b2 := bd[(p+2)*n+j0 : (p+2)*n+j1]
+					b3 := bd[(p+3)*n+j0 : (p+3)*n+j1]
+					b0 = b0[:len(drow)]
+					b1 = b1[:len(drow)]
+					b2 = b2[:len(drow)]
+					b3 = b3[:len(drow)]
+					for j := range drow {
+						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; p < k1; p++ {
+					av := arow[p]
+					brow := bd[p*n+j0 : p*n+j1]
+					brow = brow[:len(drow)]
+					for j := range drow {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// mmNTRange computes a·bᵀ as row-dot-row products, four b rows at a time:
+// one pass over the a row feeds four independent accumulator chains (one per
+// j column), so each a element loaded is reused across four dot products and
+// the chains hide each other's add latency. Quad columns accumulate in
+// ascending k with a single chain; the j remainder falls back to a
+// 4-accumulator strided dot. Which path an element takes — and therefore its
+// combine order — depends only on the shapes, never on the worker chunking.
+func mmNTRange(g *mmArgs, lo, hi int) {
+	ad, bd, dd := g.ad, g.bd, g.dd
+	n, k := g.n, g.k
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		drow := dd[i*n : (i+1)*n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := bd[j*k : (j+1)*k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			b0 = b0[:len(arow)]
+			b1 = b1[:len(arow)]
+			b2 = b2[:len(arow)]
+			b3 = b3[:len(arow)]
+			var s0, s1, s2, s3 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			if g.acc {
+				drow[j] += s0
+				drow[j+1] += s1
+				drow[j+2] += s2
+				drow[j+3] += s3
+			} else {
+				drow[j] = s0
+				drow[j+1] = s1
+				drow[j+2] = s2
+				drow[j+3] = s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			brow = brow[:len(arow)]
+			var s0, s1, s2, s3 float32
+			p := 0
+			for ; p+3 < len(arow); p += 4 {
+				s0 += arow[p] * brow[p]
+				s1 += arow[p+1] * brow[p+1]
+				s2 += arow[p+2] * brow[p+2]
+				s3 += arow[p+3] * brow[p+3]
+			}
+			s := (s0 + s1) + (s2 + s3)
+			for ; p < len(arow); p++ {
+				s += arow[p] * brow[p]
+			}
+			if g.acc {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// mmTNRange mirrors mmNNRange for aᵀ·b: the four a values per pass are
+// strided loads a[p..p+3][i], amortised over the j block.
+func mmTNRange(g *mmArgs, lo, hi int) {
+	ad, bd, dd := g.ad, g.bd, g.dd
+	m, n, k := g.m, g.n, g.k
+	if !g.acc {
+		for i := lo; i < hi; i++ {
+			row := dd[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	for j0 := 0; j0 < n; j0 += blockN {
+		j1 := j0 + blockN
+		if j1 > n {
+			j1 = n
+		}
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				drow := dd[i*n+j0 : i*n+j1]
+				p := k0
+				for ; p+3 < k1; p += 4 {
+					a0 := ad[p*m+i]
+					a1 := ad[(p+1)*m+i]
+					a2 := ad[(p+2)*m+i]
+					a3 := ad[(p+3)*m+i]
+					b0 := bd[p*n+j0 : p*n+j1]
+					b1 := bd[(p+1)*n+j0 : (p+1)*n+j1]
+					b2 := bd[(p+2)*n+j0 : (p+2)*n+j1]
+					b3 := bd[(p+3)*n+j0 : (p+3)*n+j1]
+					b0 = b0[:len(drow)]
+					b1 = b1[:len(drow)]
+					b2 = b2[:len(drow)]
+					b3 = b3[:len(drow)]
+					for j := range drow {
+						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; p < k1; p++ {
+					av := ad[p*m+i]
+					brow := bd[p*n+j0 : p*n+j1]
+					brow = brow[:len(drow)]
+					for j := range drow {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
 }

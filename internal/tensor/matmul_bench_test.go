@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchShapes are the transformer-typical matmul shapes tracked by the
+// kernel benchmarks: a square projection-sized product and a long-sequence
+// narrow-head product (attention scores / context shapes).
+var benchShapes = []struct{ m, k, n int }{
+	{256, 256, 256},
+	{1024, 64, 1024},
+	{64, 512, 64},
+}
+
+func benchMatMul(b *testing.B, run func(dst, a, bb *Tensor)) {
+	for _, sh := range benchShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+			rng := NewRNG(1)
+			a := New(sh.m, sh.k)
+			bb := New(sh.k, sh.n)
+			dst := New(sh.m, sh.n)
+			FillUniform(a, rng, -1, 1)
+			FillUniform(bb, rng, -1, 1)
+			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulNN(b *testing.B) {
+	benchMatMul(b, MatMul)
+}
+
+// BenchmarkMatMulNT benchmarks dst = a·bᵀ; b is allocated [n,k] so the
+// benchmark exercises the same output shapes as NN.
+func BenchmarkMatMulNT(b *testing.B) {
+	for _, sh := range benchShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+			rng := NewRNG(1)
+			a := New(sh.m, sh.k)
+			bt := New(sh.n, sh.k)
+			dst := New(sh.m, sh.n)
+			FillUniform(a, rng, -1, 1)
+			FillUniform(bt, rng, -1, 1)
+			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTB(dst, a, bt)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulTN benchmarks dst = aᵀ·b; a is allocated [k,m] so the
+// benchmark exercises the same output shapes as NN (the dW = Xᵀ·dY shape).
+func BenchmarkMatMulTN(b *testing.B) {
+	for _, sh := range benchShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+			rng := NewRNG(1)
+			at := New(sh.k, sh.m)
+			bb := New(sh.k, sh.n)
+			dst := New(sh.m, sh.n)
+			FillUniform(at, rng, -1, 1)
+			FillUniform(bb, rng, -1, 1)
+			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTA(dst, at, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	rng := NewRNG(1)
+	a := New(1024, 1024)
+	dst := New(1024, 1024)
+	FillUniform(a, rng, -1, 1)
+	b.SetBytes(1024 * 1024 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(dst, a)
+	}
+}

@@ -134,16 +134,36 @@ func SoftmaxRowsBackward(dst, y, dy *Tensor) {
 	}
 }
 
+// transposeBlock is the square tile edge of the blocked Transpose; a 32×32
+// float32 tile is 4 KB, so source and destination tiles sit in L1 together.
+const transposeBlock = 32
+
 // Transpose writes aᵀ of the canonical 2-D view of a into dst, which must
-// have Cols()==a.Rows() and Rows()==a.Cols(). dst must not alias a.
+// have Cols()==a.Rows() and Rows()==a.Cols(). dst must not alias a. The copy
+// runs tile by tile so both the row-major reads and the column-major writes
+// stay cache-resident, instead of striding the full destination per row.
 func Transpose(dst, a *Tensor) {
 	r, c := a.Rows(), a.Cols()
 	if dst.Rows() != c || dst.Cols() != r {
 		panic(fmt.Sprintf("tensor: Transpose dst %v incompatible with src %v", dst.shape, a.shape))
 	}
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			dst.Data[j*r+i] = a.Data[i*c+j]
+	ad, dd := a.Data, dst.Data
+	for i0 := 0; i0 < r; i0 += transposeBlock {
+		i1 := i0 + transposeBlock
+		if i1 > r {
+			i1 = r
+		}
+		for j0 := 0; j0 < c; j0 += transposeBlock {
+			j1 := j0 + transposeBlock
+			if j1 > c {
+				j1 = c
+			}
+			for i := i0; i < i1; i++ {
+				arow := ad[i*c+j0 : i*c+j1]
+				for jj, v := range arow {
+					dd[(j0+jj)*r+i] = v
+				}
+			}
 		}
 	}
 }

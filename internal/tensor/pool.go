@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The matmul kernels fan work out to a persistent pool of worker goroutines
+// instead of spawning goroutines per call: small and medium matmuls would
+// otherwise pay goroutine-creation latency comparable to their compute time.
+// The pool is started lazily on the first parallel dispatch and sized by
+// GOMAXPROCS at that moment; it lives for the process lifetime.
+//
+// Work items reference a pooled job header (mmJob) so a steady-state dispatch
+// performs no heap allocation: the job headers are recycled through a
+// sync.Pool and the per-chunk tasks are passed by value through the channel.
+//
+// Determinism: a chunk [lo,hi) always computes exactly the per-row results
+// the serial kernel computes — the kernels never accumulate across rows — so
+// results are bitwise identical regardless of worker count or chunking.
+
+// poolTask is one contiguous row-range of a dispatched kernel.
+type poolTask struct {
+	job    *mmJob
+	lo, hi int
+}
+
+// mmJob is the shared state of one dispatch: the kernel arguments plus the
+// completion latch. Recycled via jobPool.
+type mmJob struct {
+	args mmArgs
+	wg   sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan poolTask
+	jobPool  = sync.Pool{New: func() any { return new(mmJob) }}
+)
+
+func startPool() {
+	workers := runtime.GOMAXPROCS(0)
+	poolCh = make(chan poolTask, 4*workers)
+	for i := 0; i < workers; i++ {
+		go poolWorker()
+	}
+}
+
+func poolWorker() {
+	for t := range poolCh {
+		t.job.args.run(t.lo, t.hi)
+		t.job.wg.Done()
+	}
+}
+
+// dispatch runs args over [0, rows) rows, splitting across the worker pool
+// when the problem is large enough. The calling goroutine always executes
+// the first chunk itself, so the pool only ever carries workers-1 tasks per
+// dispatch and the caller never idles while work remains.
+func dispatch(args *mmArgs, rows, flops int) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers <= 1 || rows <= 1 {
+		args.run(0, rows)
+		return
+	}
+	poolOnce.Do(startPool)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	tasks := (rows - 1) / chunk // chunks beyond the caller's first
+	job := jobPool.Get().(*mmJob)
+	job.args = *args
+	job.wg.Add(tasks)
+	for lo := chunk; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		poolCh <- poolTask{job: job, lo: lo, hi: hi}
+	}
+	args.run(0, chunk)
+	job.wg.Wait()
+	jobPool.Put(job)
+}

@@ -42,11 +42,17 @@ func checkShape(shape []int) int {
 		panic("tensor: empty shape")
 	}
 	n := 1
+	bad := false
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dim in shape %v", shape))
+			bad = true
 		}
 		n *= d
+	}
+	if bad {
+		// Copy before formatting: handing shape itself to fmt would make
+		// every caller's variadic shape argument escape to the heap.
+		panic(fmt.Sprintf("tensor: non-positive dim in shape %v", dup(shape)))
 	}
 	return n
 }
@@ -183,12 +189,16 @@ func (t *Tensor) String() string {
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty data).
+// NaNs are ignored, as in the float64 formulation (NaN comparisons are
+// false), but the scan stays in float32 with no conversion per element.
 func (t *Tensor) MaxAbs() float32 {
 	var m float32
 	for _, v := range t.Data {
-		a := float32(math.Abs(float64(v)))
-		if a > m {
-			m = a
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
 		}
 	}
 	return m
@@ -203,10 +213,13 @@ func (t *Tensor) Sum() float64 {
 	return s
 }
 
-// AllFinite reports whether every element is finite (no NaN/Inf).
+// AllFinite reports whether every element is finite (no NaN/Inf). A float32
+// is NaN or Inf exactly when its exponent bits are all ones, so one bit test
+// replaces the float64 round-trip per element.
 func (t *Tensor) AllFinite() bool {
+	const expMask = 0x7f80_0000
 	for _, v := range t.Data {
-		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+		if math.Float32bits(v)&expMask == expMask {
 			return false
 		}
 	}
