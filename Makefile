@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet
+.PHONY: build test check bench race vet chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,22 @@ vet:
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/comm/... ./internal/pipeline/...
 
-# check is the pre-merge gate: static analysis plus the race detector over the
+# chaos runs the fault-injection suite under the race detector: transport
+# chaos (drop/dup/reorder/corrupt/reset), deadline and peer-death paths,
+# frame-decoder fuzz seeds, and the checkpoint-recovery equivalence tests.
+chaos:
+	$(GO) test -race -timeout 300s \
+		-run 'Fault|Chaos|Timeout|PeerDeath|Recovery|Resilient|Crash|Frame|CloseFailsPending|CloseLeaks|DialTimeout' \
+		./internal/comm/ ./internal/pipeline/
+
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime 20s ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime 20s ./internal/comm/
+
+# check is the pre-merge gate: static analysis, the race detector over the
 # packages with real concurrency (kernel worker pool, transports, pipeline
-# schedules).
-check: vet race
+# schedules), and the fault-injection suite.
+check: vet race chaos
 
 bench:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/

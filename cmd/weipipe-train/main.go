@@ -4,7 +4,8 @@
 // paths a multi-machine deployment would use. It supports the full training
 // loop a production run needs: warm-up + cosine learning-rate schedule,
 // global-norm gradient clipping, checkpoint/resume, hybrid WeiPipe×DP
-// rings, and a sampled generation at the end.
+// rings, fault-tolerant execution with periodic coordinated checkpoints and
+// restart-on-failure, and a sampled generation at the end.
 //
 // Examples:
 //
@@ -12,6 +13,9 @@
 //	weipipe-train -p 4 -wp 2 -iters 10                     # 2 replicas × 2-worker rings
 //	weipipe-train -iters 10 -checkpoint /tmp/m.wpck        # save when done
 //	weipipe-train -resume /tmp/m.wpck -iters 5             # continue from a snapshot
+//	weipipe-train -tcp -ckpt-every 5 -max-restarts 3 \
+//	    -checkpoint /tmp/m.wpck                            # survive rank failures
+//	weipipe-train -tcp -chaos 0.05 -stats                  # chaos-test the transport
 package main
 
 import (
@@ -19,11 +23,32 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"weipipe"
 	"weipipe/internal/optim"
 	"weipipe/internal/pipeline"
 )
+
+// runConfig carries every CLI decision into run().
+type runConfig struct {
+	strategy    weipipe.Strategy
+	p, wp       int
+	cfg         weipipe.Config
+	opts        weipipe.Options
+	sched       optim.Schedule
+	iters, n, g int
+	tcp         bool
+	dialTimeout time.Duration
+	chaos       float64
+	chaosSeed   uint64
+	ckptPath    string
+	ckptEvery   int
+	maxRestarts int
+	stats       bool
+	sample      int
+	resumeW     []float32
+}
 
 func main() {
 	strategy := flag.String("strategy", "weipipe-interleave", "training strategy")
@@ -44,7 +69,13 @@ func main() {
 	recompute := flag.Bool("recompute", false, "activation checkpointing")
 	mixed := flag.Bool("mixed", false, "fp16/bf16 wire format")
 	tcp := flag.Bool("tcp", false, "use a TCP mesh on loopback instead of in-process channels")
-	ckpt := flag.String("checkpoint", "", "write a checkpoint here when training finishes")
+	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "TCP mesh bring-up deadline (with -tcp)")
+	chaos := flag.Float64("chaos", 0, "per-frame fault probability for TCP chaos injection: drop, duplicate, reorder (and corrupt at half rate); masked by the reliability layer")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for deterministic chaos injection")
+	ckptEvery := flag.Int("ckpt-every", 0, "take a coordinated full-state checkpoint every n iterations (enables failure recovery)")
+	maxRestarts := flag.Int("max-restarts", 0, "restart from the last checkpoint up to n times after a rank failure")
+	stats := flag.Bool("stats", false, "print per-rank communication and fault statistics at the end")
+	ckpt := flag.String("checkpoint", "", "checkpoint path: periodic saves in recovery mode, final snapshot always")
 	resume := flag.String("resume", "", "resume from this checkpoint (overrides the model flags)")
 	sample := flag.Int("sample", 0, "sample this many tokens from the trained model at the end")
 	flag.Parse()
@@ -73,8 +104,19 @@ func main() {
 		sched = optim.WarmupCosine{Base: *lr, Floor: *lr / 10, Warmup: *warmup, Total: *iters}
 	}
 
-	if err := run(weipipe.Strategy(*strategy), *p, *wp, cfg, opts, sched,
-		*iters, *n, *g, *tcp, *ckpt, *sample, resumeWeights); err != nil {
+	rc := runConfig{
+		strategy: weipipe.Strategy(*strategy), p: *p, wp: *wp,
+		cfg: cfg, opts: opts, sched: sched,
+		iters: *iters, n: *n, g: *g,
+		tcp: *tcp, dialTimeout: *dialTimeout,
+		chaos: *chaos, chaosSeed: *chaosSeed,
+		ckptPath: *ckpt, ckptEvery: *ckptEvery, maxRestarts: *maxRestarts,
+		stats: *stats, sample: *sample, resumeW: resumeWeights,
+	}
+	if rc.chaos > 0 && !rc.tcp {
+		fatal(fmt.Errorf("-chaos injects faults below the TCP reliability layer; it requires -tcp"))
+	}
+	if err := run(rc); err != nil {
 		fatal(err)
 	}
 }
@@ -84,27 +126,74 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(s weipipe.Strategy, p, wp int, cfg weipipe.Config, opts weipipe.Options,
-	sched optim.Schedule, iters, n, g int, tcp bool, ckptPath string, sample int,
-	resumeWeights []float32) error {
+func run(rc runConfig) error {
+	resilient := rc.ckptEvery > 0 || rc.maxRestarts > 0
+	if resilient {
+		if rc.wp > 0 {
+			return fmt.Errorf("recovery mode (-ckpt-every/-max-restarts) does not support hybrid -wp rings yet")
+		}
+		if rc.resumeW != nil {
+			return fmt.Errorf("recovery mode resumes full state from -checkpoint automatically; -resume is for weight-only snapshots")
+		}
+		return runResilient(rc)
+	}
+	return runPlain(rc)
+}
 
-	transports, err := buildTransports(p, tcp)
+// runResilient drives training through the fault-tolerant runner: periodic
+// coordinated checkpoints, clean abort on rank failure, restart from the
+// last checkpoint. An existing full-state file at -checkpoint seeds the run.
+func runResilient(rc runConfig) error {
+	fmt.Printf("training %s on %d workers (fault-tolerant: checkpoint every %d, up to %d restarts): %d iterations × %d microbatches of %d×%d tokens\n",
+		rc.strategy, rc.p, rc.ckptEvery, rc.maxRestarts, rc.iters, rc.n, rc.g, rc.cfg.MaxSeq)
+	res, err := weipipe.RunResilient(rc.strategy, rc.p, rc.cfg, rc.opts, rc.iters,
+		func(iter int) []weipipe.Batch {
+			return weipipe.Microbatches(rc.cfg.Seed+uint64(iter), rc.n, rc.g, rc.cfg.Vocab, rc.cfg.MaxSeq)
+		},
+		func(attempt int) ([]weipipe.Transport, error) {
+			if attempt > 0 {
+				fmt.Printf("rank failure: rebuilding cluster (attempt %d) and resuming from the last checkpoint\n", attempt)
+			}
+			return buildTransports(rc)
+		},
+		weipipe.ResilientOptions{
+			CheckpointEvery: rc.ckptEvery,
+			CheckpointPath:  rc.ckptPath,
+			MaxRestarts:     rc.maxRestarts,
+			LR:              rc.sched.LR,
+			OnIteration: func(iter int, loss float64) {
+				fmt.Printf("iter %3d  lr %.2e  loss %.4f\n", iter, rc.sched.LR(iter), loss)
+			},
+		})
+	if err != nil {
+		return err
+	}
+	if rc.stats {
+		printStats(res.Comm)
+	}
+	return finish(rc, res.Weights)
+}
+
+// runPlain is the direct lock-step loop (no recovery machinery), including
+// hybrid WeiPipe×DP and weight-only resume.
+func runPlain(rc runConfig) error {
+	transports, err := buildTransports(rc)
 	if err != nil {
 		return err
 	}
 
-	trainers := make([]weipipe.Trainer, p)
+	trainers := make([]weipipe.Trainer, rc.p)
 	{
 		var wg sync.WaitGroup
-		errs := make([]error, p)
-		for r := 0; r < p; r++ {
+		errs := make([]error, rc.p)
+		for r := 0; r < rc.p; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				if wp > 0 {
-					trainers[r], errs[r] = weipipe.NewHybridTrainer(transports[r], cfg, opts, wp)
+				if rc.wp > 0 {
+					trainers[r], errs[r] = weipipe.NewHybridTrainer(transports[r], rc.cfg, rc.opts, rc.wp)
 				} else {
-					trainers[r], errs[r] = weipipe.NewTrainer(s, transports[r], cfg, opts)
+					trainers[r], errs[r] = weipipe.NewTrainer(rc.strategy, transports[r], rc.cfg, rc.opts)
 				}
 			}(r)
 		}
@@ -115,34 +204,34 @@ func run(s weipipe.Strategy, p, wp int, cfg weipipe.Config, opts weipipe.Options
 			}
 		}
 	}
-	if resumeWeights != nil {
+	if rc.resumeW != nil {
 		// load the snapshot into every rank's replica buffer; owners pick up
 		// their chunks from it on the next iteration's injection.
 		for _, tr := range trainers {
-			weipipe.LoadWeights(tr.Model(), resumeWeights)
+			weipipe.LoadWeights(tr.Model(), rc.resumeW)
 			if w, ok := tr.(*pipeline.WeiPipe); ok {
 				w.ReloadMasterFromModel()
 			}
 		}
 	}
 
-	mode := string(s)
-	if wp > 0 {
-		mode = fmt.Sprintf("hybrid weipipe×dp (%d rings of %d)", p/wp, wp)
+	mode := string(rc.strategy)
+	if rc.wp > 0 {
+		mode = fmt.Sprintf("hybrid weipipe×dp (%d rings of %d)", rc.p/rc.wp, rc.wp)
 	}
 	fmt.Printf("training %s on %d workers: %d iterations × %d microbatches of %d×%d tokens\n",
-		mode, p, iters, n, g, cfg.MaxSeq)
-	for it := 0; it < iters; it++ {
+		mode, rc.p, rc.iters, rc.n, rc.g, rc.cfg.MaxSeq)
+	for it := 0; it < rc.iters; it++ {
 		for _, tr := range trainers {
 			if ls, ok := tr.(pipeline.LRSetter); ok {
-				ls.SetLR(sched.LR(it))
+				ls.SetLR(rc.sched.LR(it))
 			}
 		}
-		batches := weipipe.Microbatches(cfg.Seed+uint64(it), n, g, cfg.Vocab, cfg.MaxSeq)
-		losses := make([]float64, p)
-		errs := make([]error, p)
+		batches := weipipe.Microbatches(rc.cfg.Seed+uint64(it), rc.n, rc.g, rc.cfg.Vocab, rc.cfg.MaxSeq)
+		losses := make([]float64, rc.p)
+		errs := make([]error, rc.p)
 		var wg sync.WaitGroup
-		for r := 0; r < p; r++ {
+		for r := 0; r < rc.p; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
@@ -155,22 +244,39 @@ func run(s weipipe.Strategy, p, wp int, cfg weipipe.Config, opts weipipe.Options
 				return err
 			}
 		}
-		fmt.Printf("iter %3d  lr %.2e  loss %.4f\n", it, sched.LR(it), losses[0])
+		fmt.Printf("iter %3d  lr %.2e  loss %.4f\n", it, rc.sched.LR(it), losses[0])
 	}
 
-	final := weipipe.BuildModel(cfg)
-	weipipe.LoadWeights(final, assemble(trainers, p, wp))
-	if ckptPath != "" {
+	if rc.stats {
+		var all []*weipipe.CommStats
+		for _, t := range transports {
+			if m, ok := t.(interface{ CommStats() *weipipe.CommStats }); ok {
+				all = append(all, m.CommStats())
+			}
+		}
+		printStats(all)
+	}
+	for _, t := range transports {
+		t.Close()
+	}
+	return finish(rc, assemble(trainers, rc.p, rc.wp))
+}
+
+// finish writes the final checkpoint and runs the optional sampling pass.
+func finish(rc runConfig, weights []float32) error {
+	final := weipipe.BuildModel(rc.cfg)
+	weipipe.LoadWeights(final, weights)
+	if rc.ckptPath != "" {
 		snap := weipipe.SnapshotModel(final)
-		snap.Step = int64(iters)
-		if err := weipipe.SaveCheckpoint(ckptPath, snap); err != nil {
+		snap.Step = int64(rc.iters)
+		if err := weipipe.SaveCheckpoint(rc.ckptPath, snap); err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s\n", ckptPath)
+		fmt.Printf("checkpoint written to %s\n", rc.ckptPath)
 	}
-	if sample > 0 {
-		prompt := weipipe.Microbatches(cfg.Seed, 1, 1, cfg.Vocab, cfg.MaxSeq)[0].Tokens[0][:4]
-		out, err := weipipe.Generate(final, prompt, sample, weipipe.GenOptions{Temperature: 0.8, TopK: 8, Seed: 1})
+	if rc.sample > 0 {
+		prompt := weipipe.Microbatches(rc.cfg.Seed, 1, 1, rc.cfg.Vocab, rc.cfg.MaxSeq)[0].Tokens[0][:4]
+		out, err := weipipe.Generate(final, prompt, rc.sample, weipipe.GenOptions{Temperature: 0.8, TopK: 8, Seed: 1})
 		if err != nil {
 			return err
 		}
@@ -179,27 +285,54 @@ func run(s weipipe.Strategy, p, wp int, cfg weipipe.Config, opts weipipe.Options
 	return nil
 }
 
-func buildTransports(p int, tcp bool) ([]weipipe.Transport, error) {
-	if !tcp {
-		return weipipe.NewInprocCluster(p), nil
+// printStats dumps each rank's communication meter, including the per-peer
+// fault counters (retransmits, timeouts, reconnects, heartbeat misses,
+// CRC-rejected and duplicate frames).
+func printStats(all []*weipipe.CommStats) {
+	fmt.Println("communication statistics:")
+	for r, s := range all {
+		fmt.Printf("  rank %d: %s\n", r, s)
 	}
-	addrs, err := weipipe.LoopbackAddrs(p)
+}
+
+func buildTransports(rc runConfig) ([]weipipe.Transport, error) {
+	if !rc.tcp {
+		return weipipe.NewInprocCluster(rc.p), nil
+	}
+	addrs, err := weipipe.LoopbackAddrs(rc.p)
 	if err != nil {
 		return nil, err
 	}
-	transports := make([]weipipe.Transport, p)
+	topts := weipipe.TCPOptions{DialTimeout: rc.dialTimeout}
+	if rc.chaos > 0 {
+		topts.Chaos = &weipipe.ChaosConfig{
+			Seed:      rc.chaosSeed,
+			Drop:      rc.chaos,
+			Dup:       rc.chaos,
+			Reorder:   rc.chaos,
+			Corrupt:   rc.chaos / 2,
+			DelayProb: rc.chaos,
+			MaxDelay:  time.Millisecond,
+		}
+	}
+	transports := make([]weipipe.Transport, rc.p)
 	var wg sync.WaitGroup
-	errs := make([]error, p)
-	for r := 0; r < p; r++ {
+	errs := make([]error, rc.p)
+	for r := 0; r < rc.p; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			transports[r], errs[r] = weipipe.DialTCP(r, addrs)
+			transports[r], errs[r] = weipipe.DialTCPOpts(r, addrs, topts)
 		}(r)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			for _, t := range transports {
+				if t != nil {
+					t.Close()
+				}
+			}
 			return nil, err
 		}
 	}

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for the failure model. Concrete errors carry details and
+// match these via errors.Is, so callers can branch on the failure class
+// without parsing strings.
+var (
+	// ErrClosed reports that the transport was closed locally (a clean
+	// shutdown, not a fault).
+	ErrClosed = errors.New("comm: transport closed")
+	// ErrTimeout reports that a RecvTimeout deadline expired.
+	ErrTimeout = errors.New("comm: receive timed out")
+	// ErrCorrupt reports a frame that failed CRC or header validation.
+	ErrCorrupt = errors.New("comm: corrupt frame")
+	// ErrPeerDead reports that a peer was declared dead (heartbeat silence
+	// plus exhausted reconnection attempts).
+	ErrPeerDead = errors.New("comm: peer dead")
+	// ErrCrashed reports that this rank was killed by an injected fault
+	// (FaultConfig.CrashAtSend); all subsequent operations fail with it.
+	ErrCrashed = errors.New("comm: rank crashed (injected fault)")
+)
+
+// TimeoutError is returned by RecvTimeout when no matching message arrived
+// within the deadline. It matches ErrTimeout.
+type TimeoutError struct {
+	Src     int
+	Tag     Tag
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("comm: recv from rank %d tag %v timed out after %v", e.Src, e.Tag, e.Timeout)
+}
+
+// Is implements errors.Is matching against ErrTimeout.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// PeerDeadError is the terminal failure of one peer link: the peer missed
+// heartbeats and every reconnection attempt within the grace window failed.
+// It fails all pending and future receives of the transport, so every
+// blocked runner reaches its abort path. It matches ErrPeerDead.
+type PeerDeadError struct {
+	Rank  int
+	Cause error
+}
+
+func (e *PeerDeadError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("comm: peer rank %d dead: %v", e.Rank, e.Cause)
+	}
+	return fmt.Sprintf("comm: peer rank %d dead", e.Rank)
+}
+
+// Is implements errors.Is matching against ErrPeerDead.
+func (e *PeerDeadError) Is(target error) bool { return target == ErrPeerDead }
+
+// Unwrap exposes the underlying cause.
+func (e *PeerDeadError) Unwrap() error { return e.Cause }
+
+// CorruptionError reports a frame that failed validation (bad header fields,
+// implausible length, or CRC mismatch). It matches ErrCorrupt.
+type CorruptionError struct {
+	Reason string
+}
+
+func (e *CorruptionError) Error() string { return "comm: corrupt frame: " + e.Reason }
+
+// Is implements errors.Is matching against ErrCorrupt.
+func (e *CorruptionError) Is(target error) bool { return target == ErrCorrupt }

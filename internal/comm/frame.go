@@ -1,0 +1,147 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// TCP wire framing. Every frame is:
+//
+//	src u32 | kind u32 | a i64 | b i64 | seq u64 | n u64 | crc u32 | payload n×f32
+//
+// all little-endian. seq is the per-link data sequence number (1-based;
+// 0 marks unsequenced control frames), used for redelivery dedup and
+// reordering. crc is CRC32 (IEEE) over the first 40 header bytes and the
+// payload, so both a corrupted length field and a corrupted payload are
+// detected. Control frames reuse the same layout with kind values outside
+// the application Kind space: acks carry the cumulative acknowledged
+// sequence in a, heartbeats are empty.
+const (
+	frameHeaderLen = 4 + 4 + 8 + 8 + 8 + 8 + 4
+	frameCRCOffset = frameHeaderLen - 4
+
+	// Control frame kinds, disjoint from the application Kind space.
+	ctlAck       uint32 = 0xFFFFFFF0
+	ctlHeartbeat uint32 = 0xFFFFFFF1
+
+	// maxAppKind is the largest application Kind a frame may carry.
+	maxAppKind = uint32(KindCtl)
+
+	// defaultMaxFrameElems bounds the payload element count a decoder will
+	// allocate for (1 GiB of float32s); DialTCPOpts can lower it.
+	defaultMaxFrameElems = 1 << 28
+)
+
+// frameHeader is the decoded fixed-size frame prefix.
+type frameHeader struct {
+	src  int
+	kind uint32
+	a, b int64
+	seq  uint64
+	n    int
+	crc  uint32
+}
+
+// tag returns the application tag of a data frame.
+func (h frameHeader) tag() Tag {
+	return Tag{Kind: Kind(h.kind), A: int(h.a), B: int(h.b)}
+}
+
+// isCtl reports whether the frame is a control (ack/heartbeat) frame.
+func (h frameHeader) isCtl() bool { return h.kind == ctlAck || h.kind == ctlHeartbeat }
+
+// parseFrameHeader validates and decodes a frame header. size bounds the
+// src field (size <= 0 skips the check, for fuzzing); maxElems bounds the
+// payload element count (<= 0 selects the default). All failures return a
+// *CorruptionError — the decoder never panics and never allocates based on
+// an unvalidated length.
+func parseFrameHeader(hdr []byte, size, maxElems int) (frameHeader, error) {
+	if len(hdr) != frameHeaderLen {
+		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("header length %d != %d", len(hdr), frameHeaderLen)}
+	}
+	if maxElems <= 0 {
+		maxElems = defaultMaxFrameElems
+	}
+	h := frameHeader{
+		src:  int(int32(binary.LittleEndian.Uint32(hdr[0:4]))),
+		kind: binary.LittleEndian.Uint32(hdr[4:8]),
+		a:    int64(binary.LittleEndian.Uint64(hdr[8:16])),
+		b:    int64(binary.LittleEndian.Uint64(hdr[16:24])),
+		seq:  binary.LittleEndian.Uint64(hdr[24:32]),
+		crc:  binary.LittleEndian.Uint32(hdr[frameCRCOffset:frameHeaderLen]),
+	}
+	n := binary.LittleEndian.Uint64(hdr[32:40])
+	if h.src < 0 || (size > 0 && h.src >= size) {
+		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("source rank %d out of range", h.src)}
+	}
+	if h.kind > maxAppKind && !h.isCtl() {
+		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("unknown frame kind %#x", h.kind)}
+	}
+	if n > uint64(maxElems) {
+		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("implausible payload length %d elems", n)}
+	}
+	h.n = int(n)
+	return h, nil
+}
+
+// encodeFrame builds a complete wire frame (header + CRC + payload).
+func encodeFrame(src int, kind uint32, a, b int64, seq uint64, payload []float32) []byte {
+	frame := make([]byte, frameHeaderLen+len(payload)*4)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(frame[4:8], kind)
+	binary.LittleEndian.PutUint64(frame[8:16], uint64(a))
+	binary.LittleEndian.PutUint64(frame[16:24], uint64(b))
+	binary.LittleEndian.PutUint64(frame[24:32], seq)
+	binary.LittleEndian.PutUint64(frame[32:40], uint64(len(payload)))
+	for i, v := range payload {
+		binary.LittleEndian.PutUint32(frame[frameHeaderLen+i*4:], math.Float32bits(v))
+	}
+	binary.LittleEndian.PutUint32(frame[frameCRCOffset:frameHeaderLen], frameCRC(frame))
+	return frame
+}
+
+// frameCRC computes the checksum of an encoded frame: the header bytes
+// before the CRC field plus the payload bytes.
+func frameCRC(frame []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:frameCRCOffset])
+	crc.Write(frame[frameHeaderLen:])
+	return crc.Sum32()
+}
+
+// readFrame reads and validates one frame from r. It returns the header and
+// the decoded payload (drawn from the payload pool; the caller owns it).
+// A *CorruptionError with synced == true means the frame was discarded but
+// the stream position is still aligned on a frame boundary (the header was
+// plausible; only the payload failed its checksum), so the caller may keep
+// reading; any other error means the connection must be torn down.
+func readFrame(r io.Reader, size, maxElems int) (h frameHeader, payload []float32, synced bool, err error) {
+	hdr := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frameHeader{}, nil, false, err
+	}
+	h, err = parseFrameHeader(hdr, size, maxElems)
+	if err != nil {
+		return frameHeader{}, nil, false, err
+	}
+	buf := make([]byte, h.n*4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frameHeader{}, nil, false, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:frameCRCOffset])
+	crc.Write(buf)
+	if got := crc.Sum32(); got != h.crc {
+		// The length field was covered by the header checks and the payload
+		// was fully consumed: the stream is still frame-aligned.
+		return frameHeader{}, nil, true, &CorruptionError{Reason: fmt.Sprintf("payload CRC mismatch (got %#x want %#x)", got, h.crc)}
+	}
+	payload = GetBuf(h.n)
+	for i := range payload {
+		payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return h, payload, true, nil
+}

@@ -1,6 +1,9 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Group is a Transport view of a subset of a parent transport's ranks —
 // the analogue of an MPI sub-communicator. Hybrid 2-D parallelism uses
@@ -74,6 +77,14 @@ func (g *Group) Recv(src int, tag Tag) ([]float32, error) {
 		return nil, fmt.Errorf("comm: group recv from invalid rank %d", src)
 	}
 	return g.parent.Recv(g.ranks[src], g.saltTag(tag))
+}
+
+// RecvTimeout implements Transport.
+func (g *Group) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]float32, error) {
+	if src < 0 || src >= len(g.ranks) {
+		return nil, fmt.Errorf("comm: group recv from invalid rank %d", src)
+	}
+	return g.parent.RecvTimeout(g.ranks[src], g.saltTag(tag), timeout)
 }
 
 // Close implements Transport; closing a group is a no-op (the parent owns

@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Cluster is an in-process message fabric connecting n ranks that run as
 // goroutines in one address space. It is the default substrate for tests,
@@ -80,10 +84,18 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 }
 
 func (t *inprocTransport) Recv(src int, tag Tag) ([]float32, error) {
+	return t.RecvTimeout(src, tag, 0)
+}
+
+func (t *inprocTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]float32, error) {
 	if src < 0 || src >= t.Size() {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
 	}
-	return t.cluster.boxes[t.rank].take(msgKey{src: src, tag: tag})
+	payload, err := t.cluster.boxes[t.rank].take(msgKey{src: src, tag: tag}, timeout)
+	if err != nil && errors.Is(err, ErrTimeout) {
+		t.stats.recordTimeout(src)
+	}
+	return payload, err
 }
 
 func (t *inprocTransport) Close() error {

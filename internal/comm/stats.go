@@ -17,6 +17,25 @@ type Stats struct {
 	mu        sync.Mutex
 	sentBytes map[Kind]int64
 	sentMsgs  map[Kind]int64
+	faults    map[int]*PeerFaults
+}
+
+// PeerFaults counts the fault-handling events of one peer link: the
+// observability surface of the resilience layer (retransmissions, receive
+// timeouts, reconnections, heartbeat misses, CRC failures and duplicate
+// frames discarded by the sequence-number dedup).
+type PeerFaults struct {
+	Retransmits     int64 // frames re-sent because an ack did not arrive in time
+	Timeouts        int64 // RecvTimeout deadlines that expired on this peer
+	Reconnects      int64 // successful re-establishments of the connection
+	HeartbeatMisses int64 // heartbeat intervals that elapsed with no traffic
+	CorruptFrames   int64 // frames discarded for CRC mismatch
+	DupFrames       int64 // duplicate frames discarded by sequence dedup
+}
+
+func (f PeerFaults) zero() bool {
+	return f.Retransmits == 0 && f.Timeouts == 0 && f.Reconnects == 0 &&
+		f.HeartbeatMisses == 0 && f.CorruptFrames == 0 && f.DupFrames == 0
 }
 
 // NewStats returns an empty meter (used for aggregation).
@@ -26,6 +45,7 @@ func newStats() *Stats {
 	return &Stats{
 		sentBytes: make(map[Kind]int64),
 		sentMsgs:  make(map[Kind]int64),
+		faults:    make(map[int]*PeerFaults),
 	}
 }
 
@@ -34,6 +54,78 @@ func (s *Stats) record(kind Kind, elems int) {
 	s.sentBytes[kind] += int64(elems) * 4 // float32 payload
 	s.sentMsgs[kind]++
 	s.mu.Unlock()
+}
+
+// peerFaults returns the (locked-caller) fault record for peer.
+func (s *Stats) peerFaults(peer int) *PeerFaults {
+	f := s.faults[peer]
+	if f == nil {
+		f = &PeerFaults{}
+		s.faults[peer] = f
+	}
+	return f
+}
+
+func (s *Stats) recordRetransmit(peer int, n int64) {
+	s.mu.Lock()
+	s.peerFaults(peer).Retransmits += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordTimeout(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).Timeouts++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordReconnect(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).Reconnects++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordHeartbeatMiss(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).HeartbeatMisses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordCorrupt(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).CorruptFrames++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordDup(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).DupFrames++
+	s.mu.Unlock()
+}
+
+// Faults returns a copy of the fault counters for one peer link.
+func (s *Stats) Faults(peer int) PeerFaults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.faults[peer]; f != nil {
+		return *f
+	}
+	return PeerFaults{}
+}
+
+// TotalFaults sums the fault counters across all peers.
+func (s *Stats) TotalFaults() PeerFaults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t PeerFaults
+	for _, f := range s.faults {
+		t.Retransmits += f.Retransmits
+		t.Timeouts += f.Timeouts
+		t.Reconnects += f.Reconnects
+		t.HeartbeatMisses += f.HeartbeatMisses
+		t.CorruptFrames += f.CorruptFrames
+		t.DupFrames += f.DupFrames
+	}
+	return t
 }
 
 // SentBytes returns the bytes sent under the given kind.
@@ -74,6 +166,10 @@ func (s *Stats) Add(o *Stats) {
 		bytesCopy[k] = o.sentBytes[k]
 		msgsCopy[k] = o.sentMsgs[k]
 	}
+	faultsCopy := make(map[int]PeerFaults, len(o.faults))
+	for p, f := range o.faults {
+		faultsCopy[p] = *f
+	}
 	o.mu.Unlock()
 
 	s.mu.Lock()
@@ -82,6 +178,15 @@ func (s *Stats) Add(o *Stats) {
 	}
 	for k, v := range msgsCopy {
 		s.sentMsgs[k] += v
+	}
+	for p, f := range faultsCopy {
+		t := s.peerFaults(p)
+		t.Retransmits += f.Retransmits
+		t.Timeouts += f.Timeouts
+		t.Reconnects += f.Reconnects
+		t.HeartbeatMisses += f.HeartbeatMisses
+		t.CorruptFrames += f.CorruptFrames
+		t.DupFrames += f.DupFrames
 	}
 	s.mu.Unlock()
 }
@@ -103,6 +208,21 @@ func (s *Stats) String() string {
 	for _, k := range kinds {
 		parts = append(parts, fmt.Sprintf("%s=%dB/%d msgs",
 			names[Kind(k)], s.sentBytes[Kind(k)], s.sentMsgs[Kind(k)]))
+	}
+	peers := make([]int, 0, len(s.faults))
+	for p := range s.faults {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		f := s.faults[p]
+		if f.zero() {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf(
+			"peer%d[rtx=%d to=%d rc=%d hb=%d crc=%d dup=%d]",
+			p, f.Retransmits, f.Timeouts, f.Reconnects, f.HeartbeatMisses,
+			f.CorruptFrames, f.DupFrames))
 	}
 	return strings.Join(parts, " ")
 }

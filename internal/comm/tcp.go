@@ -2,120 +2,369 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
 	"time"
 )
 
 // TCPTransport is a Transport over a full TCP mesh: every pair of ranks
-// shares one connection. Frames are length-prefixed; each connection has a
-// dedicated writer goroutine draining an unbounded queue, so Send keeps the
-// same never-blocks contract as the in-process transport, and a reader
-// goroutine dispatching into the tag-matched mailbox.
+// shares one connection. The transport is hardened against the failures a
+// commodity-Ethernet deployment sees (the paper trains over 10 Gb
+// Ethernet):
+//
+//   - every frame carries a per-link sequence number and a CRC32; the
+//     receiver delivers frames in sequence order, discards duplicates and
+//     corrupt frames, and acknowledges cumulatively;
+//   - the sender keeps frames until they are acknowledged and retransmits
+//     them when acknowledgements stall (or after a reconnection), so frame
+//     loss, duplication and reordering below the transport — including the
+//     deterministic ChaosConfig injector used by the chaos test suite —
+//     never reach the training protocol;
+//   - heartbeats flow on idle links; a broken connection is re-dialed with
+//     bounded exponential backoff, and a peer silent past PeerDeadTimeout
+//     is declared dead, failing every pending receive with *PeerDeadError
+//     so blocked runners abort cleanly instead of hanging.
+//
+// Send keeps the same never-blocks contract as the in-process transport;
+// Recv blocks until a matching message arrives, a deadline expires, or the
+// transport fails.
 type TCPTransport struct {
 	rank  int
 	size  int
+	opts  TCPOptions
 	box   *mailbox
-	conns []*tcpConn // index by peer rank; conns[rank] == nil
-	ln    net.Listener
+	links []*tcpLink // index by peer rank; links[rank] == nil
+	ln    *net.TCPListener
 	stats *Stats
 
+	done      chan struct{}
+	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// frame header: src(4) kind(4) a(8) b(8) n(8) — all little-endian.
-const frameHeaderLen = 4 + 4 + 8 + 8 + 8
+// TCPOptions tunes the failure model of a TCP mesh. The zero value selects
+// production defaults; tests shrink the timeouts.
+type TCPOptions struct {
+	// DialTimeout bounds the whole initial mesh bring-up: a peer that never
+	// comes up yields a per-peer error instead of hanging forever.
+	// Default 15s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is the idle-link heartbeat period. Default 500ms.
+	HeartbeatInterval time.Duration
+	// PeerDeadTimeout is how long a peer may stay silent (no frames, no
+	// successful reconnection) before it is declared dead. Default 10s.
+	PeerDeadTimeout time.Duration
+	// RetransmitTimeout is how long the sender waits for acknowledgement
+	// progress before re-sending unacknowledged frames. Default 250ms.
+	RetransmitTimeout time.Duration
+	// ReconnectBackoff is the initial re-dial backoff; it doubles per
+	// attempt, capped at 500ms. Default 20ms.
+	ReconnectBackoff time.Duration
+	// MaxPayloadElems bounds the per-frame payload the decoder will accept.
+	// Default 1<<28 elements (1 GiB).
+	MaxPayloadElems int
+	// Chaos, when non-nil, injects deterministic frame-level faults on every
+	// outgoing data frame — the fault layer the reliability machinery must
+	// mask. Never set it outside tests.
+	Chaos *ChaosConfig
+}
 
-// DialTCP builds the mesh endpoint for rank. addrs lists each rank's listen
-// address (host:port); rank listens on addrs[rank], accepts connections from
-// higher ranks and dials all lower ranks. The call returns once the mesh is
-// fully connected. All ranks must call DialTCP concurrently.
+// defaultSendWindow bounds the unacknowledged frames in flight per link.
+// Training traffic is few-but-large frames (whole weight chunks), so a
+// small frame window costs no throughput while keeping the retransmit
+// buffer — and the data an abrupt disconnect can lose — bounded.
+const defaultSendWindow = 32
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.PeerDeadTimeout <= 0 {
+		o.PeerDeadTimeout = 10 * time.Second
+	}
+	if o.RetransmitTimeout <= 0 {
+		o.RetransmitTimeout = 250 * time.Millisecond
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 20 * time.Millisecond
+	}
+	if o.MaxPayloadElems <= 0 {
+		o.MaxPayloadElems = defaultMaxFrameElems
+	}
+	return o
+}
+
+// ChaosConfig injects deterministic faults into a link's outgoing data
+// frames, below the sequence/retransmission layer: the transport must mask
+// every one of them. Decisions are keyed by (Seed, src, dst, frame
+// ordinal) so a run's fault pattern depends only on the seed and the
+// traffic.
+type ChaosConfig struct {
+	Seed uint64
+	// Drop discards the frame (retransmission must recover it).
+	Drop float64
+	// Dup writes the frame twice (dedup must discard the copy).
+	Dup float64
+	// Reorder holds the frame and writes it after the next one.
+	Reorder float64
+	// Corrupt flips one payload byte (CRC must reject the frame).
+	Corrupt float64
+	// DelayProb sleeps the writer up to MaxDelay before the frame.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// ResetEvery forcibly closes the connection after every n-th data frame
+	// (0 = never), exercising reconnection + retransmission.
+	ResetEvery int
+}
+
+// DialTCP builds the mesh endpoint for rank with default options. addrs
+// lists each rank's listen address (host:port); rank listens on
+// addrs[rank], accepts connections from higher ranks and dials all lower
+// ranks. The call returns once the mesh is fully connected, or fails with
+// a per-peer error when the bring-up deadline expires. All ranks must call
+// DialTCP concurrently.
 func DialTCP(rank int, addrs []string) (*TCPTransport, error) {
+	return DialTCPOpts(rank, addrs, TCPOptions{})
+}
+
+// DialTCPOpts is DialTCP with explicit failure-model options.
+func DialTCPOpts(rank int, addrs []string, opts TCPOptions) (*TCPTransport, error) {
 	size := len(addrs)
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("comm: rank %d out of range of %d addrs", rank, size)
 	}
+	opts = opts.withDefaults()
 	t := &TCPTransport{
 		rank:  rank,
 		size:  size,
+		opts:  opts,
 		box:   newMailbox(),
-		conns: make([]*tcpConn, size),
+		links: make([]*tcpLink, size),
 		stats: newStats(),
+		done:  make(chan struct{}),
 	}
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
 	}
-	t.ln = ln
+	t.ln = ln.(*net.TCPListener)
 
-	errc := make(chan error, size)
-	var wg sync.WaitGroup
-
-	// Accept from all higher ranks.
-	nAccept := size - 1 - rank
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < nAccept; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				errc <- err
-				return
-			}
-			var hdr [4]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				errc <- err
-				return
-			}
-			peer := int(binary.LittleEndian.Uint32(hdr[:]))
-			if peer <= rank || peer >= size {
-				errc <- fmt.Errorf("comm: bad handshake rank %d", peer)
-				return
-			}
-			t.attach(peer, conn)
+	now := time.Now()
+	deadline := now.Add(opts.DialTimeout)
+	for peer := 0; peer < size; peer++ {
+		if peer == rank {
+			continue
 		}
-	}()
+		l := &tcpLink{
+			t:           t,
+			peer:        peer,
+			addr:        addrs[peer],
+			dialer:      peer < rank,
+			rexpect:     1,
+			nextSeq:     1,
+			window:      defaultSendWindow,
+			ooo:         make(map[uint64]oooMsg),
+			lastContact: now,
+			up:          make(chan struct{}),
+		}
+		if ch := opts.Chaos; ch != nil && ch.ResetEvery > 0 && ch.ResetEvery/2 < l.window {
+			// Guaranteed progress under a write-count-keyed connection
+			// killer needs the in-flight set strictly smaller than the kill
+			// period: everything acknowledged before a reset is retired for
+			// good, everything in flight may die with the connection.
+			l.window = ch.ResetEvery / 2
+			if l.window < 1 {
+				l.window = 1
+			}
+		}
+		l.cond = sync.NewCond(&l.mu)
+		t.links[peer] = l
+		t.wg.Add(1)
+		go l.writeLoop()
+	}
+
+	// Accept connections from higher ranks — during bring-up and, for
+	// reconnections, for the transport's whole lifetime.
+	t.wg.Add(1)
+	go t.acceptLoop(deadline)
 
 	// Dial all lower ranks (with retry: peers may not be listening yet).
+	errc := make(chan error, size)
 	for peer := 0; peer < rank; peer++ {
-		wg.Add(1)
+		t.wg.Add(1)
 		go func(peer int) {
-			defer wg.Done()
-			var conn net.Conn
-			var err error
-			deadline := time.Now().Add(10 * time.Second)
-			for {
-				conn, err = net.Dial("tcp", addrs[peer])
-				if err == nil {
-					break
-				}
-				if time.Now().After(deadline) {
-					errc <- fmt.Errorf("comm: dial rank %d (%s): %w", peer, addrs[peer], err)
-					return
-				}
-				time.Sleep(20 * time.Millisecond)
-			}
-			var hdr [4]byte
-			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
-			if _, err := conn.Write(hdr[:]); err != nil {
+			defer t.wg.Done()
+			if err := t.dialPeer(peer, deadline); err != nil {
 				errc <- err
-				return
 			}
-			t.attach(peer, conn)
 		}(peer)
 	}
 
-	wg.Wait()
-	select {
-	case err := <-errc:
-		t.Close()
-		return nil, err
-	default:
+	// Wait for every link to come up once, the deadline, or a dial error.
+	for {
+		allUp := true
+		for peer, l := range t.links {
+			if l == nil {
+				continue
+			}
+			select {
+			case <-l.up:
+			default:
+				allUp = false
+				if time.Now().After(deadline) {
+					t.Close()
+					return nil, fmt.Errorf("comm: rank %d: peer %d (%s) not connected after %v",
+						rank, peer, addrs[peer], opts.DialTimeout)
+				}
+			}
+		}
+		if allUp {
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Close()
+			return nil, err
+		case <-time.After(5 * time.Millisecond):
+		}
 	}
+
+	t.wg.Add(1)
+	go t.monitorLoop()
 	return t, nil
+}
+
+// dialPeer establishes (once) the initial connection to a lower rank,
+// retrying until deadline. Definitive failure is returned.
+func (t *TCPTransport) dialPeer(peer int, deadline time.Time) error {
+	l := t.links[peer]
+	var lastErr error
+	for {
+		if t.isClosed() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("no attempt completed")
+			}
+			return fmt.Errorf("comm: dial rank %d (%s): gave up after %v: %w",
+				peer, l.addr, t.opts.DialTimeout, lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", l.addr, 250*time.Millisecond)
+		if err != nil {
+			lastErr = err
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(t.rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			lastErr = err
+			conn.Close()
+			continue
+		}
+		l.install(conn)
+		return nil
+	}
+}
+
+// acceptLoop accepts handshakes from higher ranks for the transport's
+// lifetime; during bring-up the listener carries the overall deadline so a
+// missing peer cannot park the goroutine forever.
+func (t *TCPTransport) acceptLoop(bringup time.Time) {
+	defer t.wg.Done()
+	for {
+		if t.isClosed() {
+			return
+		}
+		if t.meshUp() {
+			t.ln.SetDeadline(time.Time{})
+		} else {
+			t.ln.SetDeadline(bringup)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if !t.meshUp() {
+					return // bring-up failed; DialTCPOpts reports the missing peer
+				}
+				continue
+			}
+			return // listener closed
+		}
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		peer := int(binary.LittleEndian.Uint32(hdr[:]))
+		if peer <= t.rank || peer >= t.size {
+			conn.Close()
+			continue
+		}
+		t.links[peer].install(conn)
+	}
+}
+
+// meshUp reports whether every link has connected at least once.
+func (t *TCPTransport) meshUp() bool {
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		select {
+		case <-l.up:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (t *TCPTransport) isClosed() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// monitorLoop drives heartbeats, retransmission timeouts, heartbeat-miss
+// accounting and peer-death detection for every link.
+func (t *TCPTransport) monitorLoop() {
+	defer t.wg.Done()
+	period := t.opts.HeartbeatInterval / 2
+	if rto := t.opts.RetransmitTimeout / 2; rto < period {
+		period = rto
+	}
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for _, l := range t.links {
+			if l != nil {
+				l.tick(now)
+			}
+		}
+	}
 }
 
 // LoopbackAddrs returns n distinct 127.0.0.1 addresses on free ports, for
@@ -137,42 +386,6 @@ func LoopbackAddrs(n int) ([]string, error) {
 	return addrs, nil
 }
 
-func (t *TCPTransport) attach(peer int, conn net.Conn) {
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	c := &tcpConn{conn: conn}
-	c.cond = sync.NewCond(&c.mu)
-	t.conns[peer] = c
-	go c.writeLoop()
-	go t.readLoop(peer, conn)
-}
-
-func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
-	hdr := make([]byte, frameHeaderLen)
-	for {
-		if _, err := io.ReadFull(conn, hdr); err != nil {
-			t.box.close()
-			return
-		}
-		src := int(binary.LittleEndian.Uint32(hdr[0:4]))
-		kind := Kind(binary.LittleEndian.Uint32(hdr[4:8]))
-		a := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
-		b := int(int64(binary.LittleEndian.Uint64(hdr[16:24])))
-		n := int(binary.LittleEndian.Uint64(hdr[24:32]))
-		buf := make([]byte, n*4)
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			t.box.close()
-			return
-		}
-		payload := GetBuf(n)
-		for i := range payload {
-			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
-		}
-		t.box.deliver(msgKey{src: src, tag: Tag{Kind: kind, A: a, B: b}}, payload)
-	}
-}
-
 // Rank implements Transport.
 func (t *TCPTransport) Rank() int { return t.rank }
 
@@ -192,87 +405,523 @@ func (t *TCPTransport) Send(dst int, tag Tag, data []float32) error {
 		t.box.deliver(msgKey{src: t.rank, tag: tag}, payload)
 		return nil
 	}
-	if dst < 0 || dst >= t.size || t.conns[dst] == nil {
+	if dst < 0 || dst >= t.size {
 		return fmt.Errorf("comm: send to invalid rank %d", dst)
 	}
-	frame := make([]byte, frameHeaderLen+len(data)*4)
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(t.rank))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(tag.Kind))
-	binary.LittleEndian.PutUint64(frame[8:16], uint64(int64(tag.A)))
-	binary.LittleEndian.PutUint64(frame[16:24], uint64(int64(tag.B)))
-	binary.LittleEndian.PutUint64(frame[24:32], uint64(len(data)))
-	for i, v := range data {
-		binary.LittleEndian.PutUint32(frame[frameHeaderLen+i*4:], math.Float32bits(v))
+	if t.isClosed() {
+		return ErrClosed
 	}
-	t.conns[dst].enqueue(frame)
-	return nil
+	return t.links[dst].send(tag, data)
 }
 
 // Recv implements Transport.
 func (t *TCPTransport) Recv(src int, tag Tag) ([]float32, error) {
+	return t.RecvTimeout(src, tag, 0)
+}
+
+// RecvTimeout implements Transport.
+func (t *TCPTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]float32, error) {
 	if src < 0 || src >= t.size {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
 	}
-	return t.box.take(msgKey{src: src, tag: tag})
+	payload, err := t.box.take(msgKey{src: src, tag: tag}, timeout)
+	if err != nil && errors.Is(err, ErrTimeout) {
+		t.stats.recordTimeout(src)
+	}
+	return payload, err
 }
 
-// Close implements Transport.
+// Close implements Transport. It fails all pending receives, tears down
+// every connection and waits for every background goroutine to exit — a
+// closed transport leaks nothing.
 func (t *TCPTransport) Close() error {
 	t.closeOnce.Do(func() {
 		t.box.close()
-		if t.ln != nil {
-			t.ln.Close()
-		}
-		for _, c := range t.conns {
-			if c != nil {
-				c.close()
+		close(t.done)
+		t.ln.Close()
+		for _, l := range t.links {
+			if l != nil {
+				l.shutdown()
 			}
 		}
+		t.wg.Wait()
 	})
 	return nil
 }
 
-// tcpConn wraps one mesh connection with an unbounded outgoing queue.
-type tcpConn struct {
-	conn   net.Conn
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
-	closed bool
+// peerDead fails the whole endpoint: the training protocol cannot make
+// progress without the peer, so every blocked receive must abort.
+func (t *TCPTransport) peerDead(peer int, cause error) {
+	t.box.closeWithErr(&PeerDeadError{Rank: peer, Cause: cause})
 }
 
-func (c *tcpConn) enqueue(frame []byte) {
-	c.mu.Lock()
-	c.queue = append(c.queue, frame)
-	c.mu.Unlock()
-	c.cond.Signal()
+// ---- per-link state ------------------------------------------------------
+
+// outFrame is one unacknowledged outgoing data frame.
+type outFrame struct {
+	seq  uint64
+	wire []byte
 }
 
-func (c *tcpConn) writeLoop() {
+// oooMsg is a received data frame waiting for its predecessors.
+type oooMsg struct {
+	tag     Tag
+	payload []float32
+}
+
+// tcpLink owns one peer connection: the outgoing retransmit queue, the
+// incoming sequence/dedup state, and the reconnection machinery.
+type tcpLink struct {
+	t      *TCPTransport
+	peer   int
+	addr   string
+	dialer bool // this side re-dials after a break
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	conn net.Conn
+	gen  int // connection generation; stale goroutines detect replacement
+
+	// outgoing: sendq[:sent] written on the current connection (but not yet
+	// acknowledged), sendq[sent:] pending. Acknowledged frames are popped
+	// from the front; a reconnection or retransmission timeout resets sent
+	// to 0, re-sending everything unacknowledged. At most `window` frames
+	// are in flight: an abrupt connection loss can discard everything the
+	// peer has not yet consumed (TCP reset semantics), so unbounded bursts
+	// would let a repeating connection-killing fault erase each burst whole
+	// and re-send it forever — the window keeps acknowledged progress
+	// accumulating between failures.
+	sendq       []outFrame
+	sent        int
+	window      int
+	nextSeq     uint64
+	lastAckTime time.Time
+	ackDirty    bool // an ack should be sent
+	hbDue       bool // a heartbeat should be sent
+
+	// incoming
+	rexpect uint64 // next expected data sequence
+	ooo     map[uint64]oooMsg
+
+	lastContact time.Time // last frame received or connection established
+	lastBeat    time.Time // last heartbeat queued
+	lastMiss    time.Time // last heartbeat-miss counted
+	downSince   time.Time // zero while connected
+	quietUntil  time.Time // post-reconnect window where only ctl frames flow
+
+	redialing bool
+	dead      bool
+	closed    bool
+
+	up     chan struct{} // closed on first successful connection
+	upOnce sync.Once
+
+	// chaos state (writer-side)
+	chaosN    uint64
+	chaosHeld []byte
+}
+
+// send enqueues one data frame.
+func (l *tcpLink) send(tag Tag, data []float32) error {
+	wire := encodeFrame(l.t.rank, uint32(tag.Kind), int64(tag.A), int64(tag.B), 0, data)
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return &PeerDeadError{Rank: l.peer}
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	// stamp the sequence and re-checksum (seq is inside the CRC'd region)
+	binary.LittleEndian.PutUint64(wire[24:32], seq)
+	binary.LittleEndian.PutUint32(wire[frameCRCOffset:frameHeaderLen], frameCRC(wire))
+	if len(l.sendq) == 0 {
+		l.lastAckTime = time.Now()
+	}
+	l.sendq = append(l.sendq, outFrame{seq: seq, wire: wire})
+	l.mu.Unlock()
+	l.cond.Signal()
+	return nil
+}
+
+// install adopts a new connection (initial or reconnect) and spawns its
+// read loop.
+func (l *tcpLink) install(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	l.mu.Lock()
+	if l.closed || l.dead {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		l.conn.Close() // replaced by a fresher connection
+	}
+	reconnect := !l.downSince.IsZero()
+	l.gen++
+	gen := l.gen
+	l.conn = conn
+	l.downSince = time.Time{}
+	l.sent = 0 // retransmit everything unacknowledged on the new connection
+	// Re-send the cumulative ack too: the previous one may have died with the
+	// old connection, and without it the peer re-sends its whole backlog
+	// forever (acks are the only thing that retire its queue).
+	if l.rexpect > 1 {
+		l.ackDirty = true
+	}
+	now := time.Now()
+	if reconnect {
+		// Hold data back briefly so both sides' control frames (the
+		// re-armed acks above) cross before retransmission floods the new
+		// connection. Without the pause, a fault pattern that kills
+		// connections by write count can starve the reverse-direction ack
+		// forever: each incarnation dies before the peer's writer wakes,
+		// and the same backlog is re-sent for eternity.
+		l.quietUntil = now.Add(l.t.opts.RetransmitTimeout / 16)
+	}
+	l.lastContact = now
+	l.lastAckTime = now
+	l.mu.Unlock()
+	l.upOnce.Do(func() { close(l.up) })
+	if reconnect {
+		l.t.stats.recordReconnect(l.peer)
+	}
+	l.t.wg.Add(1)
+	go l.readLoop(conn, gen)
+	l.cond.Signal()
+}
+
+// markDown records a broken connection (ignoring stale generations) and,
+// on the dialing side, starts the re-dial loop.
+func (l *tcpLink) markDown(gen int) {
+	l.mu.Lock()
+	if l.closed || l.dead || gen != l.gen || l.conn == nil {
+		l.mu.Unlock()
+		return
+	}
+	l.conn.Close()
+	l.conn = nil
+	l.downSince = time.Now()
+	l.sent = 0
+	startRedial := l.dialer && !l.redialing
+	if startRedial {
+		l.redialing = true
+	}
+	l.mu.Unlock()
+	if startRedial {
+		l.t.wg.Add(1)
+		go l.redialLoop()
+	}
+}
+
+// redialLoop re-establishes a broken connection with exponential backoff,
+// bounded by PeerDeadTimeout (the monitor declares the peer dead then).
+func (l *tcpLink) redialLoop() {
+	defer l.t.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		l.redialing = false
+		l.mu.Unlock()
+	}()
+	backoff := l.t.opts.ReconnectBackoff
+	const maxBackoff = 500 * time.Millisecond
 	for {
-		c.mu.Lock()
-		for len(c.queue) == 0 && !c.closed {
-			c.cond.Wait()
-		}
-		if c.closed && len(c.queue) == 0 {
-			c.mu.Unlock()
+		l.mu.Lock()
+		stop := l.closed || l.dead || l.conn != nil
+		l.mu.Unlock()
+		if stop || l.t.isClosed() {
 			return
 		}
-		batch := c.queue
-		c.queue = nil
-		c.mu.Unlock()
-		for _, frame := range batch {
-			if _, err := c.conn.Write(frame); err != nil {
+		conn, err := net.DialTimeout("tcp", l.addr, backoff+50*time.Millisecond)
+		if err == nil {
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(l.t.rank))
+			if _, werr := conn.Write(hdr[:]); werr == nil {
+				l.install(conn)
 				return
 			}
+			conn.Close()
+		}
+		select {
+		case <-l.t.done:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 }
 
-func (c *tcpConn) close() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.cond.Signal()
-	c.conn.Close()
+// shutdown closes the link permanently (local Close).
+func (l *tcpLink) shutdown() {
+	l.mu.Lock()
+	l.closed = true
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
 }
+
+// tick runs the link's periodic duties: heartbeat emission, retransmission
+// on ack stall, heartbeat-miss accounting and peer-death declaration.
+func (l *tcpLink) tick(now time.Time) {
+	opts := &l.t.opts
+	var signal bool
+	var deadCause error
+	l.mu.Lock()
+	if l.closed || l.dead {
+		l.mu.Unlock()
+		return
+	}
+	// Heartbeat: keep idle links demonstrably alive.
+	if l.conn != nil && now.Sub(l.lastBeat) >= opts.HeartbeatInterval {
+		l.hbDue = true
+		l.lastBeat = now
+		signal = true
+	}
+	// Heartbeat misses: count silence in heartbeat units (observability).
+	if l.conn != nil && now.Sub(l.lastContact) > 2*opts.HeartbeatInterval &&
+		now.Sub(l.lastMiss) > 2*opts.HeartbeatInterval {
+		l.lastMiss = now
+		l.t.stats.recordHeartbeatMiss(l.peer)
+	}
+	// Retransmission: acks stalled with frames outstanding.
+	if l.conn != nil && l.sent > 0 && now.Sub(l.lastAckTime) > opts.RetransmitTimeout {
+		l.t.stats.recordRetransmit(l.peer, int64(l.sent))
+		l.sent = 0
+		l.lastAckTime = now
+		signal = true
+	}
+	// Death: silent past the grace window (connected-but-mute or
+	// disconnected with every reconnection attempt failed).
+	if now.Sub(l.lastContact) > opts.PeerDeadTimeout {
+		l.dead = true
+		if l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+		if l.downSince.IsZero() {
+			deadCause = fmt.Errorf("no traffic for %v", opts.PeerDeadTimeout)
+		} else {
+			deadCause = fmt.Errorf("disconnected %v, reconnection failed", now.Sub(l.downSince).Round(time.Millisecond))
+		}
+	}
+	l.mu.Unlock()
+	if deadCause != nil {
+		l.cond.Broadcast()
+		l.t.peerDead(l.peer, deadCause)
+		return
+	}
+	if signal {
+		l.cond.Signal()
+	}
+}
+
+// writeLoop is the link's single writer: it drains control frames (acks,
+// heartbeats) and unsent data frames onto the current connection, applying
+// the chaos injector to data frames.
+func (l *tcpLink) writeLoop() {
+	defer l.t.wg.Done()
+	for {
+		l.mu.Lock()
+		for !l.closed && !l.dead &&
+			(l.conn == nil || (!l.ackDirty && !l.hbDue &&
+				(l.sent >= len(l.sendq) || l.sent >= l.window))) {
+			l.cond.Wait()
+		}
+		if l.closed || l.dead {
+			l.mu.Unlock()
+			return
+		}
+		conn, gen := l.conn, l.gen
+		var ctl [][]byte
+		if l.ackDirty {
+			l.ackDirty = false
+			ctl = append(ctl, encodeFrame(l.t.rank, ctlAck, int64(l.rexpect-1), 0, 0, nil))
+		}
+		if l.hbDue {
+			l.hbDue = false
+			ctl = append(ctl, encodeFrame(l.t.rank, ctlHeartbeat, 0, 0, 0, nil))
+		}
+		var frames [][]byte
+		quiet := time.Until(l.quietUntil)
+		if quiet <= 0 {
+			for l.sent < len(l.sendq) && l.sent < l.window {
+				frames = append(frames, l.sendq[l.sent].wire)
+				l.sent++
+			}
+		}
+		l.mu.Unlock()
+
+		broken := false
+		for _, w := range ctl {
+			if _, err := conn.Write(w); err != nil {
+				broken = true
+				break
+			}
+		}
+		if !broken {
+			for _, w := range frames {
+				if err := l.writeData(conn, w); err != nil {
+					broken = true
+					break
+				}
+			}
+		}
+		if broken {
+			l.markDown(gen)
+			continue
+		}
+		if quiet > 0 {
+			// Data is pending but held back post-reconnect; nobody will
+			// signal when the window expires, so sleep it off and re-check.
+			time.Sleep(quiet)
+		}
+	}
+}
+
+var errChaosReset = errors.New("comm: chaos connection reset")
+
+// writeData writes one data frame, applying the chaos injector when
+// configured. Chaos faults never surface to the application: a dropped or
+// corrupted frame stays unacknowledged and is retransmitted; a reset breaks
+// the connection, which reconnects and retransmits.
+func (l *tcpLink) writeData(conn net.Conn, wire []byte) error {
+	ch := l.t.opts.Chaos
+	if ch == nil {
+		_, err := conn.Write(wire)
+		return err
+	}
+	n := l.chaosN
+	l.chaosN++
+
+	// Release a previously held frame after this one (the reorder swap).
+	var held []byte
+	held, l.chaosHeld = l.chaosHeld, nil
+
+	roll := func(lane uint64) float64 { return faultRoll(ch.Seed, l.t.rank, l.peer, n, lane) }
+	if ch.DelayProb > 0 && ch.MaxDelay > 0 && roll(3) < ch.DelayProb {
+		time.Sleep(time.Duration(roll(4) * float64(ch.MaxDelay)))
+	}
+	reset := ch.ResetEvery > 0 && (n+1)%uint64(ch.ResetEvery) == 0
+
+	switch {
+	case ch.Drop > 0 && roll(0) < ch.Drop:
+		// dropped: pretend success; retransmission recovers it
+	case ch.Reorder > 0 && roll(2) < ch.Reorder && !reset:
+		l.chaosHeld = wire
+	case ch.Corrupt > 0 && roll(5) < ch.Corrupt && len(wire) > frameHeaderLen:
+		bad := make([]byte, len(wire))
+		copy(bad, wire)
+		off := frameHeaderLen + int(roll(6)*float64(len(wire)-frameHeaderLen))
+		bad[off] ^= 0x40
+		if _, err := conn.Write(bad); err != nil {
+			return err
+		}
+	default:
+		if _, err := conn.Write(wire); err != nil {
+			return err
+		}
+		if ch.Dup > 0 && roll(1) < ch.Dup {
+			if _, err := conn.Write(wire); err != nil {
+				return err
+			}
+		}
+	}
+	if held != nil {
+		if _, err := conn.Write(held); err != nil {
+			return err
+		}
+	}
+	if reset {
+		conn.Close()
+		return errChaosReset
+	}
+	return nil
+}
+
+// readLoop dispatches one connection's incoming frames until it breaks.
+func (l *tcpLink) readLoop(conn net.Conn, gen int) {
+	defer l.t.wg.Done()
+	for {
+		h, payload, synced, err := readFrame(conn, l.t.size, l.t.opts.MaxPayloadElems)
+		if err != nil {
+			if synced && errors.Is(err, ErrCorrupt) {
+				// frame discarded, stream still aligned: the sender will
+				// retransmit when the ack fails to advance
+				l.t.stats.recordCorrupt(l.peer)
+				continue
+			}
+			l.markDown(gen)
+			return
+		}
+		l.mu.Lock()
+		l.lastContact = time.Now()
+		switch {
+		case h.kind == ctlHeartbeat:
+			l.mu.Unlock()
+		case h.kind == ctlAck:
+			l.handleAckLocked(uint64(h.a))
+			l.mu.Unlock()
+			l.cond.Signal() // ack progress may have opened the send window
+		default:
+			l.handleDataLocked(h, payload)
+			l.mu.Unlock()
+			l.cond.Signal() // an ack is now dirty
+		}
+	}
+}
+
+// handleAckLocked retires acknowledged frames (cumulative up to upTo).
+func (l *tcpLink) handleAckLocked(upTo uint64) {
+	popped := 0
+	for len(l.sendq) > 0 && l.sendq[0].seq <= upTo {
+		l.sendq = l.sendq[1:]
+		popped++
+	}
+	if popped > 0 {
+		l.sent -= popped
+		if l.sent < 0 {
+			l.sent = 0
+		}
+		l.lastAckTime = time.Now()
+	}
+}
+
+// handleDataLocked runs the receive-side of the reliability protocol:
+// discard duplicates, buffer out-of-order frames, deliver in sequence
+// order, and mark a cumulative ack due.
+func (l *tcpLink) handleDataLocked(h frameHeader, payload []float32) {
+	if h.seq < l.rexpect {
+		l.t.stats.recordDup(l.peer)
+		Release(payload)
+		l.ackDirty = true // re-ack so the sender stops retransmitting
+		return
+	}
+	if _, dup := l.ooo[h.seq]; dup {
+		l.t.stats.recordDup(l.peer)
+		Release(payload)
+		l.ackDirty = true
+		return
+	}
+	l.ooo[h.seq] = oooMsg{tag: h.tag(), payload: payload}
+	for {
+		msg, ok := l.ooo[l.rexpect]
+		if !ok {
+			break
+		}
+		delete(l.ooo, l.rexpect)
+		l.rexpect++
+		l.t.box.deliver(msgKey{src: l.peer, tag: msg.tag}, msg.payload)
+	}
+	l.ackDirty = true
+}
+
+var _ Transport = (*TCPTransport)(nil)

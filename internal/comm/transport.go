@@ -15,6 +15,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Kind classifies a message so tags from different protocol phases can never
@@ -62,6 +63,10 @@ type Transport interface {
 	// Recv blocks until a message from src with the given tag arrives and
 	// returns its payload. The returned slice is owned by the caller.
 	Recv(src int, tag Tag) ([]float32, error)
+	// RecvTimeout is Recv with a deadline: if no matching message arrives
+	// within timeout it returns a *TimeoutError (matching ErrTimeout).
+	// timeout <= 0 waits forever, identical to Recv.
+	RecvTimeout(src int, tag Tag, timeout time.Duration) ([]float32, error)
 	// Close releases resources. Pending Recvs fail after Close.
 	Close() error
 }
@@ -73,12 +78,14 @@ type msgKey struct {
 }
 
 // mailbox is an unbounded, tag-matched message buffer shared by the
-// in-process and TCP transports.
+// in-process and TCP transports. It fails with a cause: closing it with a
+// PeerDeadError (for instance) makes every pending and future take return
+// that error, so blocked runners learn *why* their receive failed.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[msgKey][][]float32
-	closed bool
+	err    error // non-nil once closed
 }
 
 func newMailbox() *mailbox {
@@ -95,8 +102,17 @@ func (m *mailbox) deliver(key msgKey, payload []float32) {
 	m.cond.Broadcast()
 }
 
-// take blocks until a payload for key is available (or the mailbox closes).
-func (m *mailbox) take(key msgKey) ([]float32, error) {
+// take blocks until a payload for key is available, the mailbox closes, or
+// the timeout expires (timeout <= 0 waits forever).
+func (m *mailbox) take(key msgKey, timeout time.Duration) ([]float32, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// sync.Cond has no timed wait; a timer broadcast wakes the loop so it
+		// can observe the deadline.
+		timer := time.AfterFunc(timeout, m.cond.Broadcast)
+		defer timer.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -109,16 +125,26 @@ func (m *mailbox) take(key msgKey) ([]float32, error) {
 			}
 			return payload, nil
 		}
-		if m.closed {
-			return nil, fmt.Errorf("comm: transport closed while waiting for src %d tag %v", key.src, key.tag)
+		if m.err != nil {
+			return nil, fmt.Errorf("comm: waiting for src %d tag %v: %w", key.src, key.tag, m.err)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return nil, &TimeoutError{Src: key.src, Tag: key.tag, Timeout: timeout}
 		}
 		m.cond.Wait()
 	}
 }
 
-func (m *mailbox) close() {
+// close fails the mailbox with ErrClosed (a clean local shutdown).
+func (m *mailbox) close() { m.closeWithErr(ErrClosed) }
+
+// closeWithErr fails all pending and future takes with cause. The first
+// cause wins; later calls are no-ops.
+func (m *mailbox) closeWithErr(cause error) {
 	m.mu.Lock()
-	m.closed = true
+	if m.err == nil {
+		m.err = cause
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }

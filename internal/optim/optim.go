@@ -87,6 +87,29 @@ func (o *AdamW) Step(w, g []float32) {
 // StateBytes implements Optimizer: two fp32 moments per parameter.
 func (o *AdamW) StateBytes() int { return 8 * len(o.m) }
 
+// ExportState returns the optimizer's step count and copies of its moment
+// vectors, for checkpointing.
+func (o *AdamW) ExportState() (step int, m, v []float32) {
+	m = make([]float32, len(o.m))
+	v = make([]float32, len(o.v))
+	copy(m, o.m)
+	copy(v, o.v)
+	return o.step, m, v
+}
+
+// LoadState restores the optimizer from a checkpointed step count and moment
+// vectors (copied in). The vectors must match the optimizer's size.
+func (o *AdamW) LoadState(step int, m, v []float32) error {
+	if len(m) != len(o.m) || len(v) != len(o.v) {
+		return fmt.Errorf("optim: AdamW state size mismatch: have %d, loading m=%d v=%d",
+			len(o.m), len(m), len(v))
+	}
+	o.step = step
+	copy(o.m, m)
+	copy(o.v, v)
+	return nil
+}
+
 // SGD is plain stochastic gradient descent with optional momentum.
 type SGD struct {
 	LR       float64

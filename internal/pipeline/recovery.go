@@ -1,0 +1,321 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+
+	"weipipe/internal/checkpoint"
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+)
+
+// Recoverable is implemented by trainers that can checkpoint and restore
+// their full training state: the owned weights (via Owner + Model()), the
+// optimizer moments of the owned range, and the iteration counter. It is
+// what coordinated checkpoint/restart needs from each rank.
+type Recoverable interface {
+	Owner
+	// ExportOptimState returns the optimizer step count and copies of the
+	// first/second moment vectors covering exactly the owned module range
+	// (flat, in module order).
+	ExportOptimState() (step int64, m, v []float32)
+	// RestoreOptimState loads a previously exported state (copied in).
+	RestoreOptimState(step int64, m, v []float32) error
+	// SetIteration resets the trainer's iteration counter, so wire tags and
+	// collective salts agree across ranks after a restart.
+	SetIteration(iter int)
+}
+
+// ExportOptimState implements Recoverable for WeiPipe (the owned chunk).
+func (w *WeiPipe) ExportOptimState() (int64, []float32, []float32) {
+	step, m, v := w.opt.ExportState()
+	return int64(step), m, v
+}
+
+// RestoreOptimState implements Recoverable for WeiPipe.
+func (w *WeiPipe) RestoreOptimState(step int64, m, v []float32) error {
+	return w.opt.LoadState(int(step), m, v)
+}
+
+// SetIteration implements Recoverable for WeiPipe.
+func (w *WeiPipe) SetIteration(iter int) { w.iter = iter }
+
+// ExportOptimState implements Recoverable for the serial reference.
+func (s *Serial) ExportOptimState() (int64, []float32, []float32) {
+	step, m, v := s.opt.ExportState()
+	return int64(step), m, v
+}
+
+// RestoreOptimState implements Recoverable for the serial reference.
+func (s *Serial) RestoreOptimState(step int64, m, v []float32) error {
+	return s.opt.LoadState(int(step), m, v)
+}
+
+// SetIteration implements Recoverable for the serial reference (stateless:
+// the AdamW step count is the only counter).
+func (s *Serial) SetIteration(int) {}
+
+// moduleOffsets returns the flat-vector offset of every module boundary.
+func moduleOffsets(mdl *model.Model) []int {
+	offsets := make([]int, len(mdl.Modules)+1)
+	for i := 0; i < len(mdl.Modules); i++ {
+		offsets[i+1] = offsets[i] + mdl.ModuleParamSize(i)
+	}
+	return offsets
+}
+
+// CaptureSnapshot takes a coordinated checkpoint of a cluster: the
+// assembled post-step weights plus the optimizer moments, each rank
+// contributing its owned range, and the completed-iteration count (which
+// doubles as the data cursor — iteration i always trains on batchesFn(i)).
+// Every trainer must be quiescent (between iterations) and implement
+// Recoverable.
+func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapshot, error) {
+	mdl := trainers[0].Model()
+	offsets := moduleOffsets(mdl)
+	total := mdl.NumParams()
+	snap := &checkpoint.Snapshot{
+		Config:  mdl.Cfg,
+		Weights: AssembleWeights(trainers),
+		Sections: map[string][]float32{
+			"adam.m": make([]float32, total),
+			"adam.v": make([]float32, total),
+		},
+		Step: int64(completedIters),
+	}
+	for _, tr := range trainers {
+		rec, ok := tr.(Recoverable)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: %T cannot checkpoint optimizer state", tr)
+		}
+		lo, hi := rec.OwnedModules()
+		_, m, v := rec.ExportOptimState()
+		want := offsets[hi] - offsets[lo]
+		if len(m) != want || len(v) != want {
+			return nil, fmt.Errorf("pipeline: %T optimizer state covers %d params, owned range holds %d",
+				tr, len(m), want)
+		}
+		copy(snap.Sections["adam.m"][offsets[lo]:offsets[hi]], m)
+		copy(snap.Sections["adam.v"][offsets[lo]:offsets[hi]], v)
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot loads a coordinated checkpoint into a fresh cluster:
+// every rank gets the full weights, its owned slice of the optimizer
+// moments, and the snapshot's iteration counter. Training resumed from the
+// restored state is bit-identical to a run that never stopped.
+func RestoreSnapshot(snap *checkpoint.Snapshot, trainers []Trainer) error {
+	offsets := moduleOffsets(trainers[0].Model())
+	am, av := snap.Sections["adam.m"], snap.Sections["adam.v"]
+	if am == nil || av == nil {
+		return fmt.Errorf("pipeline: snapshot lacks optimizer moment sections")
+	}
+	for _, tr := range trainers {
+		rec, ok := tr.(Recoverable)
+		if !ok {
+			return fmt.Errorf("pipeline: %T cannot restore optimizer state", tr)
+		}
+		if err := snap.ApplyTo(tr.Model()); err != nil {
+			return err
+		}
+		if r, ok := tr.(interface{ ReloadMasterFromModel() }); ok {
+			r.ReloadMasterFromModel()
+		}
+		lo, hi := rec.OwnedModules()
+		if err := rec.RestoreOptimState(snap.Step, am[offsets[lo]:offsets[hi]], av[offsets[lo]:offsets[hi]]); err != nil {
+			return err
+		}
+		rec.SetIteration(int(snap.Step))
+	}
+	return nil
+}
+
+// ResilientOptions configures RunResilient.
+type ResilientOptions struct {
+	// CheckpointEvery takes a coordinated checkpoint after every n-th
+	// completed iteration (0 = only recover from scratch).
+	CheckpointEvery int
+	// CheckpointPath, when set, persists each checkpoint to disk (and an
+	// existing file there seeds the run, resuming a previous process).
+	CheckpointPath string
+	// MaxRestarts bounds the recovery attempts; 0 means fail on the first
+	// rank failure like a plain run.
+	MaxRestarts int
+	// WrapTransport, when set, wraps each rank's transport per attempt —
+	// the hook the chaos tests use to inject rank crashes.
+	WrapTransport func(attempt, rank int, t comm.Transport) comm.Transport
+	// OnIteration is called at each completed iteration barrier.
+	OnIteration func(iter int, loss float64)
+	// LR, when set, is evaluated before every iteration and applied to each
+	// trainer implementing LRSetter. Because it is a function of the
+	// iteration index alone, replayed iterations after a restart see the
+	// same learning rate.
+	LR func(iter int) float64
+}
+
+// RunResilient is RunCluster with failure recovery: it drives `iters`
+// lock-step iterations of strategy s on p ranks, takes coordinated
+// checkpoints at the iteration barrier, and — when any rank fails (peer
+// death, transport closure, injected crash) — tears the surviving ranks
+// down cleanly, rebuilds the cluster on fresh transports and resumes from
+// the last checkpoint. Because checkpoints capture weights, optimizer
+// moments and the data cursor exactly, the recovered run's loss trajectory
+// is bit-identical to an uninterrupted one.
+//
+// transports builds one endpoint per rank for each incarnation of the
+// cluster (attempt 0 is the initial bring-up).
+func RunResilient(s Strategy, p int, cfg model.Config, opts Options, iters int,
+	batchesFn func(iter int) []data.Batch,
+	transports func(attempt int) ([]comm.Transport, error),
+	ropts ResilientOptions) (*ClusterResult, error) {
+
+	losses := make([]float64, iters)
+	var snap *checkpoint.Snapshot
+	if ropts.CheckpointPath != "" {
+		if _, err := os.Stat(ropts.CheckpointPath); err == nil {
+			loaded, err := checkpoint.Load(ropts.CheckpointPath)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: resume checkpoint: %w", err)
+			}
+			if loaded.Sections["adam.m"] == nil || loaded.Sections["adam.v"] == nil {
+				return nil, fmt.Errorf("pipeline: %s is a weight-only snapshot (no optimizer state); full-state resume needs a checkpoint written by RunResilient mid-run", ropts.CheckpointPath)
+			}
+			snap = loaded
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		res, failErr := runAttempt(s, p, cfg, opts, iters, batchesFn, transports, ropts, attempt, losses, &snap)
+		if failErr == nil {
+			return res, nil
+		}
+		if attempt >= ropts.MaxRestarts {
+			return nil, fmt.Errorf("pipeline: failed after %d restarts: %w", attempt, failErr)
+		}
+	}
+}
+
+// runAttempt runs one incarnation of the cluster: bring-up, (optional)
+// restore, lock-step iterations with checkpointing, teardown. On a rank
+// failure it closes every transport — unblocking ranks stuck in Recv — and
+// waits for all rank goroutines before returning, so nothing leaks into
+// the next attempt.
+func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
+	batchesFn func(iter int) []data.Batch,
+	transports func(attempt int) ([]comm.Transport, error),
+	ropts ResilientOptions, attempt int,
+	losses []float64, snap **checkpoint.Snapshot) (*ClusterResult, error) {
+
+	ts, err := transports(attempt)
+	if err != nil {
+		return nil, fmt.Errorf("attempt %d bring-up: %w", attempt, err)
+	}
+	if len(ts) != p {
+		return nil, fmt.Errorf("attempt %d: got %d transports for %d ranks", attempt, len(ts), p)
+	}
+	if ropts.WrapTransport != nil {
+		for r := range ts {
+			ts[r] = ropts.WrapTransport(attempt, r, ts[r])
+		}
+	}
+	closeAll := func() {
+		for _, t := range ts {
+			t.Close()
+		}
+	}
+
+	trainers := make([]Trainer, p)
+	for r := 0; r < p; r++ {
+		tr, err := New(s, ts[r], cfg, opts)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		trainers[r] = tr
+	}
+	start := 0
+	if *snap != nil {
+		if err := RestoreSnapshot(*snap, trainers); err != nil {
+			closeAll()
+			return nil, err
+		}
+		start = int((*snap).Step)
+	}
+
+	type outcome struct {
+		rank int
+		loss float64
+		err  error
+	}
+	for iter := start; iter < iters; iter++ {
+		if ropts.LR != nil {
+			lr := ropts.LR(iter)
+			for _, tr := range trainers {
+				if ls, ok := tr.(LRSetter); ok {
+					ls.SetLR(lr)
+				}
+			}
+		}
+		batches := batchesFn(iter)
+		results := make(chan outcome, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				loss, err := trainers[r].TrainIteration(batches)
+				results <- outcome{rank: r, loss: loss, err: err}
+			}(r)
+		}
+		var firstErr error
+		var iterLoss float64
+		for got := 0; got < p; got++ {
+			o := <-results
+			if o.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rank %d, iteration %d: %w", o.rank, iter, o.err)
+					// Surviving ranks are blocked in Recv on a protocol that
+					// can no longer complete: closing every endpoint fails
+					// their receives and brings them home.
+					closeAll()
+				}
+				continue
+			}
+			if o.rank == 0 {
+				iterLoss = o.loss
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		losses[iter] = iterLoss
+		if ropts.OnIteration != nil {
+			ropts.OnIteration(iter, iterLoss)
+		}
+		if ropts.CheckpointEvery > 0 && (iter+1)%ropts.CheckpointEvery == 0 && iter+1 < iters {
+			ns, err := CaptureSnapshot(trainers, iter+1)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if ropts.CheckpointPath != "" {
+				if err := checkpoint.Save(ropts.CheckpointPath, ns); err != nil {
+					closeAll()
+					return nil, err
+				}
+			}
+			*snap = ns
+		}
+	}
+
+	res := &ClusterResult{
+		Losses:  append([]float64(nil), losses...),
+		Weights: AssembleWeights(trainers),
+	}
+	for _, t := range ts {
+		if m, ok := t.(comm.Meter); ok {
+			res.Comm = append(res.Comm, m.CommStats())
+		}
+	}
+	closeAll()
+	return res, nil
+}

@@ -182,19 +182,30 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		wRemaining: make(map[int]int),
 		arenas:     make(map[int]*tensor.Arena),
 	}
+	// Abort safety: when the iteration fails mid-schedule (a peer died, the
+	// transport closed), the in-flight microbatches' scratch arenas must go
+	// back to the pool — an aborting runner leaks nothing. On the success
+	// path every arena has already been released by its final W pass.
+	defer func() {
+		for mb, a := range st.arenas {
+			w.apool.release(a)
+			delete(st.arenas, mb)
+		}
+	}()
 
 	// Inject the owned chunk into both belts; the first user of every belt
 	// chunk is worker 0 at use index 0.
 	payload := comm.GetBuf(len(w.masterW))
 	copy(payload, w.masterW)
 	maybeRoundF16(w.opts, payload)
-	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload); err != nil {
-		return 0, err
-	}
-	if err := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload); err != nil {
-		return 0, err
+	errInj := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload)
+	if errInj == nil {
+		errInj = w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
 	}
 	comm.Release(payload) // Send copies; our injection buffer is dead
+	if errInj != nil {
+		return 0, errInj
+	}
 
 	var err error
 	switch w.variant {
@@ -220,6 +231,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	}
 	if w.dpGroup != nil {
 		if err := comm.RingAllReduceSum(w.dpGroup, d, w.iter+1); err != nil {
+			comm.Release(d)
 			return 0, err
 		}
 	}
@@ -234,6 +246,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	if w.opts.ClipNorm > 0 {
 		sumSq, err := comm.AllReduceScalarSum(w.t, sumSquares(d), (1<<30)+w.iter)
 		if err != nil {
+			comm.Release(d)
 			return 0, err
 		}
 		if c := clipScale(w.opts, sumSq); c != 1 {
@@ -405,6 +418,7 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 			return err
 		}
 		if len(d) != len(local) {
+			comm.Release(d)
 			return fmt.Errorf("pipeline: D chunk size mismatch %d != %d", len(d), len(local))
 		}
 		for i := range local {
@@ -480,10 +494,11 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
 	local := comm.GetBuf(w.mdl.ChunkSize(lo, hi))
 	flattenGradsRange(w.mdl, grads, lo, hi, local)
-	if err := w.accumulateAndForwardD(c, mb, local); err != nil {
+	err := w.accumulateAndForwardD(c, mb, local)
+	comm.Release(local)
+	if err != nil {
 		return err
 	}
-	comm.Release(local)
 	st.wRemaining[mb]--
 	if st.wRemaining[mb] == 0 {
 		delete(st.caches, mb)

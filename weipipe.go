@@ -104,6 +104,84 @@ func DialTCP(rank int, addrs []string) (Transport, error) {
 // LoopbackAddrs allocates n free loopback addresses for a local TCP mesh.
 func LoopbackAddrs(n int) ([]string, error) { return comm.LoopbackAddrs(n) }
 
+// Fault tolerance. The TCP transport detects peer failure by heartbeat,
+// reconnects with bounded backoff, retransmits unacknowledged frames, and
+// rejects corrupted ones by CRC; FaultTransport injects deterministic
+// message-level faults for testing; RunResilient recovers a training run
+// from coordinated checkpoints after a rank dies. See DESIGN.md §9.
+type (
+	// TCPOptions tunes the TCP transport's deadlines, heartbeats,
+	// retransmission and (for tests) frame-level chaos injection.
+	TCPOptions = comm.TCPOptions
+	// ChaosConfig describes seed-deterministic frame-level fault injection
+	// inside the TCP transport (masked by its reliability layer).
+	ChaosConfig = comm.ChaosConfig
+	// FaultConfig describes seed-deterministic message-level fault
+	// injection (visible to the application — for failure-path tests).
+	FaultConfig = comm.FaultConfig
+	// FaultTransport wraps any Transport with FaultConfig-driven faults.
+	FaultTransport = comm.FaultTransport
+	// CommStats is a rank's communication meter, including per-peer fault
+	// counters (retransmits, timeouts, reconnects, heartbeat misses…).
+	CommStats = comm.Stats
+	// PeerFaults is the per-peer fault counter block of CommStats.
+	PeerFaults = comm.PeerFaults
+	// TimeoutError reports a Recv deadline expiry (matches ErrTimeout).
+	TimeoutError = comm.TimeoutError
+	// PeerDeadError reports a heartbeat-detected peer failure (matches
+	// ErrPeerDead).
+	PeerDeadError = comm.PeerDeadError
+	// CorruptionError reports a frame that failed validation (matches
+	// ErrCorrupt).
+	CorruptionError = comm.CorruptionError
+	// ResilientOptions configures RunResilient (checkpoint cadence, restart
+	// budget, transport wrapping, LR schedule).
+	ResilientOptions = pipeline.ResilientOptions
+)
+
+// Sentinel errors for errors.Is against transport failures.
+var (
+	ErrTimeout  = comm.ErrTimeout
+	ErrPeerDead = comm.ErrPeerDead
+	ErrCorrupt  = comm.ErrCorrupt
+	ErrCrashed  = comm.ErrCrashed
+	ErrClosed   = comm.ErrClosed
+)
+
+// DialTCPOpts joins a TCP mesh with explicit fault-tolerance options.
+func DialTCPOpts(rank int, addrs []string, opts TCPOptions) (Transport, error) {
+	return comm.DialTCPOpts(rank, addrs, opts)
+}
+
+// NewFaultTransport wraps a transport with deterministic fault injection.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	return comm.NewFaultTransport(inner, cfg)
+}
+
+// RunResilient is RunCluster with failure recovery: coordinated
+// checkpoints at the iteration barrier, clean abort of surviving ranks
+// when one fails, and restart from the last checkpoint on fresh transports
+// (built by the transports factory, once per attempt). The recovered loss
+// trajectory is bit-identical to an uninterrupted run.
+func RunResilient(s Strategy, p int, cfg Config, opts Options, iters int,
+	batchesFn func(iter int) []Batch,
+	transports func(attempt int) ([]Transport, error),
+	ropts ResilientOptions) (*ClusterResult, error) {
+	return pipeline.RunResilient(s, p, cfg, opts, iters, batchesFn, transports, ropts)
+}
+
+// CaptureSnapshot takes a coordinated full-state checkpoint (weights,
+// optimizer moments, data cursor) of quiescent trainers.
+func CaptureSnapshot(trainers []Trainer, completedIters int) (*Snapshot, error) {
+	return pipeline.CaptureSnapshot(trainers, completedIters)
+}
+
+// RestoreSnapshot loads a coordinated checkpoint into a fresh cluster so
+// training resumes bit-identically.
+func RestoreSnapshot(snap *Snapshot, trainers []Trainer) error {
+	return pipeline.RestoreSnapshot(snap, trainers)
+}
+
 // RunCluster trains iters iterations of strategy s on p in-process ranks
 // and returns losses plus the assembled final weights.
 func RunCluster(s Strategy, p int, cfg Config, opts Options, iters int,
