@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet chaos fuzz
+.PHONY: build test check bench race vet chaos elastic fuzz
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,24 @@ chaos:
 		-run 'Fault|Chaos|Timeout|PeerDeath|Recovery|Resilient|Crash|Frame|CloseFailsPending|CloseLeaks|DialTimeout' \
 		./internal/comm/ ./internal/pipeline/
 
+# elastic runs the ring-repair suite under the race detector: buddy
+# replication off the critical path, shrink/spare repair (including the
+# headline kill-over-chaotic-TCP bit-identity test), double-death
+# checkpoint fallback, membership agreement, restart-loop edge cases, and
+# the straggler watchdog.
+elastic:
+	$(GO) test -race -timeout 300s \
+		-run 'Elastic|Buddy|Watchdog|Repair|Membership|DeadPeer' \
+		./internal/comm/ ./internal/pipeline/
+
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime 20s ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime 20s ./internal/comm/
 
 # check is the pre-merge gate: static analysis, the race detector over the
 # packages with real concurrency (kernel worker pool, transports, pipeline
-# schedules), and the fault-injection suite.
-check: vet race chaos
+# schedules), the fault-injection suite, and the elastic-repair suite.
+check: vet race chaos elastic
 
 bench:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"weipipe"
+	"weipipe/internal/cost"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 	perServer := flag.Int("per-server", 8, "GPUs per server for grouped topologies")
 	recompute := flag.Bool("recompute", true, "activation checkpointing")
 	compare := flag.Bool("compare", false, "run every strategy and print a ranked table")
+	mtbf := flag.Duration("mtbf", 0, "mean time between failures of the whole cluster (e.g. 6h); when set, prints the Young/Daly-optimal -ckpt-every per strategy")
+	ckptBW := flag.Float64("ckpt-bw", 2, "checkpoint write bandwidth in GB/s (for -mtbf)")
 	flag.Parse()
 
 	w := weipipe.Workload{H: *h, S: *s, G: *g, L: *l, N: *n, P: *p, Recompute: *recompute}
@@ -47,7 +51,7 @@ func main() {
 	}
 
 	if *compare {
-		runCompare(w, top)
+		runCompare(w, top, *mtbf, *ckptBW)
 		return
 	}
 	res, err := weipipe.Simulate(weipipe.Strategy(*strategy), w, top)
@@ -67,11 +71,27 @@ func main() {
 	fmt.Printf("iteration time     %.3f s\n", res.IterationSeconds)
 	fmt.Printf("throughput         %.0f tokens/s/GPU\n", res.TokensPerSecPerGPU)
 	fmt.Printf("bubble ratio       %.1f %%\n", res.BubbleRatio*100)
+	if *mtbf > 0 {
+		ckptSec, every := ckptPlan(w, res.IterationSeconds, *mtbf, *ckptBW)
+		fmt.Printf("checkpoint         %.1f GB, %.1f s to write at %.1f GB/s\n",
+			w.CheckpointBytes()/(1<<30), ckptSec, *ckptBW)
+		fmt.Printf("recommended        -ckpt-every %d  (Young/Daly for MTBF %s; with -elastic shrink/spare the checkpoint only backstops double failures — stretch it)\n",
+			every, mtbf)
+	}
+}
+
+// ckptPlan returns the checkpoint write time and the Young/Daly-optimal
+// checkpoint cadence in iterations for one strategy's simulated iteration
+// time.
+func ckptPlan(w weipipe.Workload, iterSec float64, mtbf time.Duration, bwGB float64) (float64, int) {
+	ckptSec := w.CheckpointBytes() / (bwGB * 1e9)
+	return ckptSec, cost.OptimalCheckpointIters(iterSec, ckptSec, mtbf.Seconds())
 }
 
 // runCompare simulates every strategy on the workload and prints them
-// ranked by throughput (OOMs last).
-func runCompare(w weipipe.Workload, top weipipe.Topology) {
+// ranked by throughput (OOMs last). With mtbf set, a Young/Daly
+// recommended -ckpt-every column is added per strategy.
+func runCompare(w weipipe.Workload, top weipipe.Topology, mtbf time.Duration, ckptBW float64) {
 	strategies := []weipipe.Strategy{
 		weipipe.WeiPipeInterleave, weipipe.WeiPipeNaive, weipipe.WZB1, weipipe.WZB2,
 		weipipe.OneFOneB, weipipe.GPipe, weipipe.ZB1, weipipe.ZB2,
@@ -100,13 +120,26 @@ func runCompare(w weipipe.Workload, top weipipe.Topology) {
 		}
 		return rows[i].res.TokensPerSecPerGPU > rows[j].res.TokensPerSecPerGPU
 	})
-	fmt.Printf("%-20s %14s %10s %9s\n", "strategy", "tokens/s/GPU", "memory", "bubble")
+	ckptCol := ""
+	if mtbf > 0 {
+		ckptCol = "  ckpt-every"
+	}
+	fmt.Printf("%-20s %14s %10s %9s%s\n", "strategy", "tokens/s/GPU", "memory", "bubble", ckptCol)
 	for _, r := range rows {
 		if r.res.OOM {
 			fmt.Printf("%-20s %14s %9.1fG %9s\n", r.s, "OOM", r.res.MemoryGB, "-")
 			continue
 		}
-		fmt.Printf("%-20s %14.0f %9.1fG %8.1f%%\n",
-			r.s, r.res.TokensPerSecPerGPU, r.res.MemoryGB, r.res.BubbleRatio*100)
+		extra := ""
+		if mtbf > 0 {
+			_, every := ckptPlan(w, r.res.IterationSeconds, mtbf, ckptBW)
+			extra = fmt.Sprintf(" %11d", every)
+		}
+		fmt.Printf("%-20s %14.0f %9.1fG %8.1f%%%s\n",
+			r.s, r.res.TokensPerSecPerGPU, r.res.MemoryGB, r.res.BubbleRatio*100, extra)
+	}
+	if mtbf > 0 {
+		fmt.Printf("\ncheckpoint %.1f GB, %.1f s at %.1f GB/s; -ckpt-every is the Young/Daly optimum for MTBF %s\n",
+			w.CheckpointBytes()/(1<<30), w.CheckpointBytes()/(ckptBW*1e9), ckptBW, mtbf)
 	}
 }

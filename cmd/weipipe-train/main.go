@@ -44,7 +44,11 @@ type runConfig struct {
 	chaosSeed   uint64
 	ckptPath    string
 	ckptEvery   int
+	ckptKeep    int
 	maxRestarts int
+	elastic     weipipe.ElasticPolicy
+	spares      int
+	watchdog    bool
 	stats       bool
 	sample      int
 	resumeW     []float32
@@ -73,7 +77,12 @@ func main() {
 	chaos := flag.Float64("chaos", 0, "per-frame fault probability for TCP chaos injection: drop, duplicate, reorder (and corrupt at half rate); masked by the reliability layer")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for deterministic chaos injection")
 	ckptEvery := flag.Int("ckpt-every", 0, "take a coordinated full-state checkpoint every n iterations (enables failure recovery)")
+	ckptKeep := flag.Int("ckpt-keep", 1, "rotate on-disk checkpoints, retaining the last k")
 	maxRestarts := flag.Int("max-restarts", 0, "restart from the last checkpoint up to n times after a rank failure")
+	elastic := flag.String("elastic", "none", "elastic repair policy on rank failure: none (checkpoint restart), shrink (re-shard across survivors from buddy replicas), spare (admit standby spares)")
+	spares := flag.Int("spares", 0, "standby rank budget for -elastic spare")
+	watchdog := flag.Bool("watchdog", false, "run the straggler watchdog (reports ranks stalled past 8× the median iteration; with elastic repair on, declares them dead)")
+	guard := flag.Bool("guard", false, "skip optimizer steps whose global gradient is non-finite (NaN/Inf)")
 	stats := flag.Bool("stats", false, "print per-rank communication and fault statistics at the end")
 	ckpt := flag.String("checkpoint", "", "checkpoint path: periodic saves in recovery mode, final snapshot always")
 	resume := flag.String("resume", "", "resume from this checkpoint (overrides the model flags)")
@@ -98,6 +107,19 @@ func main() {
 	opts.Recompute = *recompute
 	opts.MixedPrecision = *mixed
 	opts.ClipNorm = *clip
+	opts.GuardNonFinite = *guard
+
+	var policy weipipe.ElasticPolicy
+	switch *elastic {
+	case "none":
+		policy = weipipe.ElasticNone
+	case "shrink":
+		policy = weipipe.ElasticShrink
+	case "spare":
+		policy = weipipe.ElasticSpare
+	default:
+		fatal(fmt.Errorf("unknown -elastic policy %q (none, shrink, spare)", *elastic))
+	}
 
 	var sched optim.Schedule = optim.ConstantLR(*lr)
 	if *warmup > 0 {
@@ -110,8 +132,10 @@ func main() {
 		iters: *iters, n: *n, g: *g,
 		tcp: *tcp, dialTimeout: *dialTimeout,
 		chaos: *chaos, chaosSeed: *chaosSeed,
-		ckptPath: *ckpt, ckptEvery: *ckptEvery, maxRestarts: *maxRestarts,
-		stats: *stats, sample: *sample, resumeW: resumeWeights,
+		ckptPath: *ckpt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
+		maxRestarts: *maxRestarts, elastic: policy, spares: *spares,
+		watchdog: *watchdog,
+		stats:    *stats, sample: *sample, resumeW: resumeWeights,
 	}
 	if rc.chaos > 0 && !rc.tcp {
 		fatal(fmt.Errorf("-chaos injects faults below the TCP reliability layer; it requires -tcp"))
@@ -127,7 +151,7 @@ func fatal(err error) {
 }
 
 func run(rc runConfig) error {
-	resilient := rc.ckptEvery > 0 || rc.maxRestarts > 0
+	resilient := rc.ckptEvery > 0 || rc.maxRestarts > 0 || rc.elastic != weipipe.ElasticNone || rc.watchdog
 	if resilient {
 		if rc.wp > 0 {
 			return fmt.Errorf("recovery mode (-ckpt-every/-max-restarts) does not support hybrid -wp rings yet")
@@ -144,32 +168,51 @@ func run(rc runConfig) error {
 // coordinated checkpoints, clean abort on rank failure, restart from the
 // last checkpoint. An existing full-state file at -checkpoint seeds the run.
 func runResilient(rc runConfig) error {
-	fmt.Printf("training %s on %d workers (fault-tolerant: checkpoint every %d, up to %d restarts): %d iterations × %d microbatches of %d×%d tokens\n",
-		rc.strategy, rc.p, rc.ckptEvery, rc.maxRestarts, rc.iters, rc.n, rc.g, rc.cfg.MaxSeq)
+	fmt.Printf("training %s on %d workers (fault-tolerant: checkpoint every %d, up to %d restarts, elastic %s): %d iterations × %d microbatches of %d×%d tokens\n",
+		rc.strategy, rc.p, rc.ckptEvery, rc.maxRestarts, rc.elastic, rc.iters, rc.n, rc.g, rc.cfg.MaxSeq)
+	ropts := weipipe.ResilientOptions{
+		CheckpointEvery: rc.ckptEvery,
+		CheckpointPath:  rc.ckptPath,
+		KeepCheckpoints: rc.ckptKeep,
+		MaxRestarts:     rc.maxRestarts,
+		Elastic:         rc.elastic,
+		Spares:          rc.spares,
+		LR:              rc.sched.LR,
+		OnIteration: func(iter int, loss float64) {
+			fmt.Printf("iter %3d  lr %.2e  loss %.4f\n", iter, rc.sched.LR(iter), loss)
+		},
+		OnRepair: func(ev weipipe.RepairEvent) {
+			fmt.Printf("elastic repair (%s): ranks %v died, world %d → %d, resuming at iteration %d from buddy replicas\n",
+				ev.Policy, ev.Dead, ev.OldSize, ev.NewSize, ev.Iteration)
+		},
+	}
+	if rc.watchdog {
+		ropts.Watchdog = &weipipe.WatchdogConfig{
+			DeclareDead: rc.elastic != weipipe.ElasticNone,
+			OnStraggler: func(r weipipe.StragglerReport) {
+				fmt.Printf("straggler: rank %d stalled %v at iteration %d microbatch %d phase %c (declared dead: %v)\n",
+					r.Rank, r.Stall, r.Iteration, r.Microbatch, r.Phase, r.Declared)
+			},
+		}
+	}
 	res, err := weipipe.RunResilient(rc.strategy, rc.p, rc.cfg, rc.opts, rc.iters,
 		func(iter int) []weipipe.Batch {
 			return weipipe.Microbatches(rc.cfg.Seed+uint64(iter), rc.n, rc.g, rc.cfg.Vocab, rc.cfg.MaxSeq)
 		},
-		func(attempt int) ([]weipipe.Transport, error) {
+		func(attempt, size int) ([]weipipe.Transport, error) {
 			if attempt > 0 {
-				fmt.Printf("rank failure: rebuilding cluster (attempt %d) and resuming from the last checkpoint\n", attempt)
+				fmt.Printf("rank failure: rebuilding cluster (attempt %d, %d ranks)\n", attempt, size)
 			}
-			return buildTransports(rc)
+			return buildTransports(rc, size)
 		},
-		weipipe.ResilientOptions{
-			CheckpointEvery: rc.ckptEvery,
-			CheckpointPath:  rc.ckptPath,
-			MaxRestarts:     rc.maxRestarts,
-			LR:              rc.sched.LR,
-			OnIteration: func(iter int, loss float64) {
-				fmt.Printf("iter %3d  lr %.2e  loss %.4f\n", iter, rc.sched.LR(iter), loss)
-			},
-		})
+		ropts)
 	if err != nil {
 		return err
 	}
 	if rc.stats {
 		printStats(res.Comm)
+		fmt.Printf("guard-skipped optimizer steps: %d\n", res.SkippedSteps)
+		fmt.Printf("elastic repairs: %d\n", len(res.Repairs))
 	}
 	return finish(rc, res.Weights)
 }
@@ -177,7 +220,7 @@ func runResilient(rc runConfig) error {
 // runPlain is the direct lock-step loop (no recovery machinery), including
 // hybrid WeiPipe×DP and weight-only resume.
 func runPlain(rc runConfig) error {
-	transports, err := buildTransports(rc)
+	transports, err := buildTransports(rc, rc.p)
 	if err != nil {
 		return err
 	}
@@ -295,11 +338,11 @@ func printStats(all []*weipipe.CommStats) {
 	}
 }
 
-func buildTransports(rc runConfig) ([]weipipe.Transport, error) {
+func buildTransports(rc runConfig, size int) ([]weipipe.Transport, error) {
 	if !rc.tcp {
-		return weipipe.NewInprocCluster(rc.p), nil
+		return weipipe.NewInprocCluster(size), nil
 	}
-	addrs, err := weipipe.LoopbackAddrs(rc.p)
+	addrs, err := weipipe.LoopbackAddrs(size)
 	if err != nil {
 		return nil, err
 	}
@@ -315,10 +358,10 @@ func buildTransports(rc runConfig) ([]weipipe.Transport, error) {
 			MaxDelay:  time.Millisecond,
 		}
 	}
-	transports := make([]weipipe.Transport, rc.p)
+	transports := make([]weipipe.Transport, size)
 	var wg sync.WaitGroup
-	errs := make([]error, rc.p)
-	for r := 0; r < rc.p; r++ {
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()

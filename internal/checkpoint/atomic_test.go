@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weipipe/internal/model"
+)
+
+// Crash-safe Save contract: at every moment during (and after) a save, the
+// target path holds either the previous complete checkpoint or the new
+// complete checkpoint — a write interrupted at any byte leaves either no
+// file or a loadable old one, never a truncated hybrid.
+
+func snapWithStep(step int64) *Snapshot {
+	s := FromModel(model.Build(ckCfg()))
+	s.Step = step
+	return s
+}
+
+func TestSaveAtomicReplacesPrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wpck")
+	if err := Save(path, snapWithStep(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, snapWithStep(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 2 {
+		t.Fatalf("loaded step %d, want 2", got.Step)
+	}
+	// No temp debris survives a successful save.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// Simulate a crash at every possible truncation point of the write: copy
+// the bytes a full save produces, truncate at i, and verify that a reader
+// finding such a partial *temp* file rejects it — and that the real target
+// path still loads the previous checkpoint, because Save never touches the
+// target until the temp file is complete and fsynced.
+func TestPartialWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.wpck")
+	if err := Save(path, snapWithStep(1)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, snapWithStep(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every proper prefix of the serialised form must fail to load: a
+	// crash mid-write cannot manufacture a valid checkpoint.
+	stride := len(full)/64 + 1
+	for i := 0; i < len(full); i += stride {
+		partial := filepath.Join(dir, fmt.Sprintf("partial-%d.wpck", i))
+		if err := os.WriteFile(partial, full[:i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(partial); err == nil {
+			t.Fatalf("truncated checkpoint (%d of %d bytes) loaded without error", i, len(full))
+		}
+	}
+
+	// The target itself still holds the latest complete save.
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 2 {
+		t.Fatalf("target step %d, want 2", got.Step)
+	}
+}
+
+func TestSaveRotateKeepsLastK(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.wpck")
+	const keep = 3
+	for step := int64(1); step <= 5; step++ {
+		if err := SaveRotate(path, snapWithStep(step), keep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Latest at path, older generations shifted down, nothing beyond k.
+	for i, wantStep := range []int64{5, 4, 3} {
+		p := path
+		if i > 0 {
+			p = fmt.Sprintf("%s.%d", path, i)
+		}
+		got, err := Load(p)
+		if err != nil {
+			t.Fatalf("generation %d: %v", i, err)
+		}
+		if got.Step != wantStep {
+			t.Fatalf("generation %d holds step %d, want %d", i, got.Step, wantStep)
+		}
+	}
+	if _, err := os.Stat(fmt.Sprintf("%s.%d", path, keep)); !os.IsNotExist(err) {
+		t.Fatalf("generation %d should have been dropped", keep)
+	}
+}
+
+func TestSaveRotateKeepOneMatchesSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wpck")
+	for step := int64(1); step <= 3; step++ {
+		if err := SaveRotate(path, snapWithStep(step), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 3 {
+		t.Fatalf("step %d, want 3", got.Step)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("keep=1 must not create rotated generations")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"weipipe/internal/model"
 )
@@ -227,14 +228,26 @@ func readSection(r io.Reader) (string, []float32, error) {
 	return string(name), data, nil
 }
 
-// Save writes a snapshot to a file (atomically via a temp file + rename).
+// Save writes a snapshot to a file crash-safely: the bytes go to a unique
+// temp file in the destination directory, are fsynced, and only then
+// atomically renamed over the target (with the directory entry fsynced
+// too). A crash or kill at any point leaves either the previous complete
+// checkpoint or the new complete checkpoint at path — never a truncated
+// hybrid — and the checksum trailer rejects any partial temp file that is
+// mistaken for a checkpoint.
 func Save(path string, s *Snapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := Write(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -243,7 +256,35 @@ func Save(path string, s *Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself: fsync the directory so the new entry
+	// survives a power loss. Some platforms refuse to sync directories;
+	// that is not worth failing the checkpoint over.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveRotate is Save with last-k retention: before writing, the existing
+// generations shift down (path → path.1 → … → path.k−1, the oldest
+// dropped), so the k most recent complete checkpoints survive on disk.
+// keep ≤ 1 retains only the latest, exactly like Save.
+func SaveRotate(path string, s *Snapshot, keep int) error {
+	if keep > 1 {
+		os.Remove(fmt.Sprintf("%s.%d", path, keep-1))
+		for i := keep - 2; i >= 1; i-- {
+			// Rename failures here mean the generation doesn't exist yet;
+			// rotation is best-effort by design.
+			_ = os.Rename(fmt.Sprintf("%s.%d", path, i), fmt.Sprintf("%s.%d", path, i+1))
+		}
+		_ = os.Rename(path, path+".1")
+	}
+	return Save(path, s)
 }
 
 // Load reads a snapshot from a file.

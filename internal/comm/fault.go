@@ -60,6 +60,12 @@ type FaultConfig struct {
 	// Send (1-based): the underlying transport is closed (as a dead process
 	// would) and every subsequent operation fails with ErrCrashed.
 	CrashAtSend int64
+	// StallAtSend, when positive, sleeps this endpoint for StallFor at its
+	// StallAtSend-th Send (1-based) before delivering — a deterministic
+	// single straggler event (GC pause, page fault storm, slow NIC) for
+	// watchdog tests.
+	StallAtSend int64
+	StallFor    time.Duration
 }
 
 // NewFaultTransport wraps inner with fault injection.
@@ -127,6 +133,7 @@ func (f *FaultTransport) Send(dst int, tag Tag, data []float32) error {
 		f.inner.Close()
 		return ErrCrashed
 	}
+	stall := f.cfg.StallAtSend > 0 && f.sends == f.cfg.StallAtSend && f.cfg.StallFor > 0
 	ordinal := f.linkSends[dst]
 	f.linkSends[dst] = ordinal + 1
 	lf := f.linkFaults(dst)
@@ -164,6 +171,12 @@ func (f *FaultTransport) Send(dst int, tag Tag, data []float32) error {
 	}
 	f.mu.Unlock()
 
+	if stall {
+		f.mu.Lock()
+		f.delays++
+		f.mu.Unlock()
+		time.Sleep(f.cfg.StallFor)
+	}
 	if delay > 0 {
 		f.mu.Lock()
 		f.delays++

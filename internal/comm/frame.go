@@ -28,7 +28,7 @@ const (
 	ctlHeartbeat uint32 = 0xFFFFFFF1
 
 	// maxAppKind is the largest application Kind a frame may carry.
-	maxAppKind = uint32(KindCtl)
+	maxAppKind = uint32(kindCount) - 1
 
 	// defaultMaxFrameElems bounds the payload element count a decoder will
 	// allocate for (1 GiB of float32s); DialTCPOpts can lower it.

@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"errors"
+	"sort"
+)
+
+// Membership support for elastic repair: when a rank dies, the survivors
+// must converge on the same picture of who is gone before the ring can be
+// rebuilt. Failure evidence is decentralised — each survivor observes the
+// death through its own link (a PeerDeadError naming the peer, or an
+// injected crash on the observing rank itself) — so agreement is a pure
+// deterministic function of the union of observations, needing no
+// coordinator and no extra round of messages beyond what already failed.
+
+// DeadPeer extracts the rank a failure implicates, if the error names one:
+// a PeerDeadError (heartbeat silence + exhausted reconnection) identifies
+// the remote peer. Errors that do not name a peer (ErrClosed, ErrTimeout,
+// collateral damage of tearing the cluster down) return ok=false.
+func DeadPeer(err error) (rank int, ok bool) {
+	var pd *PeerDeadError
+	if errors.As(err, &pd) {
+		return pd.Rank, true
+	}
+	return 0, false
+}
+
+// Membership is an agreed-upon view of a cluster after failures: the old
+// world size and the sorted set of dead old-world ranks.
+type Membership struct {
+	OldSize int
+	Dead    []int // sorted, deduplicated old-world ranks
+}
+
+// AgreeMembership merges every survivor's observation set into the
+// deterministic membership all of them would independently compute: the
+// sorted union of observed-dead ranks. Observations outside [0, oldSize)
+// are discarded.
+func AgreeMembership(oldSize int, observations ...[]int) Membership {
+	seen := make(map[int]bool)
+	for _, obs := range observations {
+		for _, r := range obs {
+			if r >= 0 && r < oldSize {
+				seen[r] = true
+			}
+		}
+	}
+	dead := make([]int, 0, len(seen))
+	for r := range seen {
+		dead = append(dead, r)
+	}
+	sort.Ints(dead)
+	return Membership{OldSize: oldSize, Dead: dead}
+}
+
+// Survivors lists the live old-world ranks in ascending order.
+func (m Membership) Survivors() []int {
+	dead := make(map[int]bool, len(m.Dead))
+	for _, r := range m.Dead {
+		dead[r] = true
+	}
+	out := make([]int, 0, m.OldSize-len(m.Dead))
+	for r := 0; r < m.OldSize; r++ {
+		if !dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// IsDead reports whether old-world rank r is in the dead set.
+func (m Membership) IsDead(r int) bool {
+	for _, d := range m.Dead {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Membership agreement is a pure function of the observation union: every
+// survivor, given the same evidence, computes the same dead set with no
+// coordinator round.
+
+func TestAgreeMembershipUnionsAndSorts(t *testing.T) {
+	m := AgreeMembership(5, []int{3, 1}, []int{1}, nil, []int{3})
+	if m.OldSize != 5 {
+		t.Fatalf("OldSize = %d, want 5", m.OldSize)
+	}
+	if want := []int{1, 3}; !reflect.DeepEqual(m.Dead, want) {
+		t.Fatalf("Dead = %v, want %v", m.Dead, want)
+	}
+	if want := []int{0, 2, 4}; !reflect.DeepEqual(m.Survivors(), want) {
+		t.Fatalf("Survivors = %v, want %v", m.Survivors(), want)
+	}
+	if !m.IsDead(1) || !m.IsDead(3) || m.IsDead(0) || m.IsDead(2) {
+		t.Fatal("IsDead disagrees with the dead set")
+	}
+}
+
+func TestAgreeMembershipDiscardsOutOfRange(t *testing.T) {
+	m := AgreeMembership(3, []int{-1, 0, 3, 7})
+	if want := []int{0}; !reflect.DeepEqual(m.Dead, want) {
+		t.Fatalf("Dead = %v, want %v (out-of-range observations must be dropped)", m.Dead, want)
+	}
+}
+
+func TestAgreeMembershipEmptyEvidence(t *testing.T) {
+	m := AgreeMembership(4)
+	if len(m.Dead) != 0 {
+		t.Fatalf("Dead = %v, want empty", m.Dead)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(m.Survivors(), want) {
+		t.Fatalf("Survivors = %v, want %v", m.Survivors(), want)
+	}
+}
+
+func TestDeadPeerExtraction(t *testing.T) {
+	wrapped := fmt.Errorf("iteration 3: %w", &PeerDeadError{Rank: 2})
+	if r, ok := DeadPeer(wrapped); !ok || r != 2 {
+		t.Fatalf("DeadPeer(wrapped PeerDeadError) = (%d, %v), want (2, true)", r, ok)
+	}
+	if _, ok := DeadPeer(errors.New("plain")); ok {
+		t.Fatal("DeadPeer claimed a rank from an error that names none")
+	}
+	if _, ok := DeadPeer(ErrClosed); ok {
+		t.Fatal("DeadPeer claimed a rank from ErrClosed")
+	}
+}

@@ -196,6 +196,7 @@ func (s *Stats) String() string {
 	names := map[Kind]string{
 		KindWeight: "weights", KindGrad: "weight-grads", KindAct: "activations",
 		KindActGrad: "act-grads", KindColl: "collectives", KindCtl: "control",
+		KindBuddy: "buddy",
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

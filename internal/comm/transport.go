@@ -36,6 +36,16 @@ const (
 	KindColl
 	// KindCtl carries small control payloads (loss values, barriers).
 	KindCtl
+	// KindBuddy carries buddy-replication state (the dual-delivered retired
+	// gradient a rank uses to shadow its successor's optimizer shard). It is
+	// deliberately distinct from KindWeight/KindGrad so tests can assert the
+	// training critical path's message counts are unchanged by replication.
+	KindBuddy
+
+	// kindCount is one past the highest Kind. The wire framing validates
+	// frame kinds against it, so a Kind added above is accepted on the wire
+	// without touching the decoder.
+	kindCount
 )
 
 // Tag identifies a message stream between two ranks. A and B are

@@ -1,0 +1,56 @@
+package cost
+
+import "math"
+
+// Checkpoint-interval planning: given a machine's mean time between
+// failures and the cost of writing one coordinated checkpoint, the
+// Young/Daly first-order optimum balances the overhead of checkpointing
+// too often against the work lost replaying from the last checkpoint after
+// a failure. The simulator surfaces this as a recommended -ckpt-every for
+// each strategy's modelled iteration time (elastic repair changes the
+// trade-off by shrinking the lost-work term to under one iteration, which
+// is why the recommendation is reported per recovery mode).
+
+// CheckpointBytes returns the size of one coordinated full-state
+// checkpoint: fp32 weights plus the two fp32 AdamW moment vectors for every
+// parameter — 12 bytes/param, matching checkpoint.Snapshot's weights +
+// adam.m + adam.v sections.
+func (w Workload) CheckpointBytes() float64 {
+	return w.TotalParams() * (4 + 4 + 4)
+}
+
+// OptimalCheckpointInterval returns the Young/Daly checkpoint period in
+// seconds: τ ≈ sqrt(2·δ·M) − δ for checkpoint write time δ and mean time
+// between failures M (Daly's first-order correction of Young's formula).
+// Returns +Inf when failures are not expected (mtbfSec ≤ 0) and 0 when the
+// checkpoint is free.
+func OptimalCheckpointInterval(ckptSec, mtbfSec float64) float64 {
+	if mtbfSec <= 0 {
+		return math.Inf(1)
+	}
+	if ckptSec <= 0 {
+		return 0
+	}
+	tau := math.Sqrt(2*ckptSec*mtbfSec) - ckptSec
+	if tau < ckptSec {
+		// Failure-dominated regime: checkpointing can't go faster than the
+		// write itself.
+		tau = ckptSec
+	}
+	return tau
+}
+
+// OptimalCheckpointIters converts the Young/Daly period into a whole
+// iteration count for a run whose iterations take iterSec (a recommended
+// -ckpt-every value, at least 1).
+func OptimalCheckpointIters(iterSec, ckptSec, mtbfSec float64) int {
+	tau := OptimalCheckpointInterval(ckptSec, mtbfSec)
+	if math.IsInf(tau, 1) || iterSec <= 0 {
+		return 0 // checkpointing unnecessary
+	}
+	iters := int(math.Round(tau / iterSec))
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
+}

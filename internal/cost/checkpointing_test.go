@@ -1,0 +1,52 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckpointBytes(t *testing.T) {
+	w := Workload{H: 64, S: 128, G: 1, L: 2, N: 4, P: 2}.WithDefaults()
+	// fp32 weights + two fp32 AdamW moments: 12 bytes per parameter.
+	if got, want := w.CheckpointBytes(), w.TotalParams()*12; got != want {
+		t.Fatalf("CheckpointBytes = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalCheckpointInterval(t *testing.T) {
+	// Young/Daly: τ = sqrt(2·δ·M) − δ. δ=10s, M=6h=21600s → sqrt(432000)−10.
+	want := math.Sqrt(2*10*21600) - 10
+	if got := OptimalCheckpointInterval(10, 21600); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("OptimalCheckpointInterval(10, 21600) = %v, want %v", got, want)
+	}
+	// No failures expected → never checkpoint.
+	if got := OptimalCheckpointInterval(10, 0); !math.IsInf(got, 1) {
+		t.Fatalf("mtbf=0 should disable checkpointing, got %v", got)
+	}
+	// Free checkpoints → continuous checkpointing.
+	if got := OptimalCheckpointInterval(0, 21600); got != 0 {
+		t.Fatalf("free checkpoint should give 0, got %v", got)
+	}
+	// Failure-dominated regime: the interval never drops below the write
+	// time itself.
+	if got := OptimalCheckpointInterval(100, 1); got != 100 {
+		t.Fatalf("failure-dominated interval = %v, want clamped to 100", got)
+	}
+}
+
+func TestOptimalCheckpointIters(t *testing.T) {
+	// τ ≈ 647s at δ=10s, M=6h; iterations of 60s → every ~11 iterations.
+	tau := OptimalCheckpointInterval(10, 21600)
+	want := int(math.Round(tau / 60))
+	if got := OptimalCheckpointIters(60, 10, 21600); got != want {
+		t.Fatalf("OptimalCheckpointIters = %d, want %d", got, want)
+	}
+	// Always at least one iteration between checkpoints.
+	if got := OptimalCheckpointIters(1e6, 10, 21600); got != 1 {
+		t.Fatalf("long iterations should clamp to 1, got %d", got)
+	}
+	// Disabled when no failures are expected.
+	if got := OptimalCheckpointIters(60, 10, 0); got != 0 {
+		t.Fatalf("mtbf=0 should give 0, got %d", got)
+	}
+}

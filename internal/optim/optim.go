@@ -97,6 +97,20 @@ func (o *AdamW) ExportState() (step int, m, v []float32) {
 	return o.step, m, v
 }
 
+// CopyStateInto copies the moment vectors into caller-provided buffers
+// (which must match the optimizer's size) and returns the step count. It is
+// the allocation-free sibling of ExportState, used by the per-iteration
+// rollback stash of the elastic recovery layer.
+func (o *AdamW) CopyStateInto(m, v []float32) int {
+	if len(m) != len(o.m) || len(v) != len(o.v) {
+		panic(fmt.Sprintf("optim: CopyStateInto size mismatch: state %d, m %d, v %d",
+			len(o.m), len(m), len(v)))
+	}
+	copy(m, o.m)
+	copy(v, o.v)
+	return o.step
+}
+
 // LoadState restores the optimizer from a checkpointed step count and moment
 // vectors (copied in). The vectors must match the optimizer's size.
 func (o *AdamW) LoadState(step int, m, v []float32) error {

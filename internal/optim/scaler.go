@@ -38,6 +38,15 @@ func NewLossScaler(initScale float64, growthSteps int) *LossScaler {
 // Scale returns the current loss multiplier.
 func (s *LossScaler) Scale() float64 { return s.scale }
 
+// Clone returns an independent scaler with the same state. Distributed
+// trainers clone the configured scaler per rank: since every rank reaches
+// the same global skip verdict each iteration, the clones evolve in
+// lock-step without sharing mutable state across rank goroutines.
+func (s *LossScaler) Clone() *LossScaler {
+	c := *s
+	return &c
+}
+
 // ScaleGrads multiplies a gradient vector by the current scale (apply to
 // the loss gradient at the top of backward; scaling the loss scales every
 // downstream gradient linearly).
@@ -65,6 +74,20 @@ func (s *LossScaler) Unscale(g []float32) bool {
 	}
 	s.onGoodStep()
 	return true
+}
+
+// Observe advances the scaler's schedule from an externally made step
+// decision: the distributed runners detect non-finite gradients through a
+// global scalar all-reduce (so every rank reaches the identical verdict)
+// and then report it here — finite=false halves the scale and counts a
+// skipped step, finite=true counts toward the growth streak. Serial code
+// that holds the whole gradient can keep using Unscale instead.
+func (s *LossScaler) Observe(finite bool) {
+	if finite {
+		s.onGoodStep()
+	} else {
+		s.onOverflow()
+	}
 }
 
 func (s *LossScaler) onOverflow() {

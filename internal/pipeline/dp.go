@@ -15,16 +15,20 @@ import (
 // microbatches, and ring-all-reduces the flat gradient before every rank
 // takes the identical optimizer step.
 type DP struct {
-	t     Transport
-	mdl   *model.Model
-	opt   *optim.AdamW
-	opts  Options
-	seq   int // collective sequence counter (identical across ranks)
-	arena *tensor.Arena
+	t       Transport
+	mdl     *model.Model
+	opt     *optim.AdamW
+	opts    Options
+	seq     int // collective sequence counter (identical across ranks)
+	arena   *tensor.Arena
+	skipped int
 }
 
 // NewDP builds a DP trainer for this rank.
 func NewDP(t Transport, cfg model.Config, opts Options) (*DP, error) {
+	if opts.Scaler != nil {
+		opts.Scaler = opts.Scaler.Clone()
+	}
 	mdl := model.Build(cfg)
 	return &DP{
 		t:     t,
@@ -45,6 +49,9 @@ func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
 		return 0, fmt.Errorf("pipeline: DP needs microbatch count divisible by %d ranks", p)
 	}
 	mine := data.Split(batches, p)[d.t.Rank()]
+	if d.opts.Scaler != nil {
+		d.mdl.Head.LossScale = float32(d.opts.Scaler.Scale())
+	}
 	nMods := len(d.mdl.Modules)
 	grads := newGrads(d.mdl)
 	var lossSum float64
@@ -65,19 +72,36 @@ func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
 	if err := comm.RingAllReduceSum(d.t, flatG, d.seq); err != nil {
 		return 0, err
 	}
-	inv := float32(1.0 / float64(len(batches)))
+	inv := gradFactor(d.opts, len(batches))
 	for i := range flatG {
 		flatG[i] *= inv
 	}
-	if c := clipScale(d.opts, sumSquares(flatG)); c != 1 {
-		for i := range flatG {
-			flatG[i] *= c
+	// The all-reduced gradient is replicated, so Σg² is already a global
+	// quantity — every rank computes the same value and makes the same
+	// clip/skip decision with no extra collective.
+	var sumSq float64
+	if needGlobalSumSq(d.opts) {
+		sumSq = sumSquares(flatG)
+	}
+	if guardActive(d.opts) && !finiteSum(sumSq) {
+		d.skipped++
+		if d.opts.Scaler != nil {
+			d.opts.Scaler.Observe(false)
+		}
+	} else {
+		if c := clipScale(d.opts, sumSq); c != 1 {
+			for i := range flatG {
+				flatG[i] *= c
+			}
+		}
+		flatW := make([]float32, total)
+		d.mdl.FlattenChunk(0, nMods, flatW)
+		d.opt.Step(flatW, flatG)
+		d.mdl.SetChunk(0, nMods, flatW)
+		if d.opts.Scaler != nil {
+			d.opts.Scaler.Observe(true)
 		}
 	}
-	flatW := make([]float32, total)
-	d.mdl.FlattenChunk(0, nMods, flatW)
-	d.opt.Step(flatW, flatG)
-	d.mdl.SetChunk(0, nMods, flatW)
 
 	d.seq++
 	sum, err := comm.AllReduceScalarSum(d.t, lossSum, d.seq)

@@ -1,0 +1,194 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"weipipe/internal/checkpoint"
+	"weipipe/internal/comm"
+)
+
+// Elastic repair: when ranks die mid-run, the survivors already hold every
+// piece of the lost trainer state — each dead rank's owned chunk lives on
+// as its predecessor's buddy shadow (buddy.go). Repair therefore never
+// reads a checkpoint: at the failure barrier the driver agrees on the dead
+// set (comm.AgreeMembership over the typed failure evidence), picks a
+// consistent cut (the minimum committed step phase across survivors, with
+// the one-deep rollback bridging ranks that already stepped past it),
+// harvests a full-state snapshot from owners and buddies, and restarts the
+// cluster at the new world size from that snapshot. Re-sharding is free:
+// the snapshot is world-size-agnostic, so the existing RestoreSnapshot
+// machinery re-partitions it across p−1 survivors (shrink) or p ranks
+// including a freshly admitted spare (spare) exactly as it would for a
+// checkpoint — but from live, zero-iteration-loss state.
+
+// ElasticPolicy selects how RunResilient reacts to dead ranks.
+type ElasticPolicy int
+
+const (
+	// ElasticNone restores from the last checkpoint (PR 2 behaviour).
+	ElasticNone ElasticPolicy = iota
+	// ElasticShrink repairs by re-sharding across the survivors (world
+	// size drops by the number of dead ranks), rebuilding lost shards from
+	// buddy replicas. Falls back to checkpoint restart when repair is
+	// impossible (a buddy died too, or the shrunken world is invalid).
+	ElasticShrink
+	// ElasticSpare repairs by admitting standby spares (world size is
+	// preserved while ResilientOptions.Spares last), seeding the
+	// replacement ranks from the harvested snapshot; once spares run out
+	// it shrinks, and as a last resort falls back to checkpoint restart.
+	ElasticSpare
+)
+
+// String names the policy (CLI flag values).
+func (e ElasticPolicy) String() string {
+	switch e {
+	case ElasticShrink:
+		return "shrink"
+	case ElasticSpare:
+		return "spare"
+	}
+	return "none"
+}
+
+// RepairEvent describes one elastic repair RunResilient performed.
+type RepairEvent struct {
+	// Attempt is the attempt index that failed and was repaired.
+	Attempt int
+	// Iteration is the repair cut: the snapshot resumes from this many
+	// completed iterations — no survivor progress is discarded beyond the
+	// iteration in flight when the failure hit.
+	Iteration int
+	// Dead lists the lost old-world ranks (sorted).
+	Dead []int
+	// Policy is the repair actually applied (shrink or spare).
+	Policy ElasticPolicy
+	// OldSize and NewSize are the world sizes before and after repair.
+	OldSize, NewSize int
+	// Snapshot is the harvested full trainer state the new world started
+	// from — assembled from surviving owners and buddy replicas, never
+	// from disk.
+	Snapshot *checkpoint.Snapshot
+}
+
+// harvestRepairSnapshot assembles a full-state snapshot from the
+// survivors of a failed attempt: every chunk's fp32 weights, AdamW moments
+// and step count come from the chunk's owner when it survived, or from the
+// owner's buddy shadow otherwise. All state is taken at the repair cut —
+// the minimum committed step phase across survivors — using the one-deep
+// rollback for ranks that had already stepped past it. Returns an error
+// when any lost chunk's buddy died too (checkpoint fallback territory) or
+// when the trainers do not carry buddy replicas.
+func harvestRepairSnapshot(trainers []Trainer, m comm.Membership) (*checkpoint.Snapshot, error) {
+	if len(m.Dead) == 0 {
+		return nil, fmt.Errorf("pipeline: harvest with no dead ranks")
+	}
+	p := m.OldSize
+	wps := make([]*WeiPipe, p)
+	for r, tr := range trainers {
+		wp, ok := tr.(*WeiPipe)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: elastic repair needs WeiPipe trainers, got %T", tr)
+		}
+		wps[r] = wp
+	}
+	survivors := m.Survivors()
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("pipeline: no survivors to harvest from")
+	}
+	// The repair cut: the lock-step driver bounds the iteration spread to
+	// one, so every needed export is either live or one rollback away.
+	tCut := wps[survivors[0]].CompletedStepPhases()
+	for _, r := range survivors[1:] {
+		if c := wps[r].CompletedStepPhases(); c < tCut {
+			tCut = c
+		}
+	}
+
+	ref := wps[survivors[0]]
+	mdl := ref.Model()
+	offsets := moduleOffsets(mdl)
+	total := mdl.NumParams()
+	snap := &checkpoint.Snapshot{
+		Config:  mdl.Cfg,
+		Weights: make([]float32, total),
+		Sections: map[string][]float32{
+			"adam.m": make([]float32, total),
+			"adam.v": make([]float32, total),
+		},
+		Step: int64(tCut),
+	}
+	optStep := -1
+	for c := 0; c < p; c++ {
+		owner := (c - 1 + p) % p
+		var st StateExport
+		var err error
+		switch {
+		case !m.IsDead(owner):
+			st, err = wps[owner].ExportOwnedStateAt(tCut)
+		default:
+			buddy := (owner - 1 + p) % p
+			if m.IsDead(buddy) {
+				return nil, fmt.Errorf("pipeline: chunk %d unrecoverable: owner %d and buddy %d both dead", c, owner, buddy)
+			}
+			if sc, ok := wps[buddy].BuddyChunk(); !ok || sc != c {
+				return nil, fmt.Errorf("pipeline: rank %d does not shadow chunk %d", buddy, c)
+			}
+			st, err = wps[buddy].ExportBuddyStateAt(tCut)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: harvest chunk %d: %w", c, err)
+		}
+		lo, hi := ref.chunkRange(c)
+		want := offsets[hi] - offsets[lo]
+		if len(st.W) != want {
+			return nil, fmt.Errorf("pipeline: chunk %d harvest covers %d params, want %d", c, len(st.W), want)
+		}
+		copy(snap.Weights[offsets[lo]:offsets[hi]], st.W)
+		copy(snap.Sections["adam.m"][offsets[lo]:offsets[hi]], st.M)
+		copy(snap.Sections["adam.v"][offsets[lo]:offsets[hi]], st.V)
+		if optStep == -1 {
+			optStep = st.Step
+		} else if optStep != st.Step {
+			return nil, fmt.Errorf("pipeline: inconsistent optimizer steps across chunks: %d vs %d", optStep, st.Step)
+		}
+	}
+	snap.Sections["adam.step"] = []float32{float32(optStep)}
+	return snap, nil
+}
+
+// planRepair decides how a failed attempt should continue under the
+// elastic policy: the new world size, the snapshot to restore, and the
+// event to report. ok=false means checkpoint fallback.
+func planRepair(fail *attemptFailure, world, spares, modules, nextBatches int,
+	policy ElasticPolicy, attempt int) (RepairEvent, int, bool) {
+
+	if policy == ElasticNone || fail.repair == nil || len(fail.dead) == 0 {
+		return RepairEvent{}, 0, false
+	}
+	newWorld := world - len(fail.dead)
+	applied := ElasticShrink
+	if policy == ElasticSpare {
+		replaced := len(fail.dead)
+		if replaced > spares {
+			replaced = spares
+		}
+		newWorld += replaced
+		if replaced > 0 {
+			applied = ElasticSpare
+		}
+	}
+	// WeiPipe validity at the new world size: a real ring, enough modules
+	// to partition, and a divisible microbatch count.
+	if newWorld < 2 || newWorld > modules || nextBatches%newWorld != 0 {
+		return RepairEvent{}, 0, false
+	}
+	return RepairEvent{
+		Attempt:   attempt,
+		Iteration: int(fail.repair.Step),
+		Dead:      fail.dead,
+		Policy:    applied,
+		OldSize:   world,
+		NewSize:   newWorld,
+		Snapshot:  fail.repair,
+	}, newWorld, true
+}

@@ -1,0 +1,321 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"weipipe/internal/comm"
+)
+
+// The elastic contract: a rank killed mid-run is repaired at the iteration
+// barrier from the survivors' buddy replicas — no checkpoint file is read —
+// and training continues at the new world size on exactly the trajectory a
+// fresh cluster of that size would produce from the repaired state. The
+// buddy maintenance that makes this possible must be invisible on the
+// critical path: identical losses, weights and KindWeight/KindGrad message
+// counts whether it is on or off.
+
+// buddySendsPerIteration measures rank 1's per-iteration send count with
+// buddy replication active (an elastic policy forces it on), so crash
+// schedules in elastic tests land in the intended iteration.
+func buddySendsPerIteration(t *testing.T, p, iters, n int) int64 {
+	t.Helper()
+	var probe *comm.FaultTransport
+	_, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			Elastic: ElasticShrink,
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if rank == 1 {
+					probe = comm.NewFaultTransport(tr, comm.FaultConfig{})
+					return probe
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("buddy probe run: %v", err)
+	}
+	_, _, _, _, sends := probe.Injected()
+	if sends == 0 || sends%int64(iters) != 0 {
+		t.Fatalf("buddy probe counted %d sends over %d iterations", sends, iters)
+	}
+	return sends / int64(iters)
+}
+
+// Buddy replication must not perturb training (bit-identical losses and
+// weights) and must not add a single message to the KindWeight/KindGrad
+// critical path — its traffic rides exclusively on KindBuddy.
+func TestBuddyReplicationOffCriticalPath(t *testing.T) {
+	const p, iters, n = 3, 3, 6
+	off, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqOpts()
+	opts.Buddy = true
+	on, err := RunCluster(StrategyWZB2, p, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "buddy on vs off", on.Losses, off.Losses, on.Weights, off.Weights)
+	for r := 0; r < p; r++ {
+		for _, k := range []comm.Kind{comm.KindWeight, comm.KindGrad} {
+			if got, want := on.Comm[r].SentMsgs(k), off.Comm[r].SentMsgs(k); got != want {
+				t.Errorf("rank %d: %d %v messages with buddy on, %d off — buddy leaked onto the critical path",
+					r, got, k, want)
+			}
+		}
+	}
+	if off.TotalComm().SentMsgs(comm.KindBuddy) != 0 {
+		t.Error("buddy-off run sent KindBuddy traffic")
+	}
+	if on.TotalComm().SentMsgs(comm.KindBuddy) == 0 {
+		t.Error("buddy-on run sent no KindBuddy traffic; replication was a no-op")
+	}
+}
+
+// chaosTCPFactory builds per-attempt TCP clusters with seeded frame-level
+// chaos, at whatever world size the elastic runner asks for.
+func chaosTCPFactory(tcpOpts comm.TCPOptions) func(attempt, size int) ([]comm.Transport, error) {
+	return func(attempt, size int) ([]comm.Transport, error) {
+		addrs, err := comm.LoopbackAddrs(size)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]comm.Transport, size)
+		errs := make([]error, size)
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				tr, err := comm.DialTCPOpts(r, addrs, tcpOpts)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				out[r] = tr
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				for _, tr := range out {
+					if tr != nil {
+						tr.Close()
+					}
+				}
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+}
+
+// The headline elastic test: WZB2 on 3 ranks over real TCP with frame-level
+// chaos, one rank killed mid-iteration, repaired by shrinking to 2 ranks
+// from buddy replicas — with checkpointing disabled, so the repair provably
+// reads nothing from disk. From the repair cut on, losses and final weights
+// must be bit-identical to a fresh 2-rank cluster started from the repaired
+// state.
+func TestElasticShrinkRepairWZB2ChaosTCP(t *testing.T) {
+	const p, iters, n = 3, 6, 6
+	perIter := buddySendsPerIteration(t, p, iters, n)
+	base := runtime.NumGoroutine()
+
+	tcpOpts := comm.TCPOptions{
+		DialTimeout:       10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		PeerDeadTimeout:   2 * time.Second,
+		RetransmitTimeout: 40 * time.Millisecond,
+		ReconnectBackoff:  5 * time.Millisecond,
+		Chaos: &comm.ChaosConfig{
+			Seed:      2025,
+			Drop:      0.06,
+			Dup:       0.06,
+			Reorder:   0.05,
+			Corrupt:   0.03,
+			DelayProb: 0.05,
+			MaxDelay:  2 * time.Millisecond,
+		},
+	}
+
+	var crashed *comm.FaultTransport
+	var ev RepairEvent
+	res, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		chaosTCPFactory(tcpOpts), ResilientOptions{
+			MaxRestarts: 1,
+			Elastic:     ElasticShrink,
+			OnRepair:    func(e RepairEvent) { ev = e },
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if attempt == 0 && rank == 1 {
+					crashed = comm.NewFaultTransport(tr, comm.FaultConfig{
+						CrashAtSend: perIter*3 + perIter/2,
+					})
+					return crashed
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("elastic chaos run failed: %v", err)
+	}
+	if !crashed.Crashed() {
+		t.Fatal("scheduled rank kill never fired; the test proved nothing")
+	}
+	if len(res.Repairs) != 1 {
+		t.Fatalf("expected exactly one repair, got %d", len(res.Repairs))
+	}
+	if ev.OldSize != 3 || ev.NewSize != 2 || ev.Policy != ElasticShrink {
+		t.Fatalf("repair %d->%d policy %v, want 3->2 shrink", ev.OldSize, ev.NewSize, ev.Policy)
+	}
+	if len(ev.Dead) != 1 || ev.Dead[0] != 1 {
+		t.Fatalf("dead set %v, want [1]", ev.Dead)
+	}
+	// The crash struck mid-iteration 3; the repair cut must keep every
+	// completed iteration (losing at most the one in flight).
+	if ev.Iteration < 3 || ev.Iteration >= iters {
+		t.Fatalf("repair cut at iteration %d; survivors had completed at least 3", ev.Iteration)
+	}
+
+	// Reference: a fresh 2-rank cluster started from the harvested snapshot.
+	ref, err := RunResilient(StrategyWZB2, ev.NewSize, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(ev.NewSize), ResilientOptions{
+			Elastic:         ElasticShrink,
+			InitialSnapshot: ev.Snapshot,
+		})
+	if err != nil {
+		t.Fatalf("reference run from repair snapshot: %v", err)
+	}
+	bitIdentical(t, "shrink repair vs fresh cluster",
+		res.Losses[ev.Iteration:], ref.Losses[ev.Iteration:], res.Weights, ref.Weights)
+
+	// The chaos must actually have exercised the reliability machinery.
+	f := res.TotalComm().TotalFaults()
+	if f.Retransmits+f.DupFrames+f.CorruptFrames == 0 {
+		t.Error("chaos run recorded no transport faults; injection was a no-op")
+	}
+	waitPipelineGoroutines(t, base)
+}
+
+// Spare admission: the world size is preserved by seeding a standby rank
+// from the harvested snapshot, again without reading any checkpoint.
+func TestElasticSpareRepairInproc(t *testing.T) {
+	const p, iters, n = 2, 6, 4
+	perIter := buddySendsPerIteration(t, p, iters, n)
+	base := runtime.NumGoroutine()
+
+	var crashed *comm.FaultTransport
+	var ev RepairEvent
+	res, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			MaxRestarts: 1,
+			Elastic:     ElasticSpare,
+			Spares:      1,
+			OnRepair:    func(e RepairEvent) { ev = e },
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if attempt == 0 && rank == 1 {
+					crashed = comm.NewFaultTransport(tr, comm.FaultConfig{
+						CrashAtSend: perIter*2 + perIter/2,
+					})
+					return crashed
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("spare repair run failed: %v", err)
+	}
+	if !crashed.Crashed() {
+		t.Fatal("scheduled rank kill never fired")
+	}
+	if len(res.Repairs) != 1 || ev.Policy != ElasticSpare || ev.OldSize != 2 || ev.NewSize != 2 {
+		t.Fatalf("repair %+v, want one 2->2 spare admission", ev)
+	}
+
+	ref, err := RunResilient(StrategyWZB2, ev.NewSize, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(ev.NewSize), ResilientOptions{
+			Elastic:         ElasticSpare,
+			InitialSnapshot: ev.Snapshot,
+		})
+	if err != nil {
+		t.Fatalf("reference run from repair snapshot: %v", err)
+	}
+	bitIdentical(t, "spare repair vs fresh cluster",
+		res.Losses[ev.Iteration:], ref.Losses[ev.Iteration:], res.Weights, ref.Weights)
+	waitPipelineGoroutines(t, base)
+}
+
+// killSwitch fails every transport operation with ErrCrashed once armed —
+// a deterministic way to kill several ranks at the same iteration barrier,
+// which CrashAtSend cannot guarantee (the first crash may unblock the
+// second rank into a non-crash error first).
+type killSwitch struct {
+	comm.Transport
+	dead *atomic.Bool
+}
+
+func (k *killSwitch) Send(dst int, tag comm.Tag, data []float32) error {
+	if k.dead.Load() {
+		return comm.ErrCrashed
+	}
+	return k.Transport.Send(dst, tag, data)
+}
+
+func (k *killSwitch) Recv(src int, tag comm.Tag) ([]float32, error) {
+	if k.dead.Load() {
+		return nil, comm.ErrCrashed
+	}
+	return k.Transport.Recv(src, tag)
+}
+
+func (k *killSwitch) RecvTimeout(src int, tag comm.Tag, d time.Duration) ([]float32, error) {
+	if k.dead.Load() {
+		return nil, comm.ErrCrashed
+	}
+	return k.Transport.RecvTimeout(src, tag, d)
+}
+
+// When a chunk's owner AND its buddy die in the same iteration, elastic
+// repair is impossible; the run must fall back to checkpoint restart at the
+// original world size and still land on the reference trajectory.
+func TestElasticDoubleDeathFallsBackToCheckpoint(t *testing.T) {
+	const p, iters, n = 3, 6, 6
+	base := runtime.NumGoroutine()
+	ref, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chunk 0 is owned by rank 2 and shadowed by rank 1: killing both at
+	// the iteration-3 barrier makes chunk 0 unrecoverable from replicas.
+	var dead atomic.Bool
+	res, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			CheckpointEvery: 2,
+			MaxRestarts:     1,
+			Elastic:         ElasticShrink,
+			OnIteration: func(iter int, loss float64) {
+				if iter == 2 {
+					dead.Store(true)
+				}
+			},
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if attempt == 0 && (rank == 1 || rank == 2) {
+					return &killSwitch{Transport: tr, dead: &dead}
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("double-death run failed to recover: %v", err)
+	}
+	if len(res.Repairs) != 0 {
+		t.Fatalf("repair reported despite owner+buddy death: %+v", res.Repairs)
+	}
+	bitIdentical(t, "double-death checkpoint fallback", res.Losses, ref.Losses, res.Weights, ref.Weights)
+	waitPipelineGoroutines(t, base)
+}

@@ -22,14 +22,18 @@ type FSDP struct {
 	t      Transport
 	mdl    *model.Model // weight buffer; authoritative state is the shards
 	shards [][]float32  // per-module owned parameter shard (fp32 master)
-	opts   []*optim.AdamW
-	o      Options
-	seq    int
-	arena  *tensor.Arena
+	opts    []*optim.AdamW
+	o       Options
+	seq     int
+	arena   *tensor.Arena
+	skipped int
 }
 
 // NewFSDP builds an FSDP trainer for this rank.
 func NewFSDP(t Transport, cfg model.Config, o Options) (*FSDP, error) {
+	if o.Scaler != nil {
+		o.Scaler = o.Scaler.Clone()
+	}
 	mdl := model.Build(cfg)
 	p := t.Size()
 	r := t.Rank()
@@ -78,6 +82,9 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 		return 0, fmt.Errorf("pipeline: FSDP needs microbatch count divisible by %d ranks", p)
 	}
 	mine := data.Split(batches, p)[f.t.Rank()]
+	if f.o.Scaler != nil {
+		f.mdl.Head.LossScale = float32(f.o.Scaler.Scale())
+	}
 	nMods := len(f.mdl.Modules)
 	grads := newGrads(f.mdl)
 	var lossSum float64
@@ -117,7 +124,7 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 	}
 
 	// Reduce-scatter each module's gradient into the owned shards.
-	invN := float32(1.0 / float64(len(batches)))
+	invN := gradFactor(f.o, len(batches))
 	gradShards := make([][]float32, nMods)
 	for i := 0; i < nMods; i++ {
 		full := make([]float32, f.mdl.ModuleParamSize(i))
@@ -132,17 +139,27 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 		}
 		gradShards[i] = shard
 	}
-	// Global-norm clip across all shards, then step.
-	if f.o.ClipNorm > 0 {
+	// Global-norm clip and non-finite guard across all shards (one scalar
+	// all-reduce gives every rank the identical verdict), then step.
+	var sumSq float64
+	if needGlobalSumSq(f.o) {
 		var local float64
 		for _, s := range gradShards {
 			local += sumSquares(s)
 		}
 		f.seq++
-		sumSq, err := comm.AllReduceScalarSum(f.t, local, f.seq)
+		var err error
+		sumSq, err = comm.AllReduceScalarSum(f.t, local, f.seq)
 		if err != nil {
 			return 0, err
 		}
+	}
+	if guardActive(f.o) && !finiteSum(sumSq) {
+		f.skipped++
+		if f.o.Scaler != nil {
+			f.o.Scaler.Observe(false)
+		}
+	} else {
 		if c := clipScale(f.o, sumSq); c != 1 {
 			for _, s := range gradShards {
 				for j := range s {
@@ -150,9 +167,12 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 				}
 			}
 		}
-	}
-	for i := 0; i < nMods; i++ {
-		f.opts[i].Step(f.shards[i], gradShards[i])
+		for i := 0; i < nMods; i++ {
+			f.opts[i].Step(f.shards[i], gradShards[i])
+		}
+		if f.o.Scaler != nil {
+			f.o.Scaler.Observe(true)
+		}
 	}
 
 	// Refresh the local buffer so Model() exposes post-step weights.

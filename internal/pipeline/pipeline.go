@@ -71,8 +71,47 @@ type Options struct {
 	// mixed-precision guard): the loss gradient is multiplied by the scale
 	// at its source, gradients are unscaled before the step, and steps
 	// with non-finite gradients are skipped while the scale halves.
-	// Supported by the serial reference trainer.
+	// Supported by the serial reference and the distributed runners (which
+	// fold the non-finite check into a global scalar all-reduce so every
+	// rank skips or steps identically).
 	Scaler *optim.LossScaler
+	// GuardNonFinite skips the optimizer step (without touching any loss
+	// scale) whenever the global gradient is non-finite, so a single NaN/Inf
+	// cannot poison the weights. The check rides the same scalar all-reduce
+	// global-norm clipping uses, so every rank makes the identical decision.
+	GuardNonFinite bool
+	// Buddy enables buddy replication on WeiPipe trainers: each rank
+	// additionally shadows its ring successor's owned chunk (fp32 weights,
+	// AdamW moments and step count) by replaying the successor's optimizer
+	// step from a dual-delivered copy of the retired gradient. The copy is
+	// sent asynchronously by the retiring worker, adding no blocking send —
+	// and no KindWeight/KindGrad message — to the training critical path.
+	// Ignored by non-WeiPipe strategies and single-rank rings.
+	Buddy bool
+}
+
+// guardActive reports whether non-finite gradients must skip the step.
+func guardActive(opts Options) bool { return opts.GuardNonFinite || opts.Scaler != nil }
+
+// needGlobalSumSq reports whether the step phase needs the global Σg²
+// (for clipping, for the non-finite guard, or for both — one all-reduce
+// serves every consumer).
+func needGlobalSumSq(opts Options) bool { return opts.ClipNorm > 0 || guardActive(opts) }
+
+// finiteSum reports whether a gradient sum-of-squares is finite.
+func finiteSum(sumSq float64) bool {
+	return !math.IsNaN(sumSq) && !math.IsInf(sumSq, 0)
+}
+
+// gradFactor returns the factor that turns an accumulated gradient sum into
+// the (unscaled) mean gradient: 1/(n·scale), folding the dynamic loss scale
+// into the same multiply as the microbatch average.
+func gradFactor(opts Options, n int) float32 {
+	scale := 1.0
+	if opts.Scaler != nil {
+		scale = opts.Scaler.Scale()
+	}
+	return float32(1.0 / (float64(n) * scale))
 }
 
 // clipScale returns the factor to scale gradients by so the global norm

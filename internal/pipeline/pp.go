@@ -34,11 +34,15 @@ type ppBase struct {
 	// forward time and released (reset + pooled) after the W pass. The pool
 	// therefore holds as many arenas as the schedule's peak in-flight
 	// microbatch count (N for GPipe, warm-up depth for 1F1B/ZB).
-	arenas map[int]*tensor.Arena
-	apool  arenaPool
+	arenas  map[int]*tensor.Arena
+	apool   arenaPool
+	skipped int
 }
 
 func newPPBase(t Transport, cfg model.Config, opts Options) (*ppBase, error) {
+	if opts.Scaler != nil {
+		opts.Scaler = opts.Scaler.Clone()
+	}
 	mdl := model.Build(cfg)
 	p := t.Size()
 	if p > len(mdl.Modules) {
@@ -63,6 +67,11 @@ func (p *ppBase) isLast() bool  { return p.t.Rank() == p.t.Size()-1 }
 
 // beginIteration resets per-iteration state.
 func (p *ppBase) beginIteration() {
+	if p.opts.Scaler != nil {
+		// Only the last stage runs the head, but setting the scale is
+		// harmless elsewhere and keeps the stages symmetric.
+		p.mdl.Head.LossScale = float32(p.opts.Scaler.Scale())
+	}
 	p.caches = make(map[int][]*nn.Cache)
 	p.grads = newGrads(p.mdl)
 	p.lossMB = make(map[int]float64)
@@ -132,24 +141,39 @@ func (p *ppBase) step(n int) error {
 	flatG := make([]float32, size)
 	p.mdl.FlattenChunk(p.lo, p.hi, flatW)
 	flattenGradsRange(p.mdl, p.grads, p.lo, p.hi, flatG)
-	inv := float32(1.0 / float64(n))
+	inv := gradFactor(p.opts, n)
 	for i := range flatG {
 		flatG[i] *= inv
 	}
-	if p.opts.ClipNorm > 0 {
+	// The stages' partial Σg² combine in one scalar all-reduce, serving
+	// both global-norm clipping and the non-finite guard with the identical
+	// verdict on every stage.
+	var sumSq float64
+	if needGlobalSumSq(p.opts) {
 		p.seq++
-		sumSq, err := comm.AllReduceScalarSum(p.t, sumSquares(flatG), p.seq)
+		var err error
+		sumSq, err = comm.AllReduceScalarSum(p.t, sumSquares(flatG), p.seq)
 		if err != nil {
 			return err
 		}
-		if c := clipScale(p.opts, sumSq); c != 1 {
-			for i := range flatG {
-				flatG[i] *= c
-			}
+	}
+	if guardActive(p.opts) && !finiteSum(sumSq) {
+		p.skipped++
+		if p.opts.Scaler != nil {
+			p.opts.Scaler.Observe(false)
+		}
+		return nil
+	}
+	if c := clipScale(p.opts, sumSq); c != 1 {
+		for i := range flatG {
+			flatG[i] *= c
 		}
 	}
 	p.opt.Step(flatW, flatG)
 	p.mdl.SetChunk(p.lo, p.hi, flatW)
+	if p.opts.Scaler != nil {
+		p.opts.Scaler.Observe(true)
+	}
 	return nil
 }
 

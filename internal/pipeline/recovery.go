@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"weipipe/internal/checkpoint"
 	"weipipe/internal/comm"
@@ -38,8 +40,21 @@ func (w *WeiPipe) RestoreOptimState(step int64, m, v []float32) error {
 	return w.opt.LoadState(int(step), m, v)
 }
 
-// SetIteration implements Recoverable for WeiPipe.
-func (w *WeiPipe) SetIteration(iter int) { w.iter = iter }
+// SetIteration implements Recoverable for WeiPipe. Beyond the wire-tag
+// counter it realigns the step-phase bookkeeping the elastic machinery
+// keeps: a trainer restored to iteration i has, by definition, committed i
+// step phases, holds no rollback, and its buddy shadow (if any) starts the
+// same cut with no stashed retire gradient.
+func (w *WeiPipe) SetIteration(iter int) {
+	w.iter = iter
+	w.ownerIters = iter
+	w.rbValid = false
+	if w.buddy != nil {
+		w.buddy.iters = iter
+		w.buddy.rbValid = false
+		w.buddy.pendingLocal = false
+	}
+}
 
 // ExportOptimState implements Recoverable for the serial reference.
 func (s *Serial) ExportOptimState() (int64, []float32, []float32) {
@@ -69,8 +84,10 @@ func moduleOffsets(mdl *model.Model) []int {
 // assembled post-step weights plus the optimizer moments, each rank
 // contributing its owned range, and the completed-iteration count (which
 // doubles as the data cursor — iteration i always trains on batchesFn(i)).
-// Every trainer must be quiescent (between iterations) and implement
-// Recoverable.
+// The optimizer step count travels in its own "adam.step" section: with the
+// non-finite guard, skipped steps make it run behind the iteration count,
+// so the two must not be conflated. Every trainer must be quiescent
+// (between iterations) and implement Recoverable.
 func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapshot, error) {
 	mdl := trainers[0].Model()
 	offsets := moduleOffsets(mdl)
@@ -84,13 +101,14 @@ func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapsh
 		},
 		Step: int64(completedIters),
 	}
+	optStep := int64(-1)
 	for _, tr := range trainers {
 		rec, ok := tr.(Recoverable)
 		if !ok {
 			return nil, fmt.Errorf("pipeline: %T cannot checkpoint optimizer state", tr)
 		}
 		lo, hi := rec.OwnedModules()
-		_, m, v := rec.ExportOptimState()
+		step, m, v := rec.ExportOptimState()
 		want := offsets[hi] - offsets[lo]
 		if len(m) != want || len(v) != want {
 			return nil, fmt.Errorf("pipeline: %T optimizer state covers %d params, owned range holds %d",
@@ -98,20 +116,43 @@ func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapsh
 		}
 		copy(snap.Sections["adam.m"][offsets[lo]:offsets[hi]], m)
 		copy(snap.Sections["adam.v"][offsets[lo]:offsets[hi]], v)
+		if optStep == -1 {
+			optStep = step
+		} else if optStep != step {
+			return nil, fmt.Errorf("pipeline: inconsistent optimizer steps across ranks: %d vs %d", optStep, step)
+		}
 	}
+	snap.Sections["adam.step"] = []float32{float32(optStep)}
 	return snap, nil
+}
+
+// snapshotOptStep returns the optimizer step count a snapshot carries: the
+// dedicated "adam.step" section when present, the iteration counter for
+// older snapshots (correct whenever no step was ever guard-skipped).
+func snapshotOptStep(snap *checkpoint.Snapshot) int64 {
+	if s := snap.Sections["adam.step"]; len(s) == 1 {
+		return int64(s[0])
+	}
+	return snap.Step
 }
 
 // RestoreSnapshot loads a coordinated checkpoint into a fresh cluster:
 // every rank gets the full weights, its owned slice of the optimizer
-// moments, and the snapshot's iteration counter. Training resumed from the
-// restored state is bit-identical to a run that never stopped.
+// moments, and the snapshot's iteration counter; WeiPipe ranks running
+// buddy replication additionally seed their shadow replica from the
+// successor chunk's slice — which is how elastic repair re-arms the next
+// failure's recovery without any extra traffic. Because the snapshot is a
+// full flat state, the cluster restored into may have a different world
+// size than the one that captured it (that is the elastic re-shard).
+// Training resumed from the restored state is bit-identical to a run that
+// never stopped.
 func RestoreSnapshot(snap *checkpoint.Snapshot, trainers []Trainer) error {
 	offsets := moduleOffsets(trainers[0].Model())
 	am, av := snap.Sections["adam.m"], snap.Sections["adam.v"]
 	if am == nil || av == nil {
 		return fmt.Errorf("pipeline: snapshot lacks optimizer moment sections")
 	}
+	optStep := snapshotOptStep(snap)
 	for _, tr := range trainers {
 		rec, ok := tr.(Recoverable)
 		if !ok {
@@ -124,10 +165,23 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, trainers []Trainer) error {
 			r.ReloadMasterFromModel()
 		}
 		lo, hi := rec.OwnedModules()
-		if err := rec.RestoreOptimState(snap.Step, am[offsets[lo]:offsets[hi]], av[offsets[lo]:offsets[hi]]); err != nil {
+		if err := rec.RestoreOptimState(optStep, am[offsets[lo]:offsets[hi]], av[offsets[lo]:offsets[hi]]); err != nil {
 			return err
 		}
 		rec.SetIteration(int(snap.Step))
+		if wp, ok := tr.(*WeiPipe); ok && wp.buddy != nil {
+			c, _ := wp.BuddyChunk()
+			blo, bhi := wp.chunkRange(c)
+			st := StateExport{
+				W:    snap.Weights[offsets[blo]:offsets[bhi]],
+				M:    am[offsets[blo]:offsets[bhi]],
+				V:    av[offsets[blo]:offsets[bhi]],
+				Step: int(optStep),
+			}
+			if err := wp.SeedBuddyFromState(st, int(snap.Step)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -135,16 +189,40 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, trainers []Trainer) error {
 // ResilientOptions configures RunResilient.
 type ResilientOptions struct {
 	// CheckpointEvery takes a coordinated checkpoint after every n-th
-	// completed iteration (0 = only recover from scratch).
+	// completed iteration (0 = never; elastic repair still works, since it
+	// recovers from buddy replicas, not checkpoints).
 	CheckpointEvery int
 	// CheckpointPath, when set, persists each checkpoint to disk (and an
 	// existing file there seeds the run, resuming a previous process).
 	CheckpointPath string
+	// KeepCheckpoints rotates the on-disk checkpoint, retaining the last k
+	// files (path, path.1, …, path.k−1). 0 or 1 keeps only the latest.
+	KeepCheckpoints int
 	// MaxRestarts bounds the recovery attempts; 0 means fail on the first
 	// rank failure like a plain run.
 	MaxRestarts int
+	// Elastic selects how dead ranks are handled: checkpoint restart at the
+	// same world size (ElasticNone), re-sharding across the survivors
+	// (ElasticShrink), or admitting standby spares (ElasticSpare). Both
+	// elastic policies repair from buddy replicas at the failure barrier —
+	// no checkpoint is read — and fall back to checkpoint restart when
+	// repair is impossible. Elastic repair forces Options.Buddy on.
+	Elastic ElasticPolicy
+	// Spares is the standby rank budget ElasticSpare may admit.
+	Spares int
+	// Watchdog, when set, runs a straggler watchdog over per-rank progress
+	// beacons; see WatchdogConfig.
+	Watchdog *WatchdogConfig
+	// OnRepair is called after each successful elastic repair.
+	OnRepair func(RepairEvent)
+	// InitialSnapshot, when set, seeds the run from an in-memory snapshot
+	// instead of CheckpointPath — the hook the repair equivalence tests use
+	// to start a fresh cluster from a harvested repair state.
+	InitialSnapshot *checkpoint.Snapshot
 	// WrapTransport, when set, wraps each rank's transport per attempt —
-	// the hook the chaos tests use to inject rank crashes.
+	// the hook the chaos tests use to inject rank crashes. The straggler
+	// watchdog's beacons wrap outside this, so injected delays register as
+	// stalls.
 	WrapTransport func(attempt, rank int, t comm.Transport) comm.Transport
 	// OnIteration is called at each completed iteration barrier.
 	OnIteration func(iter int, loss float64)
@@ -155,25 +233,40 @@ type ResilientOptions struct {
 	LR func(iter int) float64
 }
 
+// attemptFailure is the evidence one failed attempt hands the restart loop:
+// the triggering error, the iteration it struck, the agreed dead set, and —
+// when the survivors' buddy replicas covered every lost shard — the
+// harvested repair snapshot.
+type attemptFailure struct {
+	err    error
+	iter   int
+	dead   []int
+	repair *checkpoint.Snapshot
+}
+
 // RunResilient is RunCluster with failure recovery: it drives `iters`
-// lock-step iterations of strategy s on p ranks, takes coordinated
-// checkpoints at the iteration barrier, and — when any rank fails (peer
-// death, transport closure, injected crash) — tears the surviving ranks
-// down cleanly, rebuilds the cluster on fresh transports and resumes from
-// the last checkpoint. Because checkpoints capture weights, optimizer
-// moments and the data cursor exactly, the recovered run's loss trajectory
-// is bit-identical to an uninterrupted one.
+// lock-step iterations of strategy s on p ranks and — when any rank fails
+// (peer death, transport closure, injected crash, watchdog declaration) —
+// tears the survivors down cleanly and continues. How it continues is the
+// ElasticPolicy's choice: ElasticNone rebuilds the same world from the last
+// coordinated checkpoint; ElasticShrink and ElasticSpare repair at the
+// failure barrier from the survivors' buddy replicas — re-sharding across
+// p−1 ranks or admitting a spare — losing at most the iteration in flight
+// and reading nothing from disk. Either way the continued run's loss
+// trajectory is bit-identical to an uninterrupted run of the same
+// world-size history.
 //
 // transports builds one endpoint per rank for each incarnation of the
-// cluster (attempt 0 is the initial bring-up).
+// cluster (attempt 0 is the initial bring-up); elastic repair changes the
+// requested size between attempts.
 func RunResilient(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	batchesFn func(iter int) []data.Batch,
-	transports func(attempt int) ([]comm.Transport, error),
+	transports func(attempt, size int) ([]comm.Transport, error),
 	ropts ResilientOptions) (*ClusterResult, error) {
 
 	losses := make([]float64, iters)
-	var snap *checkpoint.Snapshot
-	if ropts.CheckpointPath != "" {
+	snap := ropts.InitialSnapshot
+	if snap == nil && ropts.CheckpointPath != "" {
 		if _, err := os.Stat(ropts.CheckpointPath); err == nil {
 			loaded, err := checkpoint.Load(ropts.CheckpointPath)
 			if err != nil {
@@ -186,14 +279,39 @@ func RunResilient(s Strategy, p int, cfg model.Config, opts Options, iters int,
 		}
 	}
 
+	world := p
+	spares := ropts.Spares
+	var repairs []RepairEvent
 	for attempt := 0; ; attempt++ {
-		res, failErr := runAttempt(s, p, cfg, opts, iters, batchesFn, transports, ropts, attempt, losses, &snap)
-		if failErr == nil {
+		res, fail := runAttempt(s, world, cfg, opts, iters, batchesFn, transports, ropts, attempt, losses, &snap)
+		if fail == nil {
+			res.Repairs = repairs
 			return res, nil
 		}
 		if attempt >= ropts.MaxRestarts {
-			return nil, fmt.Errorf("pipeline: failed after %d restarts: %w", attempt, failErr)
+			return nil, fmt.Errorf("pipeline: failed after %d restarts: %w", attempt, fail.err)
 		}
+		if fail.repair != nil {
+			bIter := int(fail.repair.Step)
+			if bIter >= iters {
+				bIter = iters - 1
+			}
+			modules := len(model.Build(cfg).Modules)
+			if ev, newWorld, ok := planRepair(fail, world, spares, modules,
+				len(batchesFn(bIter)), ropts.Elastic, attempt); ok {
+				if ev.Policy == ElasticSpare {
+					spares -= ev.NewSize - (world - len(fail.dead))
+				}
+				snap = ev.Snapshot
+				world = newWorld
+				repairs = append(repairs, ev)
+				if ropts.OnRepair != nil {
+					ropts.OnRepair(ev)
+				}
+			}
+		}
+		// No viable repair: retry at the current world size from the last
+		// checkpoint (or from scratch), exactly the pre-elastic behaviour.
 	}
 }
 
@@ -201,23 +319,35 @@ func RunResilient(s Strategy, p int, cfg model.Config, opts Options, iters int,
 // restore, lock-step iterations with checkpointing, teardown. On a rank
 // failure it closes every transport — unblocking ranks stuck in Recv — and
 // waits for all rank goroutines before returning, so nothing leaks into
-// the next attempt.
+// the next attempt; it then gathers the failure evidence (typed dead-rank
+// errors plus watchdog declarations) and, under an elastic policy,
+// harvests the repair snapshot from the quiescent survivors.
 func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	batchesFn func(iter int) []data.Batch,
-	transports func(attempt int) ([]comm.Transport, error),
+	transports func(attempt, size int) ([]comm.Transport, error),
 	ropts ResilientOptions, attempt int,
-	losses []float64, snap **checkpoint.Snapshot) (*ClusterResult, error) {
+	losses []float64, snap **checkpoint.Snapshot) (*ClusterResult, *attemptFailure) {
 
-	ts, err := transports(attempt)
+	ts, err := transports(attempt, p)
 	if err != nil {
-		return nil, fmt.Errorf("attempt %d bring-up: %w", attempt, err)
+		return nil, &attemptFailure{err: fmt.Errorf("attempt %d bring-up: %w", attempt, err)}
 	}
 	if len(ts) != p {
-		return nil, fmt.Errorf("attempt %d: got %d transports for %d ranks", attempt, len(ts), p)
+		for _, t := range ts {
+			t.Close()
+		}
+		return nil, &attemptFailure{err: fmt.Errorf("attempt %d: got %d transports for %d ranks", attempt, len(ts), p)}
 	}
 	if ropts.WrapTransport != nil {
 		for r := range ts {
 			ts[r] = ropts.WrapTransport(attempt, r, ts[r])
+		}
+	}
+	var board *ProgressBoard
+	if ropts.Watchdog != nil {
+		board = NewProgressBoard(p)
+		for r := range ts {
+			ts[r] = WrapBeacon(ts[r], board, r)
 		}
 	}
 	closeAll := func() {
@@ -226,12 +356,23 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 		}
 	}
 
+	optsRank := opts
+	if ropts.Elastic != ElasticNone {
+		// Repair needs every shard replicated; the buddy belt rides along
+		// off the critical path, so forcing it on costs no blocking sends.
+		optsRank.Buddy = true
+	}
 	trainers := make([]Trainer, p)
 	for r := 0; r < p; r++ {
-		tr, err := New(s, ts[r], cfg, opts)
+		tr, err := New(s, ts[r], cfg, optsRank)
 		if err != nil {
 			closeAll()
-			return nil, err
+			return nil, &attemptFailure{err: err}
+		}
+		if board != nil {
+			if ps, ok := tr.(progressSink); ok {
+				ps.SetProgressBoard(board, r)
+			}
 		}
 		trainers[r] = tr
 	}
@@ -239,9 +380,20 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	if *snap != nil {
 		if err := RestoreSnapshot(*snap, trainers); err != nil {
 			closeAll()
-			return nil, err
+			return nil, &attemptFailure{err: err}
 		}
 		start = int((*snap).Step)
+	}
+
+	var wd *watchdog
+	if ropts.Watchdog != nil {
+		wd = startWatchdog(*ropts.Watchdog, board, func(rank int) {
+			// Declaring a straggler dead = closing its endpoint: its next
+			// transport op fails and the failure flows through the same
+			// typed-error repair path as a crash.
+			ts[rank].Close()
+		})
+		defer wd.Stop()
 	}
 
 	type outcome struct {
@@ -259,18 +411,32 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			}
 		}
 		batches := batchesFn(iter)
+		iterStart := time.Now()
 		results := make(chan outcome, p)
 		for r := 0; r < p; r++ {
+			if board != nil {
+				board.SetIdle(r, false)
+			}
 			go func(r int) {
 				loss, err := trainers[r].TrainIteration(batches)
+				if board != nil {
+					board.SetIdle(r, true)
+				}
 				results <- outcome{rank: r, loss: loss, err: err}
 			}(r)
 		}
 		var firstErr error
+		var dead []int
 		var iterLoss float64
 		for got := 0; got < p; got++ {
 			o := <-results
 			if o.err != nil {
+				if errors.Is(o.err, comm.ErrCrashed) {
+					dead = append(dead, o.rank)
+				}
+				if r, ok := comm.DeadPeer(o.err); ok {
+					dead = append(dead, r)
+				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("rank %d, iteration %d: %w", o.rank, iter, o.err)
 					// Surviving ranks are blocked in Recv on a protocol that
@@ -285,7 +451,25 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			}
 		}
 		if firstErr != nil {
-			return nil, firstErr
+			fail := &attemptFailure{err: firstErr, iter: iter}
+			if wd != nil {
+				wd.Stop()
+				dead = append(dead, wd.Killed()...)
+			}
+			if ropts.Elastic != ElasticNone && len(dead) > 0 {
+				m := comm.AgreeMembership(p, dead)
+				fail.dead = m.Dead
+				if hs, err := harvestRepairSnapshot(trainers, m); err == nil {
+					fail.repair = hs
+				}
+				// A failed harvest (buddy died too, non-WeiPipe strategy)
+				// leaves repair nil: the restart loop falls back to the last
+				// checkpoint.
+			}
+			return nil, fail
+		}
+		if wd != nil {
+			wd.NoteIteration(time.Since(iterStart))
 		}
 		losses[iter] = iterLoss
 		if ropts.OnIteration != nil {
@@ -295,12 +479,12 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			ns, err := CaptureSnapshot(trainers, iter+1)
 			if err != nil {
 				closeAll()
-				return nil, err
+				return nil, &attemptFailure{err: err, iter: iter}
 			}
 			if ropts.CheckpointPath != "" {
-				if err := checkpoint.Save(ropts.CheckpointPath, ns); err != nil {
+				if err := checkpoint.SaveRotate(ropts.CheckpointPath, ns, ropts.KeepCheckpoints); err != nil {
 					closeAll()
-					return nil, err
+					return nil, &attemptFailure{err: err, iter: iter}
 				}
 			}
 			*snap = ns
@@ -308,8 +492,9 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	}
 
 	res := &ClusterResult{
-		Losses:  append([]float64(nil), losses...),
-		Weights: AssembleWeights(trainers),
+		Losses:       append([]float64(nil), losses...),
+		Weights:      AssembleWeights(trainers),
+		SkippedSteps: maxSkipped(trainers),
 	}
 	for _, t := range ts {
 		if m, ok := t.(comm.Meter); ok {

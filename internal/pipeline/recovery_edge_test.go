@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"weipipe/internal/comm"
+)
+
+// Edge cases of the restart loop: a failure before any state exists, a
+// failure in the iteration right after a checkpoint barrier, and a failure
+// budget that runs out.
+
+// A crash on the very first send — before any iteration completed, with no
+// checkpoint and no repair state — must restart from scratch and still land
+// on the reference trajectory.
+func TestRepairAtIterationZeroRestartsFromScratch(t *testing.T) {
+	const p, iters, n = 2, 3, 4
+	ref, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashed *comm.FaultTransport
+	res, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			MaxRestarts: 1,
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if attempt == 0 && rank == 1 {
+					crashed = comm.NewFaultTransport(tr, comm.FaultConfig{CrashAtSend: 1})
+					return crashed
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("iteration-0 recovery failed: %v", err)
+	}
+	if !crashed.Crashed() {
+		t.Fatal("scheduled crash never fired")
+	}
+	bitIdentical(t, "iteration-0 restart", res.Losses, ref.Losses, res.Weights, ref.Weights)
+}
+
+// A crash on the first send after a checkpoint barrier: the checkpoint is
+// brand new, the replay window is a single iteration prefix, and the resumed
+// run must not double-apply anything.
+func TestRepairRightAfterCheckpointBarrier(t *testing.T) {
+	const p, iters, n = 2, 6, 4
+	perIter := sendsPerIteration(t, p, iters, n)
+	ref, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashed *comm.FaultTransport
+	res, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			CheckpointEvery: 2,
+			MaxRestarts:     1,
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if attempt == 0 && rank == 1 {
+					// First send of iteration 2, immediately after the
+					// checkpoint taken at the iteration-2 barrier.
+					crashed = comm.NewFaultTransport(tr, comm.FaultConfig{CrashAtSend: perIter*2 + 1})
+					return crashed
+				}
+				return tr
+			},
+		})
+	if err != nil {
+		t.Fatalf("post-barrier recovery failed: %v", err)
+	}
+	if !crashed.Crashed() {
+		t.Fatal("scheduled crash never fired")
+	}
+	bitIdentical(t, "post-barrier restart", res.Losses, ref.Losses, res.Weights, ref.Weights)
+}
+
+// When every attempt crashes, the restart budget must be exhausted cleanly:
+// a typed error naming the budget, no hang, no leaked goroutines.
+func TestRepairBudgetExhaustion(t *testing.T) {
+	const p, iters, n = 2, 4, 4
+	base := runtime.NumGoroutine()
+	_, err := RunResilient(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n),
+		inprocFactory(p), ResilientOptions{
+			MaxRestarts: 2,
+			WrapTransport: func(attempt, rank int, tr comm.Transport) comm.Transport {
+				if rank == 0 {
+					return comm.NewFaultTransport(tr, comm.FaultConfig{CrashAtSend: 5})
+				}
+				return tr
+			},
+		})
+	if err == nil {
+		t.Fatal("run with a crash on every attempt reported success")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 restarts") {
+		t.Fatalf("error %q does not name the exhausted restart budget", err)
+	}
+	waitPipelineGoroutines(t, base)
+}

@@ -53,10 +53,11 @@ func bitIdentical(t *testing.T, name string, gotLoss, wantLoss []float64, gotW, 
 	}
 }
 
-// inprocFactory builds a fresh in-process cluster per recovery attempt.
-func inprocFactory(p int) func(int) ([]comm.Transport, error) {
-	return func(int) ([]comm.Transport, error) {
-		return comm.NewCluster(p).Transports(), nil
+// inprocFactory builds a fresh in-process cluster per recovery attempt,
+// honouring the size the elastic runner asks for.
+func inprocFactory(int) func(int, int) ([]comm.Transport, error) {
+	return func(_, size int) ([]comm.Transport, error) {
+		return comm.NewCluster(size).Transports(), nil
 	}
 }
 
@@ -188,15 +189,15 @@ func TestChaosEquivalenceWZB2TCP(t *testing.T) {
 			MaxDelay:  2 * time.Millisecond,
 		},
 	}
-	tcpFactory := func(attempt int) ([]comm.Transport, error) {
-		addrs, err := comm.LoopbackAddrs(p)
+	tcpFactory := func(attempt, size int) ([]comm.Transport, error) {
+		addrs, err := comm.LoopbackAddrs(size)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]comm.Transport, p)
-		errs := make([]error, p)
+		out := make([]comm.Transport, size)
+		errs := make([]error, size)
 		var wg sync.WaitGroup
-		for r := 0; r < p; r++ {
+		for r := 0; r < size; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()

@@ -43,6 +43,48 @@ type ClusterResult struct {
 	// measurement (bytes by message kind) the paper's analysis reasons
 	// about.
 	Comm []*comm.Stats
+	// SkippedSteps counts optimizer steps dropped by the non-finite guard
+	// or the loss scaler. The skip decision is global, so the count is the
+	// same on every rank.
+	SkippedSteps int
+	// Repairs lists the elastic repairs RunResilient performed (empty for
+	// plain runs and for checkpoint-only recovery).
+	Repairs []RepairEvent
+}
+
+// SkipCounter is implemented by trainers that count guard-skipped steps.
+type SkipCounter interface {
+	SkippedSteps() int
+}
+
+// SkippedSteps implements SkipCounter for the serial reference.
+func (s *Serial) SkippedSteps() int { return s.skipped }
+
+// SkippedSteps implements SkipCounter for DP.
+func (d *DP) SkippedSteps() int { return d.skipped }
+
+// SkippedSteps implements SkipCounter for FSDP.
+func (f *FSDP) SkippedSteps() int { return f.skipped }
+
+// SkippedSteps implements SkipCounter for the activation-passing stages.
+func (p *ppBase) SkippedSteps() int { return p.skipped }
+
+// SkippedSteps implements SkipCounter for WeiPipe.
+func (w *WeiPipe) SkippedSteps() int { return w.skipped }
+
+// SkippedSteps implements SkipCounter for the hybrid trainer.
+func (h *WeiPipeDP) SkippedSteps() int { return h.inner.skipped }
+
+// maxSkipped returns the largest per-trainer skip count (they agree on
+// every rank that implements SkipCounter; max is robust to mixtures).
+func maxSkipped(trainers []Trainer) int {
+	out := 0
+	for _, tr := range trainers {
+		if sc, ok := tr.(SkipCounter); ok && sc.SkippedSteps() > out {
+			out = sc.SkippedSteps()
+		}
+	}
+	return out
 }
 
 // TotalComm aggregates the per-rank meters.
@@ -96,8 +138,9 @@ func RunCluster(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	}
 
 	res := &ClusterResult{
-		Losses:  losses[0],
-		Weights: AssembleWeights(trainers),
+		Losses:       losses[0],
+		Weights:      AssembleWeights(trainers),
+		SkippedSteps: maxSkipped(trainers),
 	}
 	for r := 0; r < p; r++ {
 		res.Comm = append(res.Comm, cluster.Stats(r))

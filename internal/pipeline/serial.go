@@ -18,7 +18,8 @@ type Serial struct {
 	opts Options
 	// arena supplies every per-microbatch intermediate; with one microbatch
 	// in flight at a time it is reset as soon as the W pass has run.
-	arena *tensor.Arena
+	arena   *tensor.Arena
+	skipped int
 }
 
 // NewSerial builds the reference trainer.
@@ -66,13 +67,22 @@ func (s *Serial) step(grads []*nn.ParamSet, n int) {
 	s.mdl.FlattenChunk(0, len(s.mdl.Modules), flatW)
 	flattenGradsRange(s.mdl, grads, 0, len(s.mdl.Modules), flatG)
 	if s.opts.Scaler != nil && !s.opts.Scaler.Unscale(flatG) {
+		s.skipped++
 		return // overflow: skip the step; the scaler has already backed off
 	}
 	inv := float32(1.0 / float64(n))
 	for i := range flatG {
 		flatG[i] *= inv
 	}
-	if c := clipScale(s.opts, sumSquares(flatG)); c != 1 {
+	var sumSq float64
+	if needGlobalSumSq(s.opts) {
+		sumSq = sumSquares(flatG)
+	}
+	if s.opts.GuardNonFinite && !finiteSum(sumSq) {
+		s.skipped++
+		return
+	}
+	if c := clipScale(s.opts, sumSq); c != 1 {
 		for i := range flatG {
 			flatG[i] *= c
 		}

@@ -99,10 +99,46 @@ type WeiPipe struct {
 	iter int
 	curR int // rounds in the current iteration (N/P)
 
+	// skipped counts optimizer steps dropped by the non-finite guard (or
+	// the loss scaler); the decision is global, so every rank agrees.
+	skipped int
+
+	// buddy, when non-nil, shadows the ring successor's owned chunk (see
+	// buddy.go). ownerIters counts this rank's committed step phases, and
+	// rb* hold the one-deep pre-step rollback of the owned chunk that lets
+	// elastic repair export a consistent cut.
+	buddy         *buddyState
+	ownerIters    int
+	rbW, rbM, rbV []float32
+	rbStep        int
+	rbIters       int
+	rbValid       bool
+
+	// Step-phase decisions recorded for the buddy shadow replay: the
+	// gradient factor, the globally agreed Σg², and the skip verdict are
+	// bit-identical on every rank, so the shadow replays the owner's step
+	// exactly.
+	lastInv   float32
+	lastSumSq float64
+	lastSkip  bool
+
 	// apool recycles per-microbatch scratch arenas across rounds and
 	// iterations; at most R microbatches of this worker are in flight, so the
 	// pool stabilises at that many arenas.
 	apool arenaPool
+
+	// board, when non-nil, receives this rank's schedule position before
+	// every compute stage so the straggler watchdog can report where a
+	// stalled rank got stuck.
+	board     *ProgressBoard
+	boardRank int
+}
+
+// post publishes the rank's schedule position to the progress board.
+func (w *WeiPipe) post(mb int, phase byte) {
+	if w.board != nil {
+		w.board.Post(w.boardRank, w.iter, mb, phase)
+	}
 }
 
 // Belt identifiers used in wire tags.
@@ -119,6 +155,11 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 	if p > len(mdl.Modules) {
 		return nil, fmt.Errorf("pipeline: %d ranks exceed %d modules", p, len(mdl.Modules))
 	}
+	if opts.Scaler != nil {
+		// Every rank advances its own scaler copy; the skip decisions are
+		// global, so the copies evolve in lock-step without sharing state.
+		opts.Scaler = opts.Scaler.Clone()
+	}
 	w := &WeiPipe{
 		t:       t,
 		mdl:     mdl,
@@ -131,6 +172,9 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 	w.masterW = make([]float32, mdl.ChunkSize(lo, hi))
 	mdl.FlattenChunk(lo, hi, w.masterW)
 	w.opt = optim.NewAdamW(len(w.masterW), opts.Adam)
+	if opts.Buddy && p >= 2 {
+		w.initBuddy()
+	}
 	return w, nil
 }
 
@@ -173,6 +217,9 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		return 0, fmt.Errorf("pipeline: WeiPipe needs microbatch count divisible by %d workers", p)
 	}
 	w.curR = n / p
+	if w.opts.Scaler != nil {
+		w.mdl.Head.LossScale = float32(w.opts.Scaler.Scale())
+	}
 	st := &wpState{
 		batches:    batches,
 		R:          w.curR,
@@ -239,28 +286,52 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	if w.globalN > 0 {
 		denom = w.globalN
 	}
-	inv := float32(1.0 / float64(denom))
+	inv := gradFactor(w.opts, denom)
 	for i := range d {
 		d[i] *= inv
 	}
-	if w.opts.ClipNorm > 0 {
-		sumSq, err := comm.AllReduceScalarSum(w.t, sumSquares(d), (1<<30)+w.iter)
+	// One scalar all-reduce serves both global-norm clipping and the
+	// non-finite guard: NaN/Inf propagates through the sum, so every rank
+	// (and every buddy shadow) reaches the identical verdict.
+	var sumSq float64
+	if needGlobalSumSq(w.opts) {
+		sumSq, err = comm.AllReduceScalarSum(w.t, sumSquares(d), (1<<30)+w.iter)
 		if err != nil {
 			comm.Release(d)
 			return 0, err
 		}
+	}
+	skip := guardActive(w.opts) && !finiteSum(sumSq)
+	w.lastInv, w.lastSumSq, w.lastSkip = inv, sumSq, skip
+	w.stashOwnedRollback()
+	if skip {
+		w.skipped++
+		if w.opts.Scaler != nil {
+			w.opts.Scaler.Observe(false)
+		}
+	} else {
 		if c := clipScale(w.opts, sumSq); c != 1 {
 			for i := range d {
 				d[i] *= c
 			}
 		}
+		w.opt.Step(w.masterW, d)
+		if w.opts.Scaler != nil {
+			w.opts.Scaler.Observe(true)
+		}
 	}
-	w.opt.Step(w.masterW, d)
+	w.ownerIters++
 	comm.Release(d)
 	// Reflect the update in the local replica buffer so Model() exposes
 	// this worker's post-step chunk.
 	lo, hi := w.chunkRange(w.ownChunk)
 	w.mdl.SetChunk(lo, hi, w.masterW)
+
+	if w.buddy != nil {
+		if err := w.buddyStep(); err != nil {
+			return 0, err
+		}
+	}
 
 	w.iter++
 	loss, err := comm.AllReduceScalarSum(w.t, st.lossSum, w.iter)
@@ -431,7 +502,10 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 		return w.t.Send((w.t.Rank()+1)%w.t.Size(),
 			Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use+1)}, local)
 	}
-	return w.t.Send(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local)
+	if err := w.t.Send(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local); err != nil {
+		return err
+	}
+	return w.buddyRetire(c, local)
 }
 
 // ---- compute stages ------------------------------------------------------
@@ -440,6 +514,7 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 // The belt use index equals the microbatch index kP+rank.
 func (w *WeiPipe) fStage(st *wpState, k, c int) error {
 	mb := k*w.t.Size() + w.t.Rank()
+	w.post(mb, 'F')
 	if err := w.recvBeltChunk(beltFwd, c, mb); err != nil {
 		return err
 	}
@@ -466,6 +541,7 @@ func (w *WeiPipe) fStage(st *wpState, k, c int) error {
 // bStage runs the B pass of chunk c for this worker's round-k microbatch.
 func (w *WeiPipe) bStage(st *wpState, k, c int) error {
 	mb := k*w.t.Size() + w.t.Rank()
+	w.post(mb, 'B')
 	if err := w.recvBeltChunk(beltBwd, c, mb); err != nil {
 		return err
 	}
@@ -485,6 +561,7 @@ func (w *WeiPipe) bStage(st *wpState, k, c int) error {
 // microbatch's last W pass completes, its activations are released.
 func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 	mb := k*w.t.Size() + w.t.Rank()
+	w.post(mb, 'W')
 	caches := st.caches[mb]
 	lo, hi := w.chunkRange(c)
 	grads := make([]*nn.ParamSet, len(w.mdl.Modules))

@@ -47,6 +47,10 @@ func NewWeiPipeDP(t Transport, cfg model.Config, opts Options, v WeiPipeVariant,
 	if err != nil {
 		return nil, err
 	}
+	// Buddy replication shadows the step from the pre-all-reduce retired
+	// gradient; with a cross-replica reduce in the step path the replay
+	// would diverge, so the hybrid disables it.
+	opts.Buddy = false
 	w, err := NewWeiPipe(ring, cfg, opts, v)
 	if err != nil {
 		return nil, err

@@ -135,8 +135,31 @@ type (
 	// ErrCorrupt).
 	CorruptionError = comm.CorruptionError
 	// ResilientOptions configures RunResilient (checkpoint cadence, restart
-	// budget, transport wrapping, LR schedule).
+	// budget, elastic repair policy, straggler watchdog, transport wrapping,
+	// LR schedule).
 	ResilientOptions = pipeline.ResilientOptions
+	// ElasticPolicy selects how RunResilient reacts to dead ranks
+	// (ElasticNone / ElasticShrink / ElasticSpare).
+	ElasticPolicy = pipeline.ElasticPolicy
+	// RepairEvent describes one elastic repair RunResilient performed.
+	RepairEvent = pipeline.RepairEvent
+	// WatchdogConfig tunes the straggler watchdog (sampling interval, stall
+	// threshold, declare-dead behaviour).
+	WatchdogConfig = pipeline.WatchdogConfig
+	// StragglerReport describes one rank the watchdog flagged as stalled.
+	StragglerReport = pipeline.StragglerReport
+)
+
+// The elastic repair policies.
+const (
+	// ElasticNone restores from the last checkpoint at the same world size.
+	ElasticNone = pipeline.ElasticNone
+	// ElasticShrink re-shards across the survivors, rebuilding lost shards
+	// from buddy replicas — no checkpoint read.
+	ElasticShrink = pipeline.ElasticShrink
+	// ElasticSpare admits standby spares to preserve the world size,
+	// seeding replacements from buddy replicas.
+	ElasticSpare = pipeline.ElasticSpare
 )
 
 // Sentinel errors for errors.Is against transport failures.
@@ -158,14 +181,16 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 	return comm.NewFaultTransport(inner, cfg)
 }
 
-// RunResilient is RunCluster with failure recovery: coordinated
-// checkpoints at the iteration barrier, clean abort of surviving ranks
-// when one fails, and restart from the last checkpoint on fresh transports
-// (built by the transports factory, once per attempt). The recovered loss
-// trajectory is bit-identical to an uninterrupted run.
+// RunResilient is RunCluster with failure recovery: clean abort of the
+// surviving ranks when one fails, then either elastic repair at the failure
+// barrier from buddy replicas (shrinking the ring or admitting a spare,
+// per ResilientOptions.Elastic — no checkpoint read) or restart from the
+// last coordinated checkpoint, on fresh transports built by the transports
+// factory (once per attempt; elastic repair changes the requested size).
+// The recovered loss trajectory is bit-identical to an uninterrupted run.
 func RunResilient(s Strategy, p int, cfg Config, opts Options, iters int,
 	batchesFn func(iter int) []Batch,
-	transports func(attempt int) ([]Transport, error),
+	transports func(attempt, size int) ([]Transport, error),
 	ropts ResilientOptions) (*ClusterResult, error) {
 	return pipeline.RunResilient(s, p, cfg, opts, iters, batchesFn, transports, ropts)
 }
