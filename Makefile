@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet chaos elastic fuzz
+.PHONY: build test check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,25 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime 20s ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime 20s ./internal/comm/
 
+# bench-overlap records the functional blocking-vs-overlapped belt-engine
+# A/B — step time, the compute loop's blocked time inside weight-belt
+# transport receives, exposed belt stalls, belt bytes in both wire formats,
+# and a bit-identity verdict — into BENCH_overlap.json. Reps of the two
+# modes are interleaved in time and min-filtered to suppress host noise.
+bench-overlap:
+	$(GO) run ./cmd/weipipe-bench -overlap -iters 4 -reps 6 -out BENCH_overlap.json
+
+# bench-overlap-quick keeps the same A/B inside the pre-merge gate at a
+# fraction of the cost (small model, single rep); the report goes to a
+# scratch file so the gate never dirties the checked-in measurement.
+bench-overlap-quick:
+	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 -out /tmp/weipipe_bench_overlap_quick.json
+
 # check is the pre-merge gate: static analysis, the race detector over the
 # packages with real concurrency (kernel worker pool, transports, pipeline
-# schedules), the fault-injection suite, and the elastic-repair suite.
-check: vet race chaos elastic
+# schedules), the fault-injection suite, the elastic-repair suite, and a
+# quick overlap-engine A/B (bit-identity + telemetry sanity).
+check: vet race chaos elastic bench-overlap-quick
 
 bench:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/

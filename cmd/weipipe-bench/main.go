@@ -8,6 +8,8 @@
 //	weipipe-bench -exp table2     # one experiment
 //	weipipe-bench -exp fig1       # a schedule-diagram figure (ASCII)
 //	weipipe-bench -list           # list experiment ids
+//	weipipe-bench -overlap        # functional A/B: blocking vs overlapped
+//	                              # belt engine, written to BENCH_overlap.json
 package main
 
 import (
@@ -22,8 +24,21 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: all, table2, table3, table4, fig1..fig9")
 	width := flag.Int("width", 96, "timeline width for fig1..fig4")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	overlap := flag.Bool("overlap", false, "run the functional blocking-vs-overlapped belt benchmark instead of the model tables")
+	overlapOut := flag.String("out", "BENCH_overlap.json", "output path for -overlap")
+	overlapIters := flag.Int("iters", 3, "timed iterations per rep for -overlap")
+	overlapReps := flag.Int("reps", 3, "repetitions (min taken) for -overlap")
+	overlapH := flag.Int("H", 0, "hidden size override for -overlap (0 = default)")
+	overlapN := flag.Int("N", 0, "microbatch count override for -overlap (0 = default)")
 	flag.Parse()
 
+	if *overlap {
+		if err := bench.WriteOverlapBench(*overlapOut, *overlapIters, *overlapReps, *overlapH, *overlapN); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ext-tp ext-bubble ext-hybrid all")
 		return

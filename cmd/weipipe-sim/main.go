@@ -29,6 +29,7 @@ func main() {
 	topo := flag.String("topo", "nvlink2", "topology: nvlink, nvlink2, pcie-eth, nvlink-eth")
 	perServer := flag.Int("per-server", 8, "GPUs per server for grouped topologies")
 	recompute := flag.Bool("recompute", true, "activation checkpointing")
+	linkScale := flag.Float64("link-scale", 1, "calibrated link-duration multiplier (from `weipipe-bench -overlap`'s suggested_link_scale)")
 	compare := flag.Bool("compare", false, "run every strategy and print a ranked table")
 	mtbf := flag.Duration("mtbf", 0, "mean time between failures of the whole cluster (e.g. 6h); when set, prints the Young/Daly-optimal -ckpt-every per strategy")
 	ckptBW := flag.Float64("ckpt-bw", 2, "checkpoint write bandwidth in GB/s (for -mtbf)")
@@ -54,7 +55,7 @@ func main() {
 		runCompare(w, top, *mtbf, *ckptBW)
 		return
 	}
-	res, err := weipipe.Simulate(weipipe.Strategy(*strategy), w, top)
+	res, err := weipipe.SimulateScaled(weipipe.Strategy(*strategy), w, top, *linkScale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "weipipe-sim:", err)
 		os.Exit(1)

@@ -39,6 +39,7 @@ type runConfig struct {
 	sched       optim.Schedule
 	iters, n, g int
 	tcp         bool
+	bf16        bool
 	dialTimeout time.Duration
 	chaos       float64
 	chaosSeed   uint64
@@ -72,6 +73,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "model and data seed")
 	recompute := flag.Bool("recompute", false, "activation checkpointing")
 	mixed := flag.Bool("mixed", false, "fp16/bf16 wire format")
+	overlap := flag.Bool("overlap", false, "asynchronous double-buffered belt engine: background prefetch and store-and-forward relay of weight chunks, zero-copy gradient retirement (bit-identical to blocking mode)")
+	bf16 := flag.Bool("bf16", false, "bf16 wire codec for weight and weight-gradient belt payloads (halves belt bytes)")
 	tcp := flag.Bool("tcp", false, "use a TCP mesh on loopback instead of in-process channels")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "TCP mesh bring-up deadline (with -tcp)")
 	chaos := flag.Float64("chaos", 0, "per-frame fault probability for TCP chaos injection: drop, duplicate, reorder (and corrupt at half rate); masked by the reliability layer")
@@ -106,6 +109,8 @@ func main() {
 	opts := weipipe.DefaultOptions(*lr)
 	opts.Recompute = *recompute
 	opts.MixedPrecision = *mixed
+	opts.Overlap = *overlap
+	opts.BF16Wire = *bf16
 	opts.ClipNorm = *clip
 	opts.GuardNonFinite = *guard
 
@@ -130,7 +135,7 @@ func main() {
 		strategy: weipipe.Strategy(*strategy), p: *p, wp: *wp,
 		cfg: cfg, opts: opts, sched: sched,
 		iters: *iters, n: *n, g: *g,
-		tcp: *tcp, dialTimeout: *dialTimeout,
+		tcp: *tcp, bf16: *bf16, dialTimeout: *dialTimeout,
 		chaos: *chaos, chaosSeed: *chaosSeed,
 		ckptPath: *ckpt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
 		maxRestarts: *maxRestarts, elastic: policy, spares: *spares,
@@ -339,14 +344,18 @@ func printStats(all []*weipipe.CommStats) {
 }
 
 func buildTransports(rc runConfig, size int) ([]weipipe.Transport, error) {
+	var codec weipipe.CodecFunc
+	if rc.bf16 {
+		codec = weipipe.BeltBF16
+	}
 	if !rc.tcp {
-		return weipipe.NewInprocCluster(size), nil
+		return weipipe.NewInprocClusterCodec(size, codec), nil
 	}
 	addrs, err := weipipe.LoopbackAddrs(size)
 	if err != nil {
 		return nil, err
 	}
-	topts := weipipe.TCPOptions{DialTimeout: rc.dialTimeout}
+	topts := weipipe.TCPOptions{DialTimeout: rc.dialTimeout, Codec: codec}
 	if rc.chaos > 0 {
 		topts.Chaos = &weipipe.ChaosConfig{
 			Seed:      rc.chaosSeed,

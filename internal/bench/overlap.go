@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/cost"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+	"weipipe/internal/optim"
+	"weipipe/internal/pipeline"
+)
+
+// The overlap benchmark is a *functional* A/B measurement, not a model
+// prediction: it trains the same WZB2 workload twice on the in-process
+// fabric — blocking belt engine versus the asynchronous double-buffered one
+// — and records wall time per step, the compute threads' blocked time inside
+// weight-belt transport receives (Stats.ComputeRecvWait), their exposed belt
+// waits (Stats.BeltStall / WeightBeltStall, measured identically in both
+// modes), the belt wire volume in both wire formats, and a bit-identity
+// verdict. The staged-wait ratio doubles as the simulator calibration
+// (cost.OverlapMeasurement).
+//
+// The workload is chosen so belt-buffer copies are a visible fraction of
+// step time: a wide model (large H → multi-megabyte weight chunks) on very
+// short sequences (small G·S → modest compute per stage).
+
+// OverlapReport is the recorded measurement, serialised to
+// BENCH_overlap.json by `make bench-overlap`.
+type OverlapReport struct {
+	Strategy     string `json:"strategy"`
+	Workers      int    `json:"workers"`
+	Microbatches int    `json:"microbatches"`
+	Hidden       int    `json:"hidden"`
+	Layers       int    `json:"layers"`
+	SeqLen       int    `json:"seq_len"`
+	TimedIters   int    `json:"timed_iters"`
+	Reps         int    `json:"reps"`
+
+	BlockingStepMs   float64 `json:"blocking_step_ms"`
+	OverlappedStepMs float64 `json:"overlapped_step_ms"`
+	SpeedupPct       float64 `json:"speedup_pct"`
+
+	// Recv wait is the compute loop's time blocked inside a *transport*
+	// receive for weight-belt payloads (Stats.ComputeRecvWait), measured by
+	// the same probe in both modes: in blocking mode every weight hop is
+	// such a receive; in overlapped mode the engine owns all weight-belt
+	// transport receives, so the compute loop records none — the engine has
+	// decoupled the compute loop from the wire. The compute loop's residual
+	// wait for engine-staged payloads is reported separately below as
+	// weight stall, and the total including gradient-belt receives as belt
+	// stall. Gradient waits are producer serialization (the upstream rank
+	// must finish accumulating first) and persist in any engine; on a
+	// single-core host both stall figures also absorb co-scheduled compute
+	// of the other ranks, so they overstate true transport exposure.
+	BlockingRecvWaitMsPerStep   float64 `json:"blocking_recv_wait_ms_per_step"`
+	OverlappedRecvWaitMsPerStep float64 `json:"overlapped_recv_wait_ms_per_step"`
+	RecvWaitReductionPct        float64 `json:"recv_wait_reduction_pct"`
+
+	BlockingWeightStallMsPerStep   float64 `json:"blocking_weight_stall_ms_per_step"`
+	OverlappedWeightStallMsPerStep float64 `json:"overlapped_weight_stall_ms_per_step"`
+
+	BlockingStallMsPerStep   float64 `json:"blocking_belt_stall_ms_per_step"`
+	OverlappedStallMsPerStep float64 `json:"overlapped_belt_stall_ms_per_step"`
+	StallReductionPct        float64 `json:"stall_reduction_pct"`
+	SuggestedLinkScale       float64 `json:"suggested_link_scale"`
+
+	BeltBytesPerStepF32  int64 `json:"belt_bytes_per_step_f32"`
+	BeltBytesPerStepBF16 int64 `json:"belt_bytes_per_step_bf16"`
+	MaxInFlightBytes     int64 `json:"max_inflight_bytes_overlapped"`
+
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// overlapWorkload is the benchmark configuration (see the package comment
+// for why it is copy-heavy). hidden/microbatches default to 384/8 when 0.
+// The ring is the minimal p=2: the step-time gain from gradient buffer
+// donation is one model's worth of copies regardless of p (R·p copies of a
+// model/p-sized chunk), while the engine's per-op scheduling overhead grows
+// with the op count 2·R·p — so the smallest ring gives the best
+// signal-to-noise for the A/B on a single-core host.
+func overlapWorkload(hidden, microbatches int) (model.Config, pipeline.Options, int, int) {
+	if hidden == 0 {
+		hidden = 384
+	}
+	if microbatches == 0 {
+		microbatches = 8
+	}
+	cfg := model.Config{Vocab: 32, Hidden: hidden, Layers: 4, Heads: 4, MaxSeq: 2, Seed: 11}
+	opts := pipeline.Options{Adam: optim.DefaultAdamW(0.001)}
+	return cfg, opts, 2, microbatches
+}
+
+// overlapBatches builds the deterministic per-iteration microbatches.
+func overlapBatches(cfg model.Config, n int) func(int) []data.Batch {
+	return func(i int) []data.Batch {
+		return data.Microbatches(uint64(900+i), n, 1, cfg.Vocab, cfg.MaxSeq)
+	}
+}
+
+// overlapSample is one mode's best-of-reps measurement.
+type overlapSample struct {
+	stepSec     float64 // fastest per-step wall time across reps
+	recvWait    float64 // per-step compute-thread transport recv wait (best rep)
+	weightWait  float64 // per-step weight-belt exposed wait (best rep)
+	stallSec    float64 // per-step total belt stall (best rep)
+	beltBytes   int64   // per-step belt bytes on the wire
+	maxInflight int64
+	weights     []float32
+}
+
+func (s *overlapSample) fold(perStep float64, res *pipeline.ClusterResult, iters int) {
+	total := res.TotalComm()
+	if s.stepSec == 0 || perStep < s.stepSec {
+		s.stepSec = perStep
+		s.recvWait = total.ComputeRecvWait().Seconds() / float64(iters)
+		s.weightWait = total.WeightBeltStall().Seconds() / float64(iters)
+		s.stallSec = total.BeltStall().Seconds() / float64(iters)
+	}
+	s.beltBytes = (total.SentBytes(comm.KindWeight) + total.SentBytes(comm.KindGrad)) / int64(iters)
+	s.maxInflight = total.MaxInFlightBytes()
+	s.weights = res.Weights
+}
+
+// measureOverlapAB interleaves blocking and overlapped reps in time — A, B,
+// B, A, A, B, … alternating which mode runs first in each pair, so both
+// slow drift in the host's available CPU and any within-pair position bias
+// (heap and pool state left by the preceding run) hit both modes equally —
+// and keeps the fastest rep of each (after one warmup run apiece to
+// populate the payload pools).
+func measureOverlapAB(cfg model.Config, opts pipeline.Options, p, n, iters, reps int) (
+	blocking, overlapped overlapSample, err error) {
+
+	batches := overlapBatches(cfg, n)
+	ovOpts := opts
+	ovOpts.Overlap = true
+	for _, o := range []pipeline.Options{opts, ovOpts} {
+		if _, err = pipeline.RunCluster(pipeline.StrategyWZB2, p, cfg, o, 1, batches); err != nil {
+			return
+		}
+	}
+	modes := []struct {
+		o      pipeline.Options
+		sample *overlapSample
+	}{{opts, &blocking}, {ovOpts, &overlapped}}
+	for r := 0; r < reps; r++ {
+		first, second := r%2, 1-r%2
+		for _, i := range []int{first, second} {
+			m := modes[i]
+			// No forced GC between reps: runtime.GC() purges the sync.Pool
+			// payload classes, and re-faulting fresh multi-megabyte buffers
+			// penalizes whichever mode holds more chunks in flight. Min
+			// filtering absorbs the collector's own pauses instead.
+			start := time.Now()
+			res, runErr := pipeline.RunCluster(pipeline.StrategyWZB2, p, cfg, m.o, iters, batches)
+			if runErr != nil {
+				err = runErr
+				return
+			}
+			m.sample.fold(time.Since(start).Seconds()/float64(iters), res, iters)
+		}
+	}
+	return
+}
+
+// RunOverlapBench performs the full A/B measurement. hidden and
+// microbatches override the default workload when nonzero.
+func RunOverlapBench(iters, reps, hidden, microbatches int) (*OverlapReport, error) {
+	cfg, opts, p, n := overlapWorkload(hidden, microbatches)
+	rep := &OverlapReport{
+		Strategy: string(pipeline.StrategyWZB2), Workers: p, Microbatches: n,
+		Hidden: cfg.Hidden, Layers: cfg.Layers, SeqLen: cfg.MaxSeq,
+		TimedIters: iters, Reps: reps,
+	}
+
+	blocking, overlapped, err := measureOverlapAB(cfg, opts, p, n, iters, reps)
+	if err != nil {
+		return nil, fmt.Errorf("overlap A/B: %w", err)
+	}
+
+	// bf16 wire format: one iteration is enough — byte accounting is exact.
+	bfOpts := opts
+	bfOpts.BF16Wire = true
+	bfRes, err := pipeline.RunCluster(pipeline.StrategyWZB2, p, cfg, bfOpts, 1, overlapBatches(cfg, n))
+	if err != nil {
+		return nil, fmt.Errorf("bf16 run: %w", err)
+	}
+	bfTotal := bfRes.TotalComm()
+
+	rep.BlockingStepMs = blocking.stepSec * 1e3
+	rep.OverlappedStepMs = overlapped.stepSec * 1e3
+	rep.SpeedupPct = (blocking.stepSec - overlapped.stepSec) / blocking.stepSec * 100
+	rep.BlockingRecvWaitMsPerStep = blocking.recvWait * 1e3
+	rep.OverlappedRecvWaitMsPerStep = overlapped.recvWait * 1e3
+	if blocking.recvWait > 0 {
+		rep.RecvWaitReductionPct = (blocking.recvWait - overlapped.recvWait) / blocking.recvWait * 100
+	}
+	rep.BlockingWeightStallMsPerStep = blocking.weightWait * 1e3
+	rep.OverlappedWeightStallMsPerStep = overlapped.weightWait * 1e3
+	rep.BlockingStallMsPerStep = blocking.stallSec * 1e3
+	rep.OverlappedStallMsPerStep = overlapped.stallSec * 1e3
+	// The simulator's link-scale calibration uses the residual *staged* wait
+	// ratio, not the transport-receive wait: that keeps the calibration
+	// conservative on hosts where the engine cannot hide latency behind
+	// genuinely concurrent compute.
+	m := cost.OverlapMeasurement{
+		BlockingStepSec: blocking.stepSec, OverlappedStepSec: overlapped.stepSec,
+		BlockingStallSec: blocking.weightWait, OverlappedStallSec: overlapped.weightWait,
+	}
+	rep.StallReductionPct = 0
+	if blocking.stallSec > 0 {
+		if r := (blocking.stallSec - overlapped.stallSec) / blocking.stallSec * 100; r > 0 {
+			rep.StallReductionPct = r
+		}
+	}
+	rep.SuggestedLinkScale = m.SuggestedLinkScale()
+	rep.BeltBytesPerStepF32 = blocking.beltBytes
+	rep.BeltBytesPerStepBF16 = bfTotal.SentBytes(comm.KindWeight) + bfTotal.SentBytes(comm.KindGrad)
+	rep.MaxInFlightBytes = overlapped.maxInflight
+	rep.BitIdentical = len(blocking.weights) == len(overlapped.weights)
+	for i := range blocking.weights {
+		if blocking.weights[i] != overlapped.weights[i] {
+			rep.BitIdentical = false
+			break
+		}
+	}
+	return rep, nil
+}
+
+// WriteOverlapBench runs the measurement and writes the JSON report to
+// path, echoing a human-readable summary to stdout.
+func WriteOverlapBench(path string, iters, reps, hidden, microbatches int) error {
+	rep, err := RunOverlapBench(iters, reps, hidden, microbatches)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("overlap bench (%s, P=%d, N=%d, H=%d):\n", rep.Strategy, rep.Workers, rep.Microbatches, rep.Hidden)
+	fmt.Printf("  step time      %.2f ms blocking -> %.2f ms overlapped (%.1f%% faster)\n",
+		rep.BlockingStepMs, rep.OverlappedStepMs, rep.SpeedupPct)
+	fmt.Printf("  recv wait      %.2f ms -> %.2f ms per step (%.1f%% less compute-thread transport wait)\n",
+		rep.BlockingRecvWaitMsPerStep, rep.OverlappedRecvWaitMsPerStep, rep.RecvWaitReductionPct)
+	fmt.Printf("  weight stall   %.2f ms -> %.2f ms per step (incl. engine-staged wait)\n",
+		rep.BlockingWeightStallMsPerStep, rep.OverlappedWeightStallMsPerStep)
+	fmt.Printf("  belt stall     %.2f ms -> %.2f ms per step (%.1f%% less exposed wait)\n",
+		rep.BlockingStallMsPerStep, rep.OverlappedStallMsPerStep, rep.StallReductionPct)
+	fmt.Printf("  belt bytes     %d f32 -> %d bf16 per step; max in flight %d\n",
+		rep.BeltBytesPerStepF32, rep.BeltBytesPerStepBF16, rep.MaxInFlightBytes)
+	fmt.Printf("  bit identical  %v; suggested -link-scale %.3f\n", rep.BitIdentical, rep.SuggestedLinkScale)
+	fmt.Printf("  written to     %s\n", path)
+	return nil
+}

@@ -23,6 +23,12 @@ const (
 
 var bufPools [bufNumClasses]sync.Pool
 
+// hdrPool recycles the *[]float32 headers that carry buffers in and out of
+// the size-classed pools. Without it every Release heap-allocates the header
+// it hands to sync.Pool.Put, which would put one allocation on the belt
+// engine's per-chunk hot path (see TestBeltHotPathZeroAlloc).
+var hdrPool = sync.Pool{New: func() any { return new([]float32) }}
+
 // bufClassCeil returns the smallest class whose guaranteed capacity holds n
 // elements, or bufNumClasses if n exceeds every class.
 func bufClassCeil(n int) int {
@@ -54,7 +60,11 @@ func GetBuf(n int) []float32 {
 	}
 	if c := bufClassCeil(n); c < bufNumClasses {
 		if v := bufPools[c].Get(); v != nil {
-			return (*v.(*[]float32))[:n]
+			h := v.(*[]float32)
+			buf := (*h)[:n]
+			*h = nil
+			hdrPool.Put(h)
+			return buf
 		}
 		return make([]float32, n, bufMinLen<<c)
 	}
@@ -71,6 +81,7 @@ func Release(buf []float32) {
 	if c < 0 {
 		return
 	}
-	buf = buf[:cap(buf)]
-	bufPools[c].Put(&buf)
+	h := hdrPool.Get().(*[]float32)
+	*h = buf[:cap(buf)]
+	bufPools[c].Put(h)
 }

@@ -6,19 +6,24 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"weipipe/internal/tensor"
 )
 
 // TCP wire framing. Every frame is:
 //
-//	src u32 | kind u32 | a i64 | b i64 | seq u64 | n u64 | crc u32 | payload n×f32
+//	src u32 | kind u32 | a i64 | b i64 | seq u64 | n u64 | crc u32 | payload n elems
 //
-// all little-endian. seq is the per-link data sequence number (1-based;
-// 0 marks unsequenced control frames), used for redelivery dedup and
-// reordering. crc is CRC32 (IEEE) over the first 40 header bytes and the
-// payload, so both a corrupted length field and a corrupted payload are
-// detected. Control frames reuse the same layout with kind values outside
-// the application Kind space: acks carry the cumulative acknowledged
-// sequence in a, heartbeats are empty.
+// all little-endian. The kind field carries the application Kind in its low
+// byte and the payload codec in its second byte (bits 8–15): CodecF32
+// payloads are n×4 bytes of float32, CodecBF16 payloads are n×2 bytes of
+// bfloat16 — the belt's half-width wire format. seq is the per-link data
+// sequence number (1-based; 0 marks unsequenced control frames), used for
+// redelivery dedup and reordering. crc is CRC32 (IEEE) over the first 40
+// header bytes and the payload, so both a corrupted length field and a
+// corrupted payload are detected. Control frames reuse the same layout with
+// kind values outside the application Kind space: acks carry the cumulative
+// acknowledged sequence in a, heartbeats are empty.
 const (
 	frameHeaderLen = 4 + 4 + 8 + 8 + 8 + 8 + 4
 	frameCRCOffset = frameHeaderLen - 4
@@ -30,6 +35,9 @@ const (
 	// maxAppKind is the largest application Kind a frame may carry.
 	maxAppKind = uint32(kindCount) - 1
 
+	// codecShift positions the codec byte inside the kind field.
+	codecShift = 8
+
 	// defaultMaxFrameElems bounds the payload element count a decoder will
 	// allocate for (1 GiB of float32s); DialTCPOpts can lower it.
 	defaultMaxFrameElems = 1 << 28
@@ -37,17 +45,18 @@ const (
 
 // frameHeader is the decoded fixed-size frame prefix.
 type frameHeader struct {
-	src  int
-	kind uint32
-	a, b int64
-	seq  uint64
-	n    int
-	crc  uint32
+	src   int
+	kind  uint32 // raw kind field; low byte is the app Kind for data frames
+	codec WireCodec
+	a, b  int64
+	seq   uint64
+	n     int
+	crc   uint32
 }
 
 // tag returns the application tag of a data frame.
 func (h frameHeader) tag() Tag {
-	return Tag{Kind: Kind(h.kind), A: int(h.a), B: int(h.b)}
+	return Tag{Kind: Kind(h.kind & 0xff), A: int(h.a), B: int(h.b)}
 }
 
 // isCtl reports whether the frame is a control (ack/heartbeat) frame.
@@ -77,8 +86,15 @@ func parseFrameHeader(hdr []byte, size, maxElems int) (frameHeader, error) {
 	if h.src < 0 || (size > 0 && h.src >= size) {
 		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("source rank %d out of range", h.src)}
 	}
-	if h.kind > maxAppKind && !h.isCtl() {
-		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("unknown frame kind %#x", h.kind)}
+	if !h.isCtl() {
+		if h.kind>>(2*codecShift) != 0 || h.kind&0xff > maxAppKind {
+			return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("unknown frame kind %#x", h.kind)}
+		}
+		codec := WireCodec(h.kind >> codecShift)
+		if codec >= codecCount {
+			return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("unknown payload codec %d", codec)}
+		}
+		h.codec = codec
 	}
 	if n > uint64(maxElems) {
 		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("implausible payload length %d elems", n)}
@@ -87,20 +103,36 @@ func parseFrameHeader(hdr []byte, size, maxElems int) (frameHeader, error) {
 	return h, nil
 }
 
-// encodeFrame builds a complete wire frame (header + CRC + payload).
-func encodeFrame(src int, kind uint32, a, b int64, seq uint64, payload []float32) []byte {
-	frame := make([]byte, frameHeaderLen+len(payload)*4)
+// kindField builds a data frame's kind field from the app Kind and codec.
+func kindField(kind Kind, codec WireCodec) uint32 {
+	return uint32(kind) | uint32(codec)<<codecShift
+}
+
+// encodeFrame builds a complete wire frame (header + CRC + payload),
+// encoding the payload at the codec's width.
+func encodeFrame(src int, kind uint32, a, b int64, seq uint64, codec WireCodec, payload []float32) []byte {
+	frame := make([]byte, frameHeaderLen+len(payload)*codec.bytesPerElem())
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(src))
 	binary.LittleEndian.PutUint32(frame[4:8], kind)
 	binary.LittleEndian.PutUint64(frame[8:16], uint64(a))
 	binary.LittleEndian.PutUint64(frame[16:24], uint64(b))
 	binary.LittleEndian.PutUint64(frame[24:32], seq)
 	binary.LittleEndian.PutUint64(frame[32:40], uint64(len(payload)))
-	for i, v := range payload {
-		binary.LittleEndian.PutUint32(frame[frameHeaderLen+i*4:], math.Float32bits(v))
+	if codec == CodecBF16 {
+		tensor.PackBF16LE(frame[frameHeaderLen:], payload)
+	} else {
+		for i, v := range payload {
+			binary.LittleEndian.PutUint32(frame[frameHeaderLen+i*4:], math.Float32bits(v))
+		}
 	}
 	binary.LittleEndian.PutUint32(frame[frameCRCOffset:frameHeaderLen], frameCRC(frame))
 	return frame
+}
+
+// encodeCtlFrame builds a control frame (ack/heartbeat); control payloads
+// are always empty and carry no codec.
+func encodeCtlFrame(src int, kind uint32, a int64) []byte {
+	return encodeFrame(src, kind, a, 0, 0, CodecF32, nil)
 }
 
 // frameCRC computes the checksum of an encoded frame: the header bytes
@@ -127,7 +159,7 @@ func readFrame(r io.Reader, size, maxElems int) (h frameHeader, payload []float3
 	if err != nil {
 		return frameHeader{}, nil, false, err
 	}
-	buf := make([]byte, h.n*4)
+	buf := make([]byte, h.n*h.codec.bytesPerElem())
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return frameHeader{}, nil, false, err
 	}
@@ -140,8 +172,12 @@ func readFrame(r io.Reader, size, maxElems int) (h frameHeader, payload []float3
 		return frameHeader{}, nil, true, &CorruptionError{Reason: fmt.Sprintf("payload CRC mismatch (got %#x want %#x)", got, h.crc)}
 	}
 	payload = GetBuf(h.n)
-	for i := range payload {
-		payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	if h.codec == CodecBF16 {
+		tensor.UnpackBF16LE(payload, buf)
+	} else {
+		for i := range payload {
+			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
 	}
 	return h, payload, true, nil
 }

@@ -71,6 +71,27 @@ func (g *Group) Send(dst int, tag Tag, data []float32) error {
 	return g.parent.Send(g.ranks[dst], g.saltTag(tag), data)
 }
 
+// SendOwned implements OwnedSender: donation passes straight through to the
+// parent (with the group's rank mapping and tag salt), so a zero-copy
+// parent keeps the handoff zero-copy inside a group. Ownership transfers
+// even on the invalid-rank error path, matching the package contract.
+func (g *Group) SendOwned(dst int, tag Tag, payload []float32) error {
+	if dst < 0 || dst >= len(g.ranks) {
+		Release(payload)
+		return fmt.Errorf("comm: group send to invalid rank %d", dst)
+	}
+	return SendOwned(g.parent, g.ranks[dst], g.saltTag(tag), payload)
+}
+
+// CommStats implements Meter when the parent does; groups share the
+// parent's meter (their traffic is parent traffic). Returns nil otherwise.
+func (g *Group) CommStats() *Stats {
+	if m, ok := g.parent.(Meter); ok {
+		return m.CommStats()
+	}
+	return nil
+}
+
 // Recv implements Transport.
 func (g *Group) Recv(src int, tag Tag) ([]float32, error) {
 	if src < 0 || src >= len(g.ranks) {

@@ -1,0 +1,41 @@
+package comm
+
+import "testing"
+
+// TestBeltHotPathZeroAlloc pins the allocation count of the overlapped belt
+// engine's per-chunk transport cycle: GetBuf → SendOwned → Recv → Release.
+// The engine runs this cycle for every weight hop (R·p per belt per rank per
+// iteration) with multi-megabyte payloads, so a single allocation here turns
+// into steady GC pressure under training. With a warmed buffer pool and
+// mailbox freelist the cycle must not allocate at all: SendOwned donates the
+// buffer (no copy), deliver reuses a recycled queue slice, and Release hands
+// the buffer back through a recycled header.
+func TestBeltHotPathZeroAlloc(t *testing.T) {
+	c := NewCluster(2)
+	defer c.Close()
+	sender, ok := c.Transport(0).(OwnedSender)
+	if !ok {
+		t.Fatal("inproc transport must implement OwnedSender")
+	}
+	recv := c.Transport(1)
+	tag := Tag{Kind: KindWeight, A: 1, B: 7}
+	const n = 4096
+
+	cycle := func() {
+		buf := GetBuf(n)
+		if err := sender.SendOwned(1, tag, buf); err != nil {
+			t.Fatalf("SendOwned: %v", err)
+		}
+		payload, err := recv.Recv(0, tag)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		Release(payload)
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm the pools and the mailbox queue freelist
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
+		t.Fatalf("belt hot path allocates %.1f times per SendOwned/Recv/Release cycle, want 0", allocs)
+	}
+}

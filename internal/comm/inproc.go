@@ -12,6 +12,7 @@ import (
 type Cluster struct {
 	boxes []*mailbox
 	stats []*Stats
+	codec CodecFunc
 }
 
 // Stats returns rank's communication meter.
@@ -19,13 +20,23 @@ func (c *Cluster) Stats(rank int) *Stats { return c.stats[rank] }
 
 // NewCluster creates a fabric for n ranks.
 func NewCluster(n int) *Cluster {
+	return NewClusterCodec(n, nil)
+}
+
+// NewClusterCodec creates a fabric whose sends encode payloads per codec
+// (nil means f32 everywhere). In process there is no wire, so a lossy codec
+// is emulated by rounding the payload into the codec's value domain at the
+// send boundary and accounting the codec's wire bytes in Stats — receivers
+// observe exactly what a TCP mesh with the same codec would deliver.
+func NewClusterCodec(n int, codec CodecFunc) *Cluster {
 	if n <= 0 {
 		panic("comm: cluster size must be positive")
 	}
-	c := &Cluster{boxes: make([]*mailbox, n), stats: make([]*Stats, n)}
+	c := &Cluster{boxes: make([]*mailbox, n), stats: make([]*Stats, n), codec: codec}
 	for i := range c.boxes {
 		c.boxes[i] = newMailbox()
 		c.stats[i] = newStats()
+		c.boxes[i].stats = c.stats[i]
 	}
 	return c
 }
@@ -78,7 +89,25 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 	// with Release once consumed.
 	payload := GetBuf(len(data))
 	copy(payload, data)
-	t.stats.record(tag.Kind, len(data))
+	codec := codecFor(t.cluster.codec, tag)
+	applyCodec(codec, payload)
+	t.stats.record(tag.Kind, len(data), codec.bytesPerElem())
+	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
+	return nil
+}
+
+// SendOwned implements OwnedSender: the donated payload is delivered to the
+// receiver without a copy — the zero-copy handoff the overlapped belt engine
+// rides. The caller must have drawn payload from GetBuf and must not touch
+// it again; the receiver Releases it as usual.
+func (t *inprocTransport) SendOwned(dst int, tag Tag, payload []float32) error {
+	if dst < 0 || dst >= t.Size() {
+		Release(payload)
+		return fmt.Errorf("comm: send to invalid rank %d", dst)
+	}
+	codec := codecFor(t.cluster.codec, tag)
+	applyCodec(codec, payload)
+	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
 	return nil
 }

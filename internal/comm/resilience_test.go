@@ -399,7 +399,7 @@ func TestTCPRecvTimeoutCounts(t *testing.T) {
 
 func TestStatsStringIncludesFaults(t *testing.T) {
 	s := newStats()
-	s.record(KindWeight, 10)
+	s.record(KindWeight, 10, 4)
 	s.recordRetransmit(1, 3)
 	s.recordDup(1)
 	out := s.String()

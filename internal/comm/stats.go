@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Stats is a per-rank communication meter, broken down by message Kind.
@@ -18,6 +19,21 @@ type Stats struct {
 	sentBytes map[Kind]int64
 	sentMsgs  map[Kind]int64
 	faults    map[int]*PeerFaults
+
+	// Overlap telemetry. recvWaitNs is the total time receivers spent
+	// blocked inside the transport waiting for a matching message (from any
+	// goroutine — including a prefetch engine's off-critical-path waits).
+	// beltStallNs is recorded by the runners themselves: the compute
+	// thread's critical-path wait for belt payloads, comparable between the
+	// blocking and the overlapped engines. inflightBytes gauges the bytes
+	// delivered to this rank's mailbox but not yet consumed; maxInflight is
+	// its high-water mark.
+	recvWaitNs    int64
+	beltStallNs   int64
+	weightStallNs int64 // the KindWeight share of beltStallNs
+	computeRecvNs int64 // compute-thread time blocked inside a transport Recv for weights
+	inflightBytes int64
+	maxInflight   int64
 }
 
 // PeerFaults counts the fault-handling events of one peer link: the
@@ -49,11 +65,119 @@ func newStats() *Stats {
 	}
 }
 
-func (s *Stats) record(kind Kind, elems int) {
+func (s *Stats) record(kind Kind, elems, bytesPerElem int) {
 	s.mu.Lock()
-	s.sentBytes[kind] += int64(elems) * 4 // float32 payload
+	s.sentBytes[kind] += int64(elems) * int64(bytesPerElem)
 	s.sentMsgs[kind]++
 	s.mu.Unlock()
+}
+
+// noteRecvWait accumulates time a receiver spent blocked in the transport.
+func (s *Stats) noteRecvWait(d time.Duration) {
+	s.mu.Lock()
+	s.recvWaitNs += int64(d)
+	s.mu.Unlock()
+}
+
+// noteInflight moves the delivered-but-unconsumed byte gauge by delta and
+// tracks its high-water mark.
+func (s *Stats) noteInflight(delta int64) {
+	s.mu.Lock()
+	s.inflightBytes += delta
+	if s.inflightBytes > s.maxInflight {
+		s.maxInflight = s.inflightBytes
+	}
+	s.mu.Unlock()
+}
+
+// RecordBeltStall accumulates compute-thread time spent waiting for a belt
+// payload. The pipeline runners call it around their critical-path receives
+// in both the blocking and the overlapped engines, so the two modes report
+// a directly comparable exposed-communication figure.
+func (s *Stats) RecordBeltStall(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.beltStallNs += int64(d)
+	s.mu.Unlock()
+}
+
+// RecordBeltStallKind is RecordBeltStall with payload-kind attribution.
+// Weight-belt waits are pure communication exposure — every weight chunk
+// exists from iteration start, so any wait for one is transport latency the
+// overlap engine can hide. Gradient-belt waits are producer serialization
+// (the upstream rank must accumulate first) and persist in any engine.
+func (s *Stats) RecordBeltStallKind(kind Kind, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.beltStallNs += int64(d)
+	if kind == KindWeight {
+		s.weightStallNs += int64(d)
+	}
+	s.mu.Unlock()
+}
+
+// RecordComputeRecvWait accumulates time the *compute thread* spent blocked
+// inside a transport Recv for a weight-belt payload. This is the
+// overlap-engine headline metric: in blocking mode every weight hop is a
+// compute-thread transport receive, while in overlapped mode the engine owns
+// all weight-belt transport receives, so the compute loop records none — its
+// residual wait for staged payloads shows up in BeltStall instead.
+func (s *Stats) RecordComputeRecvWait(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.computeRecvNs += int64(d)
+	s.mu.Unlock()
+}
+
+// ComputeRecvWait returns the cumulative compute-thread blocked time inside
+// weight-belt transport receives (see RecordComputeRecvWait).
+func (s *Stats) ComputeRecvWait() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.computeRecvNs)
+}
+
+// RecvWait returns the cumulative blocked-receive time.
+func (s *Stats) RecvWait() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.recvWaitNs)
+}
+
+// BeltStall returns the cumulative critical-path belt wait recorded by the
+// runners via RecordBeltStall.
+func (s *Stats) BeltStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.beltStallNs)
+}
+
+// WeightBeltStall returns the KindWeight share of BeltStall: the
+// compute thread's exposed wait for weight-belt payloads specifically.
+func (s *Stats) WeightBeltStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.weightStallNs)
+}
+
+// InFlightBytes returns the bytes currently delivered but unconsumed.
+func (s *Stats) InFlightBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflightBytes
+}
+
+// MaxInFlightBytes returns the in-flight gauge's high-water mark.
+func (s *Stats) MaxInFlightBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxInflight
 }
 
 // peerFaults returns the (locked-caller) fault record for peer.
@@ -170,6 +294,8 @@ func (s *Stats) Add(o *Stats) {
 	for p, f := range o.faults {
 		faultsCopy[p] = *f
 	}
+	recvWait, beltStall, weightStall, maxFly := o.recvWaitNs, o.beltStallNs, o.weightStallNs, o.maxInflight
+	computeRecv := o.computeRecvNs
 	o.mu.Unlock()
 
 	s.mu.Lock()
@@ -187,6 +313,13 @@ func (s *Stats) Add(o *Stats) {
 		t.HeartbeatMisses += f.HeartbeatMisses
 		t.CorruptFrames += f.CorruptFrames
 		t.DupFrames += f.DupFrames
+	}
+	s.recvWaitNs += recvWait
+	s.beltStallNs += beltStall
+	s.weightStallNs += weightStall
+	s.computeRecvNs += computeRecv
+	if maxFly > s.maxInflight {
+		s.maxInflight = maxFly
 	}
 	s.mu.Unlock()
 }
@@ -224,6 +357,11 @@ func (s *Stats) String() string {
 			"peer%d[rtx=%d to=%d rc=%d hb=%d crc=%d dup=%d]",
 			p, f.Retransmits, f.Timeouts, f.Reconnects, f.HeartbeatMisses,
 			f.CorruptFrames, f.DupFrames))
+	}
+	if s.recvWaitNs > 0 || s.beltStallNs > 0 || s.maxInflight > 0 {
+		parts = append(parts, fmt.Sprintf("overlap[wait=%s stall=%s maxfly=%dB]",
+			time.Duration(s.recvWaitNs).Round(time.Microsecond),
+			time.Duration(s.beltStallNs).Round(time.Microsecond), s.maxInflight))
 	}
 	return strings.Join(parts, " ")
 }

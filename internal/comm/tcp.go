@@ -66,6 +66,10 @@ type TCPOptions struct {
 	// MaxPayloadElems bounds the per-frame payload the decoder will accept.
 	// Default 1<<28 elements (1 GiB).
 	MaxPayloadElems int
+	// Codec selects the per-Tag wire codec (nil means f32 everywhere). With
+	// BeltBF16 the weight/grad belt frames travel at half width; the codec
+	// rides in the frame header, so the receiver needs no configuration.
+	Codec CodecFunc
 	// Chaos, when non-nil, injects deterministic frame-level faults on every
 	// outgoing data frame — the fault layer the reliability machinery must
 	// mask. Never set it outside tests.
@@ -149,6 +153,7 @@ func DialTCPOpts(rank int, addrs []string, opts TCPOptions) (*TCPTransport, erro
 		stats: newStats(),
 		done:  make(chan struct{}),
 	}
+	t.box.stats = t.stats
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
@@ -395,23 +400,39 @@ func (t *TCPTransport) Size() int { return t.size }
 // CommStats implements Meter.
 func (t *TCPTransport) CommStats() *Stats { return t.stats }
 
-// Send implements Transport.
+// Send implements Transport. The payload is copied at the send boundary
+// (the caller keeps its slice); frame encoding and checksumming happen
+// later, on the link's writer goroutine, so the compute thread pays one
+// memcpy and never a CRC.
 func (t *TCPTransport) Send(dst int, tag Tag, data []float32) error {
-	t.stats.record(tag.Kind, len(data))
+	payload := GetBuf(len(data))
+	copy(payload, data)
+	return t.SendOwned(dst, tag, payload)
+}
+
+// SendOwned implements OwnedSender: the donated payload is enqueued for the
+// link writer without a copy and released once encoded onto the wire (or at
+// shutdown). Self-sends deliver the buffer straight to the local mailbox.
+func (t *TCPTransport) SendOwned(dst int, tag Tag, payload []float32) error {
+	codec := codecFor(t.opts.Codec, tag)
+	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
 	if dst == t.rank {
-		// self-send: deliver locally, same copy semantics
-		payload := GetBuf(len(data))
-		copy(payload, data)
+		// Self-sends never cross the wire, but a lossy codec must round them
+		// exactly like the mesh does or ranks would observe transport-
+		// dependent values.
+		applyCodec(codec, payload)
 		t.box.deliver(msgKey{src: t.rank, tag: tag}, payload)
 		return nil
 	}
 	if dst < 0 || dst >= t.size {
+		Release(payload)
 		return fmt.Errorf("comm: send to invalid rank %d", dst)
 	}
 	if t.isClosed() {
+		Release(payload)
 		return ErrClosed
 	}
-	return t.links[dst].send(tag, data)
+	return t.links[dst].send(tag, codec, payload)
 }
 
 // Recv implements Transport.
@@ -457,10 +478,17 @@ func (t *TCPTransport) peerDead(peer int, cause error) {
 
 // ---- per-link state ------------------------------------------------------
 
-// outFrame is one unacknowledged outgoing data frame.
+// outFrame is one unacknowledged outgoing data frame. Frames are enqueued
+// with the raw payload and encoded lazily by the writer goroutine: wire is
+// nil until the first write, after which payload has been released back to
+// the pool. Only the writer touches payload/wire post-enqueue; the ack
+// handler reads seq alone.
 type outFrame struct {
-	seq  uint64
-	wire []byte
+	seq     uint64
+	tag     Tag
+	codec   WireCodec
+	payload []float32
+	wire    []byte
 }
 
 // oooMsg is a received data frame waiting for its predecessors.
@@ -491,7 +519,7 @@ type tcpLink struct {
 	// would let a repeating connection-killing fault erase each burst whole
 	// and re-send it forever — the window keeps acknowledged progress
 	// accumulating between failures.
-	sendq       []outFrame
+	sendq       []*outFrame
 	sent        int
 	window      int
 	nextSeq     uint64
@@ -521,27 +549,27 @@ type tcpLink struct {
 	chaosHeld []byte
 }
 
-// send enqueues one data frame.
-func (l *tcpLink) send(tag Tag, data []float32) error {
-	wire := encodeFrame(l.t.rank, uint32(tag.Kind), int64(tag.A), int64(tag.B), 0, data)
+// send enqueues one data frame, taking ownership of payload. Encoding is
+// deferred to the writer goroutine (writeLoop), so the caller never blocks
+// on checksumming or the socket.
+func (l *tcpLink) send(tag Tag, codec WireCodec, payload []float32) error {
 	l.mu.Lock()
 	if l.dead {
 		l.mu.Unlock()
+		Release(payload)
 		return &PeerDeadError{Rank: l.peer}
 	}
 	if l.closed {
 		l.mu.Unlock()
+		Release(payload)
 		return ErrClosed
 	}
 	seq := l.nextSeq
 	l.nextSeq++
-	// stamp the sequence and re-checksum (seq is inside the CRC'd region)
-	binary.LittleEndian.PutUint64(wire[24:32], seq)
-	binary.LittleEndian.PutUint32(wire[frameCRCOffset:frameHeaderLen], frameCRC(wire))
 	if len(l.sendq) == 0 {
 		l.lastAckTime = time.Now()
 	}
-	l.sendq = append(l.sendq, outFrame{seq: seq, wire: wire})
+	l.sendq = append(l.sendq, &outFrame{seq: seq, tag: tag, codec: codec, payload: payload})
 	l.mu.Unlock()
 	l.cond.Signal()
 	return nil
@@ -725,8 +753,12 @@ func (l *tcpLink) tick(now time.Time) {
 }
 
 // writeLoop is the link's single writer: it drains control frames (acks,
-// heartbeats) and unsent data frames onto the current connection, applying
-// the chaos injector to data frames.
+// heartbeats) and unsent data frames onto the current connection. Data
+// frames are encoded here — outside the link lock and off the compute
+// thread — and the whole batch (control + data) goes out as a single
+// net.Buffers writev, one syscall per burst instead of one per frame. The
+// chaos injector, when armed, takes the per-frame path instead so its
+// write-count-keyed fault decisions stay deterministic.
 func (l *tcpLink) writeLoop() {
 	defer l.t.wg.Done()
 	for {
@@ -737,41 +769,72 @@ func (l *tcpLink) writeLoop() {
 			l.cond.Wait()
 		}
 		if l.closed || l.dead {
+			// Unencoded payloads still own pool buffers; give them back.
+			for _, f := range l.sendq {
+				if f.wire == nil && f.payload != nil {
+					Release(f.payload)
+					f.payload = nil
+				}
+			}
 			l.mu.Unlock()
 			return
 		}
 		conn, gen := l.conn, l.gen
-		var ctl [][]byte
+		var batch net.Buffers
 		if l.ackDirty {
 			l.ackDirty = false
-			ctl = append(ctl, encodeFrame(l.t.rank, ctlAck, int64(l.rexpect-1), 0, 0, nil))
+			batch = append(batch, encodeCtlFrame(l.t.rank, ctlAck, int64(l.rexpect-1)))
 		}
 		if l.hbDue {
 			l.hbDue = false
-			ctl = append(ctl, encodeFrame(l.t.rank, ctlHeartbeat, 0, 0, 0, nil))
+			batch = append(batch, encodeCtlFrame(l.t.rank, ctlHeartbeat, 0))
 		}
-		var frames [][]byte
+		var frames []*outFrame
 		quiet := time.Until(l.quietUntil)
 		if quiet <= 0 {
 			for l.sent < len(l.sendq) && l.sent < l.window {
-				frames = append(frames, l.sendq[l.sent].wire)
+				frames = append(frames, l.sendq[l.sent])
 				l.sent++
 			}
 		}
 		l.mu.Unlock()
 
-		broken := false
-		for _, w := range ctl {
-			if _, err := conn.Write(w); err != nil {
-				broken = true
-				break
+		// Lazy encode: only this goroutine touches payload/wire after
+		// enqueue, so no lock is needed. A retransmitted frame is already
+		// encoded and reused as-is.
+		for _, f := range frames {
+			if f.wire == nil {
+				f.wire = encodeFrame(l.t.rank, kindField(f.tag.Kind, f.codec),
+					int64(f.tag.A), int64(f.tag.B), f.seq, f.codec, f.payload)
+				Release(f.payload)
+				f.payload = nil
 			}
 		}
-		if !broken {
-			for _, w := range frames {
-				if err := l.writeData(conn, w); err != nil {
+
+		broken := false
+		if l.t.opts.Chaos != nil {
+			// Per-frame writes keep the injector's write ordinals stable.
+			for _, w := range batch {
+				if _, err := conn.Write(w); err != nil {
 					broken = true
 					break
+				}
+			}
+			if !broken {
+				for _, f := range frames {
+					if err := l.writeData(conn, f.wire); err != nil {
+						broken = true
+						break
+					}
+				}
+			}
+		} else {
+			for _, f := range frames {
+				batch = append(batch, f.wire)
+			}
+			if len(batch) > 0 {
+				if _, err := batch.WriteTo(conn); err != nil {
+					broken = true
 				}
 			}
 		}

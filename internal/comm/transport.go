@@ -81,6 +81,30 @@ type Transport interface {
 	Close() error
 }
 
+// OwnedSender is implemented by transports that support buffer donation:
+// SendOwned transfers ownership of a pool-drawn payload to the transport,
+// which may deliver it without copying. The caller must not touch (or
+// Release) the slice afterwards — the transport releases or re-homes it.
+// Plain Send keeps its copy-at-the-boundary contract for callers that reuse
+// their slice.
+type OwnedSender interface {
+	SendOwned(dst int, tag Tag, payload []float32) error
+}
+
+// SendOwned donates payload (a GetBuf buffer owned by the caller) to
+// transport t for delivery to dst. Transports without a donation path fall
+// back to a copying Send followed by Release, so ownership still transfers
+// and the caller's obligations are identical either way: after SendOwned the
+// payload belongs to the comm layer.
+func SendOwned(t Transport, dst int, tag Tag, payload []float32) error {
+	if os, ok := t.(OwnedSender); ok {
+		return os.SendOwned(dst, tag, payload)
+	}
+	err := t.Send(dst, tag, payload)
+	Release(payload)
+	return err
+}
+
 // msgKey matches incoming messages to receivers.
 type msgKey struct {
 	src int
@@ -92,46 +116,94 @@ type msgKey struct {
 // PeerDeadError (for instance) makes every pending and future take return
 // that error, so blocked runners learn *why* their receive failed.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[msgKey][][]float32
-	err    error // non-nil once closed
+	mu      sync.Mutex
+	queues  map[msgKey][][]float32
+	waiters map[msgKey]*keyWaiter // parked takes, woken per key
+	free    [][][]float32         // recycled empty per-key queues (bounded; see take)
+	err     error                 // non-nil once closed
+
+	// stats, when non-nil, receives the overlap telemetry: bytes sitting in
+	// the mailbox (delivered but not yet taken — the in-flight gauge) and
+	// the time receivers spend blocked in take.
+	stats *Stats
+}
+
+// keyWaiter parks the takes waiting on one key. Per-key conditions keep
+// delivery wakeups targeted: with the overlap engine a rank has several
+// goroutines blocked on the same mailbox (two belt lanes plus the compute
+// thread), and a shared broadcast would wake all of them on every deliver
+// only for all but one to re-park behind the mailbox lock.
+type keyWaiter struct {
+	cond *sync.Cond
+	n    int // parked takes; the entry is removed when it drops to 0
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey][][]float32)}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{
+		queues:  make(map[msgKey][][]float32),
+		waiters: make(map[msgKey]*keyWaiter),
+	}
 }
 
-// deliver appends a payload (already owned by the mailbox) for key.
+// deliver appends a payload (already owned by the mailbox) for key. New keys
+// reuse a queue slice from the freelist so the steady-state deliver/take
+// cycle does not allocate (belt tags never repeat, so without recycling
+// every hop would allocate a fresh one-element queue).
 func (m *mailbox) deliver(key msgKey, payload []float32) {
 	m.mu.Lock()
-	m.queues[key] = append(m.queues[key], payload)
+	q := m.queues[key]
+	if q == nil && len(m.free) > 0 {
+		q = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	}
+	m.queues[key] = append(q, payload)
+	w := m.waiters[key]
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	if m.stats != nil {
+		m.stats.noteInflight(int64(len(payload)) * 4)
+	}
+	if w != nil {
+		w.cond.Signal()
+	}
 }
 
 // take blocks until a payload for key is available, the mailbox closes, or
 // the timeout expires (timeout <= 0 waits forever).
 func (m *mailbox) take(key msgKey, timeout time.Duration) ([]float32, error) {
 	var deadline time.Time
+	var w *keyWaiter
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
-		// sync.Cond has no timed wait; a timer broadcast wakes the loop so it
-		// can observe the deadline.
-		timer := time.AfterFunc(timeout, m.cond.Broadcast)
+		// sync.Cond has no timed wait; a timer wake lets the loop observe the
+		// deadline. The waiter entry is created up front so the timer has a
+		// condition to poke.
+		m.mu.Lock()
+		w = m.waiter(key)
+		m.mu.Unlock()
+		timer := time.AfterFunc(timeout, w.cond.Broadcast)
 		defer timer.Stop()
 	}
+	var waitStart time.Time // set the first time the take actually blocks
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer func() { m.unpark(key, w) }() // w may be set on first block below
 	for {
 		if q := m.queues[key]; len(q) > 0 {
 			payload := q[0]
 			if len(q) == 1 {
 				delete(m.queues, key)
+				q[0] = nil // drop the payload reference before recycling
+				if len(m.free) < 8 {
+					m.free = append(m.free, q[:0])
+				}
 			} else {
 				m.queues[key] = q[1:]
+			}
+			if m.stats != nil {
+				m.stats.noteInflight(int64(len(payload)) * -4)
+				if !waitStart.IsZero() {
+					m.stats.noteRecvWait(time.Since(waitStart))
+				}
 			}
 			return payload, nil
 		}
@@ -141,7 +213,37 @@ func (m *mailbox) take(key msgKey, timeout time.Duration) ([]float32, error) {
 		if timeout > 0 && !time.Now().Before(deadline) {
 			return nil, &TimeoutError{Src: key.src, Tag: key.tag, Timeout: timeout}
 		}
-		m.cond.Wait()
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
+		if w == nil {
+			w = m.waiter(key)
+		}
+		w.cond.Wait()
+	}
+}
+
+// waiter returns key's parked-take entry, creating it if needed, and counts
+// the caller in. Callers hold m.mu and must pair with unpark.
+func (m *mailbox) waiter(key msgKey) *keyWaiter {
+	w := m.waiters[key]
+	if w == nil {
+		w = &keyWaiter{cond: sync.NewCond(&m.mu)}
+		m.waiters[key] = w
+	}
+	w.n++
+	return w
+}
+
+// unpark counts a take out of its waiter entry (nil if it never parked),
+// dropping the entry once nobody waits on the key. Callers hold m.mu.
+func (m *mailbox) unpark(key msgKey, w *keyWaiter) {
+	if w == nil {
+		return
+	}
+	w.n--
+	if w.n == 0 {
+		delete(m.waiters, key)
 	}
 }
 
@@ -155,6 +257,8 @@ func (m *mailbox) closeWithErr(cause error) {
 	if m.err == nil {
 		m.err = cause
 	}
+	for _, w := range m.waiters {
+		w.cond.Broadcast()
+	}
 	m.mu.Unlock()
-	m.cond.Broadcast()
 }

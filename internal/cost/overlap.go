@@ -1,0 +1,62 @@
+package cost
+
+// OverlapMeasurement captures a matched pair of functional-runtime runs —
+// the blocking belt engine versus the overlapped one, same strategy, same
+// workload — and converts them into a calibration for the simulator's link
+// model. Step times come from wall-clock measurement; stall times are the
+// runners' RecordBeltStall telemetry (the compute thread's critical-path
+// wait for belt payloads, measured identically in both modes).
+type OverlapMeasurement struct {
+	// BlockingStepSec / OverlappedStepSec are mean per-iteration wall
+	// times.
+	BlockingStepSec   float64
+	OverlappedStepSec float64
+	// BlockingStallSec / OverlappedStallSec are mean per-iteration belt
+	// stalls summed over ranks.
+	BlockingStallSec   float64
+	OverlappedStallSec float64
+}
+
+// Speedup returns blocking/overlapped step time (>1 when overlap wins).
+func (m OverlapMeasurement) Speedup() float64 {
+	if m.OverlappedStepSec <= 0 {
+		return 0
+	}
+	return m.BlockingStepSec / m.OverlappedStepSec
+}
+
+// StallReduction returns the fraction of the blocking run's belt stall the
+// overlapped engine removed (1 = all of it, 0 = none).
+func (m OverlapMeasurement) StallReduction() float64 {
+	if m.BlockingStallSec <= 0 {
+		return 0
+	}
+	r := 1 - m.OverlappedStallSec/m.BlockingStallSec
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SuggestedLinkScale returns the schedule.Spec.LinkScale calibrated by this
+// measurement: the fraction of blocking-mode exposed link time that
+// survives under the overlapped engine. The simulator's Overlap=true graphs
+// already hide belt links behind compute structurally; scaling the link
+// durations by the *measured* residual closes the remaining gap between the
+// analytic model and the functional runtime. Clamped to [ε, 1] so the
+// result always yields a well-formed Spec (0 would mean "links are free",
+// which no measurement can honestly claim).
+func (m OverlapMeasurement) SuggestedLinkScale() float64 {
+	const eps = 0.01
+	if m.BlockingStallSec <= 0 {
+		return 1
+	}
+	s := m.OverlappedStallSec / m.BlockingStallSec
+	if s < eps {
+		return eps
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"weipipe/internal/comm"
 	"weipipe/internal/data"
@@ -27,6 +28,11 @@ type FSDP struct {
 	seq     int
 	arena   *tensor.Arena
 	skipped int
+
+	// stats is the transport's meter when it exposes one (nil otherwise);
+	// gather waits are recorded into it as belt stall so FSDP's exposed
+	// communication is measured the same way as WeiPipe's.
+	stats *comm.Stats
 }
 
 // NewFSDP builds an FSDP trainer for this rank.
@@ -38,6 +44,9 @@ func NewFSDP(t Transport, cfg model.Config, o Options) (*FSDP, error) {
 	p := t.Size()
 	r := t.Rank()
 	f := &FSDP{t: t, mdl: mdl, o: o, arena: tensor.NewArena()}
+	if m, ok := t.(comm.Meter); ok {
+		f.stats = m.CommStats()
+	}
 	for i := range mdl.Modules {
 		size := mdl.ModuleParamSize(i)
 		full := make([]float32, size)
@@ -67,12 +76,114 @@ func (f *FSDP) shardLens(i int) []int {
 // gatherModule all-gathers module i's weights into the local buffer.
 func (f *FSDP) gatherModule(i int) error {
 	f.seq++
+	start := time.Now()
 	full, err := comm.AllGather(f.t, f.shards[i], f.shardLens(i), f.seq)
+	f.stats.RecordBeltStallKind(comm.KindWeight, time.Since(start))
 	if err != nil {
 		return err
 	}
 	f.mdl.SetChunk(i, i+1, full)
+	comm.Release(full)
 	return nil
+}
+
+// gatherItem is one prefetched module's gathered weights.
+type gatherItem struct {
+	full []float32
+	err  error
+}
+
+// gatherStream prefetches module all-gathers one ahead of compute
+// (Options.Overlap): a background goroutine runs the ring collectives for
+// the microbatch loop's known gather sequence while the compute thread
+// works on the previous module. The goroutine is the only transport user
+// during the loop (so the collectives stay well-ordered), and the compute
+// thread installs each buffer into the model at its consumption point (so
+// model mutation stays single-threaded). Sequence numbers are assigned from
+// the same counter in the same order as blocking mode, making the two modes
+// indistinguishable on the wire.
+type gatherStream struct {
+	ch   chan gatherItem
+	quit chan struct{}
+}
+
+// startGatherStream arms the prefetch goroutine for nMB local microbatches
+// (forward gathers 0..n-1 then backward gathers n-1..0, per microbatch).
+// The caller must pair it with stop().
+func (f *FSDP) startGatherStream(nMB int) *gatherStream {
+	nMods := len(f.mdl.Modules)
+	plan := make([]int, 0, 2*nMods*nMB)
+	for mb := 0; mb < nMB; mb++ {
+		for i := 0; i < nMods; i++ {
+			plan = append(plan, i)
+		}
+		for i := nMods - 1; i >= 0; i-- {
+			plan = append(plan, i)
+		}
+	}
+	s := &gatherStream{ch: make(chan gatherItem, 1), quit: make(chan struct{})}
+	base := f.seq
+	f.seq += len(plan) // reserve the stream's sequence range up front
+	go func() {
+		defer close(s.ch)
+		for j, i := range plan {
+			full, err := comm.AllGather(f.t, f.shards[i], f.shardLens(i), base+j+1)
+			if err != nil {
+				full = nil
+			}
+			select {
+			case <-s.quit:
+				comm.Release(full)
+				return
+			default:
+			}
+			select {
+			case s.ch <- gatherItem{full: full, err: err}:
+			case <-s.quit:
+				comm.Release(full)
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// nextGather installs the stream's next prefetched module (which must be
+// module i — the stream replays the same order as the compute loop).
+func (f *FSDP) nextGather(s *gatherStream, i int) error {
+	start := time.Now()
+	it, ok := <-s.ch
+	f.stats.RecordBeltStallKind(comm.KindWeight, time.Since(start))
+	if !ok {
+		return fmt.Errorf("pipeline: gather stream exhausted")
+	}
+	if it.err != nil {
+		return it.err
+	}
+	f.mdl.SetChunk(i, i+1, it.full)
+	comm.Release(it.full)
+	return nil
+}
+
+// stop tears the stream down, draining staged buffers back to the pool. It
+// never blocks; a goroutine still inside a collective bails at its next
+// quit check or when the transport closes.
+func (s *gatherStream) stop() {
+	close(s.quit)
+	for {
+		select {
+		case it, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			comm.Release(it.full)
+		default:
+			return
+		}
+	}
 }
 
 // TrainIteration implements Trainer.
@@ -89,6 +200,21 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 	grads := newGrads(f.mdl)
 	var lossSum float64
 
+	// With Overlap the microbatch loop's gathers run one ahead of compute on
+	// a background stream; without it every gather blocks in place. Both
+	// paths install identical bytes under identical sequence numbers.
+	var stream *gatherStream
+	if f.o.Overlap {
+		stream = f.startGatherStream(len(mine))
+		defer stream.stop()
+	}
+	gather := func(i int) error {
+		if stream != nil {
+			return f.nextGather(stream, i)
+		}
+		return f.gatherModule(i)
+	}
+
 	for _, b := range mine {
 		caches := newCaches(0, nMods, b.G(), b.S(), f.arena)
 
@@ -96,7 +222,7 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 		// overwritten by the next gather, which is FSDP's "free".
 		var x *tensor.Tensor
 		for i := 0; i < nMods; i++ {
-			if err := f.gatherModule(i); err != nil {
+			if err := gather(i); err != nil {
 				return 0, err
 			}
 			var l float64
@@ -110,7 +236,7 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 		// Backward: gather again before each module's B+W pass.
 		var dy *tensor.Tensor
 		for i := nMods - 1; i >= 0; i-- {
-			if err := f.gatherModule(i); err != nil {
+			if err := gather(i); err != nil {
 				return 0, err
 			}
 			c := caches[i]

@@ -1,0 +1,277 @@
+package pipeline
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"weipipe/internal/comm"
+)
+
+// The overlapped belt engine's contract: turning Options.Overlap on changes
+// *when* belt messages move, never *what* they carry or the order gradients
+// accumulate in — so every lossless strategy must land on bit-identical
+// losses and weights with the engine on and off, under -race, over both the
+// in-process fabric and chaos-injected TCP.
+
+// runOnTransports trains strategy s over pre-built transports and returns
+// rank 0's losses plus the assembled weights. The caller owns the
+// transports' lifetime.
+func runOnTransports(t *testing.T, trs []comm.Transport, s Strategy, opts Options, iters, n int) ([]float64, []float32) {
+	t.Helper()
+	p := len(trs)
+	batches := eqBatches(iters, n)
+	trainers := make([]Trainer, p)
+	losses := make([][]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := New(s, trs[r], eqCfg(), opts)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			trainers[r] = tr
+			for i := 0; i < iters; i++ {
+				loss, err := tr.TrainIteration(batches(i))
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				losses[r] = append(losses[r], loss)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return losses[0], AssembleWeights(trainers)
+}
+
+func TestOverlapBitIdenticalAllStrategies(t *testing.T) {
+	const iters, n = 2, 8
+	for _, s := range Strategies() {
+		for _, p := range []int{2, 4} {
+			s, p := s, p
+			t.Run(string(s)+"_p"+string(rune('0'+p)), func(t *testing.T) {
+				t.Parallel()
+				ref, err := RunCluster(s, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+				if err != nil {
+					t.Fatalf("blocking: %v", err)
+				}
+				opts := eqOpts()
+				opts.Overlap = true
+				got, err := RunCluster(s, p, eqCfg(), opts, iters, eqBatches(iters, n))
+				if err != nil {
+					t.Fatalf("overlap: %v", err)
+				}
+				bitIdentical(t, string(s), got.Losses, ref.Losses, got.Weights, ref.Weights)
+			})
+		}
+	}
+}
+
+func TestOverlapBitIdenticalOddWorkerCount(t *testing.T) {
+	// Uneven chunk sizes exercise the plan's per-chunk buffer lengths.
+	const iters, n = 1, 6
+	for _, s := range []Strategy{StrategyWZB2, StrategyWeiPipeNaive, StrategyFSDP} {
+		ref, err := RunCluster(s, 3, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+		if err != nil {
+			t.Fatalf("%s blocking: %v", s, err)
+		}
+		opts := eqOpts()
+		opts.Overlap = true
+		got, err := RunCluster(s, 3, eqCfg(), opts, iters, eqBatches(iters, n))
+		if err != nil {
+			t.Fatalf("%s overlap: %v", s, err)
+		}
+		bitIdentical(t, string(s), got.Losses, ref.Losses, got.Weights, ref.Weights)
+	}
+}
+
+func TestOverlapBitIdenticalWithBuddyAndClip(t *testing.T) {
+	// The engine must coexist with buddy replication (extra KindBuddy
+	// traffic outside its plan) and the global-norm clip's scalar
+	// all-reduces.
+	const iters, n = 2, 8
+	base := eqOpts()
+	base.Buddy = true
+	base.ClipNorm = 0.05
+	ref, err := RunCluster(StrategyWZB2, 4, eqCfg(), base, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatalf("blocking: %v", err)
+	}
+	opts := base
+	opts.Overlap = true
+	got, err := RunCluster(StrategyWZB2, 4, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatalf("overlap: %v", err)
+	}
+	bitIdentical(t, "wzb2+buddy+clip", got.Losses, ref.Losses, got.Weights, ref.Weights)
+}
+
+func TestOverlapBitIdenticalWeiPipeDP(t *testing.T) {
+	// The hybrid runs the engine inside a Group transport: donation and
+	// prefetch must pass through the rank mapping and tag salt unchanged.
+	const iters, n = 2, 8
+	_, refTr := runHybrid(t, 4, 2, iters, n, eqOpts())
+	opts := eqOpts()
+	opts.Overlap = true
+	_, gotTr := runHybrid(t, 4, 2, iters, n, opts)
+	ref := AssembleWeights(refTr[:2])
+	got := AssembleWeights(gotTr[:2])
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("hybrid overlap diverged at weight %d: %v != %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// The async engine over real TCP with frame-level chaos: retransmission,
+// duplication, reordering and corruption underneath a prefetching receiver
+// must still produce the bit-exact blocking in-process trajectory.
+func TestOverlapChaosTCPWZB2(t *testing.T) {
+	const p, iters, n = 2, 3, 4
+	ref, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	addrs, err := comm.LoopbackAddrs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpOpts := comm.TCPOptions{
+		DialTimeout:       10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		PeerDeadTimeout:   2 * time.Second,
+		RetransmitTimeout: 40 * time.Millisecond,
+		ReconnectBackoff:  5 * time.Millisecond,
+		Chaos: &comm.ChaosConfig{
+			Seed:      4242,
+			Drop:      0.05,
+			Dup:       0.05,
+			Reorder:   0.05,
+			Corrupt:   0.02,
+			DelayProb: 0.05,
+			MaxDelay:  2 * time.Millisecond,
+		},
+	}
+	trs := make([]comm.Transport, p)
+	dialErrs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], dialErrs[r] = comm.DialTCPOpts(r, addrs, tcpOpts)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range dialErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opts := eqOpts()
+	opts.Overlap = true
+	losses, weights := runOnTransports(t, trs, StrategyWZB2, opts, iters, n)
+	bitIdentical(t, "overlap chaos TCP", losses, ref.Losses, weights, ref.Weights)
+
+	// The chaos must actually have exercised the reliability machinery
+	// underneath the prefetcher.
+	total := comm.NewStats()
+	for _, tr := range trs {
+		total.Add(tr.(comm.Meter).CommStats())
+	}
+	f := total.TotalFaults()
+	if f.Retransmits+f.DupFrames+f.CorruptFrames == 0 {
+		t.Error("chaos run recorded no transport faults; injection was a no-op")
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
+	waitPipelineGoroutines(t, base)
+}
+
+func TestOverlapRecordsBeltStall(t *testing.T) {
+	// Both modes must report their exposed belt wait through the same meter
+	// so the benchmark's stall comparison is apples-to-apples. Blocking mode
+	// provably waits (the belt moves at compute speed); the overlapped run
+	// must at minimum produce the telemetry without disturbing training.
+	const iters, n = 2, 8
+	ref, err := RunCluster(StrategyWZB2, 4, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalComm().BeltStall() <= 0 {
+		t.Error("blocking run recorded no belt stall")
+	}
+	opts := eqOpts()
+	opts.Overlap = true
+	res, err := RunCluster(StrategyWZB2, 4, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalComm().BeltStall() < 0 {
+		t.Error("overlapped run recorded negative belt stall")
+	}
+}
+
+func TestBF16WireStaysClose(t *testing.T) {
+	// The bf16 belt codec perturbs but must not diverge (cf. the fp16
+	// mixed-precision bound), and it must actually halve the weight-belt
+	// wire volume.
+	const iters, n = 2, 4
+	wantLoss, _ := serialReference(t, iters, n)
+	f32, err := RunCluster(StrategyWZB2, 2, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqOpts()
+	opts.BF16Wire = true
+	res, err := RunCluster(StrategyWZB2, 2, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantLoss {
+		rel := math.Abs(res.Losses[i]-wantLoss[i]) / wantLoss[i]
+		if rel > 0.05 {
+			t.Errorf("iter %d: bf16-wire loss %.5f vs fp32 %.5f (rel %f)", i, res.Losses[i], wantLoss[i], rel)
+		}
+	}
+	fw := f32.TotalComm().SentBytes(comm.KindWeight)
+	bw := res.TotalComm().SentBytes(comm.KindWeight)
+	if 2*bw != fw {
+		t.Errorf("bf16 weight-belt bytes %d, want exactly half of fp32's %d", bw, fw)
+	}
+}
+
+func TestBF16WireWithOverlapStaysClose(t *testing.T) {
+	// Codec and engine compose: the engine's store-and-forward relays
+	// re-encode already-rounded values (idempotent), so overlap keeps the
+	// bf16 trajectory identical to blocking bf16.
+	const iters, n = 2, 4
+	opts := eqOpts()
+	opts.BF16Wire = true
+	ref, err := RunCluster(StrategyWZB2, 2, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Overlap = true
+	got, err := RunCluster(StrategyWZB2, 2, eqCfg(), opts, iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "bf16+overlap", got.Losses, ref.Losses, got.Weights, ref.Weights)
+}

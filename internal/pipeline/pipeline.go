@@ -80,6 +80,24 @@ type Options struct {
 	// cannot poison the weights. The check rides the same scalar all-reduce
 	// global-norm clipping uses, so every rank makes the identical decision.
 	GuardNonFinite bool
+	// Overlap enables the asynchronous belt engine on WeiPipe trainers (and
+	// gather prefetch on FSDP): a background receiver goroutine prefetches
+	// the next belt chunk into a second buffer and relays it downstream
+	// while the compute thread works on the current one, and gradient belts
+	// retire through buffer donation instead of a copying send. The engine
+	// preserves the exact dataflow — same payload values, same reduction
+	// order — so overlapped training is bit-identical to the blocking path;
+	// the equivalence suite asserts it for every strategy. Strategies
+	// without a belt (activation-passing pipelines, DP, serial) ignore the
+	// flag. All ranks of a run must agree on it.
+	Overlap bool
+	// BF16Wire selects the bf16 belt codec on the transport-facing helpers
+	// (RunCluster and the CLIs): weight/grad belt payloads travel as 2-byte
+	// bfloat16, halving belt bytes at a bounded rounding cost. Unlike the
+	// other options it configures the *transport*, not the runner — trainers
+	// built directly on a caller-owned Transport inherit whatever codec that
+	// transport was created with.
+	BF16Wire bool
 	// Buddy enables buddy replication on WeiPipe trainers: each rank
 	// additionally shadows its ring successor's owned chunk (fp32 weights,
 	// AdamW moments and step count) by replaying the successor's optimizer

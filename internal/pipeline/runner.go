@@ -103,7 +103,11 @@ func (r *ClusterResult) TotalComm() *comm.Stats {
 func RunCluster(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	batchesFn func(iter int) []data.Batch) (*ClusterResult, error) {
 
-	cluster := comm.NewCluster(p)
+	var codec comm.CodecFunc
+	if opts.BF16Wire {
+		codec = comm.BeltBF16
+	}
+	cluster := comm.NewClusterCodec(p, codec)
 	defer cluster.Close()
 
 	trainers := make([]Trainer, p)

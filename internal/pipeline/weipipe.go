@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"weipipe/internal/comm"
 	"weipipe/internal/data"
@@ -127,6 +128,18 @@ type WeiPipe struct {
 	// pool stabilises at that many arenas.
 	apool arenaPool
 
+	// engine, when non-nil, is the per-iteration asynchronous belt engine
+	// (opts.Overlap): a background goroutine that receives belt payloads in
+	// schedule order, relays weight chunks downstream as soon as they
+	// arrive, and double-buffers them for the compute thread. Nil in
+	// blocking mode and between iterations.
+	engine *beltEngine
+
+	// stats is the transport's meter when it exposes one (nil otherwise);
+	// the runner records its critical-path belt waits into it so blocking
+	// and overlapped runs report comparable exposed-communication time.
+	stats *comm.Stats
+
 	// board, when non-nil, receives this rank's schedule position before
 	// every compute stage so the straggler watchdog can report where a
 	// stalled rank got stuck.
@@ -146,6 +159,12 @@ const (
 	beltFwd    = 0
 	beltBwd    = 1
 	beltRetire = 2
+
+	// Tag.B layout: the low beltUseBits hold the belt use index, the high
+	// bits hold iter*beltCount+belt (so the belt id is recoverable as the
+	// residue mod beltCount — see beltOf).
+	beltCount   = 4
+	beltUseBits = 36
 )
 
 // NewWeiPipe builds a WeiPipe trainer for this rank.
@@ -172,6 +191,9 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 	w.masterW = make([]float32, mdl.ChunkSize(lo, hi))
 	mdl.FlattenChunk(lo, hi, w.masterW)
 	w.opt = optim.NewAdamW(len(w.masterW), opts.Adam)
+	if m, ok := t.(comm.Meter); ok {
+		w.stats = m.CommStats()
+	}
 	if opts.Buddy && p >= 2 {
 		w.initBuddy()
 	}
@@ -189,7 +211,7 @@ func (w *WeiPipe) owner(c int) int { return (c - 1 + w.t.Size()) % w.t.Size() }
 
 // enc builds a tag B field from (iteration, belt, belt use index).
 func (w *WeiPipe) enc(belt, use int) int {
-	return (w.iter*4+belt)<<36 | use
+	return (w.iter*beltCount+belt)<<beltUseBits | use
 }
 
 // totalUses returns the per-iteration use count of each belt: one use per
@@ -240,39 +262,42 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		}
 	}()
 
+	// The overlapped belt engine prefetches and relays this iteration's belt
+	// messages on a background goroutine; it is armed before the injection
+	// sends so the very first belt hop is already overlapped. stop() is
+	// abort-safe: it drains staged payloads back to the pool on any exit.
+	if w.opts.Overlap {
+		w.engine = w.startBeltEngine(st.R)
+		defer func() {
+			w.engine.stop()
+			w.engine = nil
+		}()
+	}
+
 	// Inject the owned chunk into both belts; the first user of every belt
-	// chunk is worker 0 at use index 0.
+	// chunk is worker 0 at use index 0. The first send copies the buffer
+	// (the second belt still needs it); the second donates it to the
+	// transport, which releases it on completion — there is no window where
+	// a released buffer could still be queued for encoding.
 	payload := comm.GetBuf(len(w.masterW))
 	copy(payload, w.masterW)
 	maybeRoundF16(w.opts, payload)
 	errInj := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload)
 	if errInj == nil {
-		errInj = w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
+		errInj = comm.SendOwned(w.t, 0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
+	} else {
+		comm.Release(payload)
 	}
-	comm.Release(payload) // Send copies; our injection buffer is dead
 	if errInj != nil {
 		return 0, errInj
 	}
 
-	var err error
-	switch w.variant {
-	case WeiPipeNaive:
-		err = w.runNaive(st)
-	case WeiPipeInterleave:
-		err = w.runInterleave(st)
-	case WeiPipeZB1:
-		err = w.runWZB1(st)
-	case WeiPipeZB2:
-		err = w.runWZB2(st)
-	default:
-		err = fmt.Errorf("pipeline: unknown WeiPipe variant %d", w.variant)
-	}
-	if err != nil {
+	if err := w.runSchedule(st); err != nil {
 		return 0, err
 	}
 
 	// Collect the fully-accumulated gradient for the owned chunk and step.
-	d, err := w.t.Recv(p-1, Tag{Kind: comm.KindGrad, A: w.ownChunk, B: w.enc(beltRetire, 0)})
+	d, err := w.beltRecv(p-1, Tag{Kind: comm.KindGrad, A: w.ownChunk, B: w.enc(beltRetire, 0)})
 	if err != nil {
 		return 0, err
 	}
@@ -343,134 +368,184 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 
 // ---- local program orders (the four schedules) ---------------------------
 
-// runNaive alternates whole-microbatch forward and backward phases.
-func (w *WeiPipe) runNaive(st *wpState) error {
-	p := w.t.Size()
-	for k := 0; k < st.R; k++ {
-		for c := 0; c < p; c++ {
-			if err := w.fStage(st, k, c); err != nil {
-				return err
-			}
-		}
-		for c := p - 1; c >= 0; c-- {
-			if err := w.bStage(st, k, c); err != nil {
-				return err
-			}
-			if err := w.wStage(st, k, c); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// runInterleave pairs one forward stage (new microbatch) with one fused
-// backward stage (previous microbatch) per turn.
-func (w *WeiPipe) runInterleave(st *wpState) error {
-	p := w.t.Size()
-	for k := 0; k <= st.R; k++ {
-		for step := 0; step < p; step++ {
-			if k < st.R {
-				if err := w.fStage(st, k, step); err != nil {
+// forEachStage drives a variant's local program order, invoking visit for
+// every compute stage: phase 'F' (forward), 'B' (backward-input) or 'W'
+// (backward-params) of chunk c in round k. It is the single source of truth
+// for stage order — the compute loop executes it, and the overlapped belt
+// engine derives its receive plan from it, so the prefetch order matches
+// the consumption order by construction.
+func forEachStage(v WeiPipeVariant, R, p int, visit func(phase byte, k, c int) error) error {
+	switch v {
+	case WeiPipeNaive:
+		// Whole-microbatch forward phases alternate with whole-microbatch
+		// backward phases; B and W stay fused.
+		for k := 0; k < R; k++ {
+			for c := 0; c < p; c++ {
+				if err := visit('F', k, c); err != nil {
 					return err
 				}
 			}
-			if k >= 1 {
-				c := p - 1 - step
-				if err := w.bStage(st, k-1, c); err != nil {
+			for c := p - 1; c >= 0; c-- {
+				if err := visit('B', k, c); err != nil {
 					return err
 				}
-				if err := w.wStage(st, k-1, c); err != nil {
+				if err := visit('W', k, c); err != nil {
 					return err
 				}
 			}
 		}
-	}
-	return nil
-}
-
-// runWZB1 splits the backward: each turn pairs a forward with a B pass,
-// and the W pass runs one turn later (bounded pending set of one).
-func (w *WeiPipe) runWZB1(st *wpState) error {
-	p := w.t.Size()
-	type pending struct{ k, c int }
-	var queue []pending
-	for k := 0; k <= st.R; k++ {
-		for step := 0; step < p; step++ {
-			if k < st.R {
-				if err := w.fStage(st, k, step); err != nil {
-					return err
+	case WeiPipeInterleave:
+		// Once warm, each turn pairs one forward stage (new microbatch)
+		// with one fused backward stage (previous microbatch).
+		for k := 0; k <= R; k++ {
+			for step := 0; step < p; step++ {
+				if k < R {
+					if err := visit('F', k, step); err != nil {
+						return err
+					}
 				}
-			}
-			if k >= 1 {
-				c := p - 1 - step
-				if err := w.bStage(st, k-1, c); err != nil {
-					return err
-				}
-				queue = append(queue, pending{k - 1, c})
-				if len(queue) > 1 {
-					q := queue[0]
-					queue = queue[1:]
-					if err := w.wStage(st, q.k, q.c); err != nil {
+				if k >= 1 {
+					c := p - 1 - step
+					if err := visit('B', k-1, c); err != nil {
+						return err
+					}
+					if err := visit('W', k-1, c); err != nil {
 						return err
 					}
 				}
 			}
 		}
-	}
-	for _, q := range queue {
-		if err := w.wStage(st, q.k, q.c); err != nil {
-			return err
+	case WeiPipeZB1:
+		// The backward splits: each turn pairs a forward with a B pass, and
+		// the W pass runs one turn later (bounded pending set of one).
+		type pending struct{ k, c int }
+		var queue []pending
+		for k := 0; k <= R; k++ {
+			for step := 0; step < p; step++ {
+				if k < R {
+					if err := visit('F', k, step); err != nil {
+						return err
+					}
+				}
+				if k >= 1 {
+					c := p - 1 - step
+					if err := visit('B', k-1, c); err != nil {
+						return err
+					}
+					queue = append(queue, pending{k - 1, c})
+					if len(queue) > 1 {
+						q := queue[0]
+						queue = queue[1:]
+						if err := visit('W', q.k, q.c); err != nil {
+							return err
+						}
+					}
+				}
+			}
 		}
+		for _, q := range queue {
+			if err := visit('W', q.k, q.c); err != nil {
+				return err
+			}
+		}
+	case WeiPipeZB2:
+		// All B passes of a microbatch run in reverse order (interleaved
+		// with the next microbatch's forwards), then its W passes run in
+		// forward chunk order so gradients retire as early as possible.
+		for k := 0; k <= R; k++ {
+			for step := 0; step < p; step++ {
+				if k < R {
+					if err := visit('F', k, step); err != nil {
+						return err
+					}
+				}
+				if k >= 1 {
+					if err := visit('B', k-1, p-1-step); err != nil {
+						return err
+					}
+				}
+			}
+			if k >= 1 {
+				for c := 0; c < p; c++ {
+					if err := visit('W', k-1, c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("pipeline: unknown WeiPipe variant %d", v)
 	}
 	return nil
 }
 
-// runWZB2 runs all B passes of a microbatch (reverse order, interleaved
-// with the next microbatch's forwards), then its W passes in forward chunk
-// order.
-func (w *WeiPipe) runWZB2(st *wpState) error {
-	p := w.t.Size()
-	for k := 0; k <= st.R; k++ {
-		for step := 0; step < p; step++ {
-			if k < st.R {
-				if err := w.fStage(st, k, step); err != nil {
-					return err
-				}
-			}
-			if k >= 1 {
-				if err := w.bStage(st, k-1, p-1-step); err != nil {
-					return err
-				}
-			}
+// runSchedule executes the variant's program order against the compute
+// stages.
+func (w *WeiPipe) runSchedule(st *wpState) error {
+	return forEachStage(w.variant, st.R, w.t.Size(), func(phase byte, k, c int) error {
+		switch phase {
+		case 'F':
+			return w.fStage(st, k, c)
+		case 'B':
+			return w.bStage(st, k, c)
+		default:
+			return w.wStage(st, k, c)
 		}
-		if k >= 1 {
-			for c := 0; c < p; c++ {
-				if err := w.wStage(st, k-1, c); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
+	})
 }
 
 // ---- belt plumbing -------------------------------------------------------
 
+// beltRecv obtains the next belt payload the schedule consumes: from the
+// prefetch engine when overlapped, or with a blocking transport receive
+// otherwise. Both paths record the compute thread's wait as belt stall, so
+// the two modes report comparable exposed-communication time.
+func (w *WeiPipe) beltRecv(src int, tag Tag) ([]float32, error) {
+	if w.engine != nil && tag.Kind == comm.KindWeight {
+		return w.engine.next(tag, w.stats)
+	}
+	start := time.Now()
+	payload, err := w.t.Recv(src, tag)
+	wait := time.Since(start)
+	w.stats.RecordBeltStallKind(tag.Kind, wait)
+	if tag.Kind == comm.KindWeight {
+		// In overlapped mode the engine owns every weight-belt transport
+		// receive, so this counter stays zero there by construction.
+		w.stats.RecordComputeRecvWait(wait)
+	}
+	return payload, err
+}
+
+// sendBelt passes an exhausted-here belt buffer on: in overlap mode the
+// buffer is donated to the transport (zero-copy on the in-process fabric),
+// in blocking mode it is copied out and released — the legacy semantics the
+// overlapped engine is measured against.
+func (w *WeiPipe) sendBelt(dst int, tag Tag, payload []float32) error {
+	if w.engine != nil {
+		return comm.SendOwned(w.t, dst, tag, payload)
+	}
+	err := w.t.Send(dst, tag, payload)
+	comm.Release(payload)
+	return err
+}
+
 // recvBeltChunk receives belt-copy `belt` of chunk c for use index `use`,
-// installs it into the local model buffer and forwards it downstream.
+// installs it into the local model buffer and forwards it downstream. In
+// overlap mode the engine has already relayed the chunk downstream at
+// receive time (store-and-forward), so only the install remains here.
 func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
 	src := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
 	if use == 0 {
 		src = w.owner(c)
 	}
-	payload, err := w.t.Recv(src, Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use)})
+	payload, err := w.beltRecv(src, Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use)})
 	if err != nil {
+		comm.Release(payload)
 		return err
 	}
 	lo, hi := w.chunkRange(c)
 	w.mdl.SetChunk(lo, hi, payload)
-	if use < w.totalUses()-1 {
+	if w.engine == nil && use < w.totalUses()-1 {
 		err = w.t.Send((w.t.Rank()+1)%w.t.Size(),
 			Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use+1)}, payload)
 	}
@@ -480,16 +555,21 @@ func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
 
 // accumulateAndForwardD folds this worker's local gradient contribution for
 // chunk c into the belt accumulator and passes it on (or retires it to the
-// owner after the final use).
+// owner after the final use). It takes ownership of local: the buffer is
+// donated downstream in overlap mode and released here in blocking mode —
+// callers must not touch it after the call.
 func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 	if use > 0 {
 		prev := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
-		d, err := w.t.Recv(prev, Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use)})
+		d, err := w.beltRecv(prev, Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use)})
 		if err != nil {
+			comm.Release(d)
+			comm.Release(local)
 			return err
 		}
 		if len(d) != len(local) {
 			comm.Release(d)
+			comm.Release(local)
 			return fmt.Errorf("pipeline: D chunk size mismatch %d != %d", len(d), len(local))
 		}
 		for i := range local {
@@ -499,13 +579,16 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 	}
 	maybeRoundF16(w.opts, local)
 	if use < w.totalUses()-1 {
-		return w.t.Send((w.t.Rank()+1)%w.t.Size(),
+		return w.sendBelt((w.t.Rank()+1)%w.t.Size(),
 			Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use+1)}, local)
 	}
-	if err := w.t.Send(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local); err != nil {
+	// The buddy copy must go out before the retire send: the retire donates
+	// the buffer in overlap mode, after which local is no longer ours.
+	if err := w.buddyRetire(c, local); err != nil {
+		comm.Release(local)
 		return err
 	}
-	return w.buddyRetire(c, local)
+	return w.sendBelt(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local)
 }
 
 // ---- compute stages ------------------------------------------------------
@@ -571,9 +654,8 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
 	local := comm.GetBuf(w.mdl.ChunkSize(lo, hi))
 	flattenGradsRange(w.mdl, grads, lo, hi, local)
-	err := w.accumulateAndForwardD(c, mb, local)
-	comm.Release(local)
-	if err != nil {
+	// accumulateAndForwardD owns local from here (donated or released inside).
+	if err := w.accumulateAndForwardD(c, mb, local); err != nil {
 		return err
 	}
 	st.wRemaining[mb]--

@@ -32,12 +32,27 @@ type Spec struct {
 	// accumulation with an end-of-iteration ring all-reduce of the full
 	// gradient — the design alternative the D belt avoids.
 	TerminalGradAllReduce bool
+	// LinkScale multiplies every point-to-point link duration (0 means 1,
+	// the uncalibrated model). It is the calibration knob the functional
+	// runtime's overlap telemetry feeds: the ratio of overlapped to
+	// blocking belt stall (cost.OverlapMeasurement.SuggestedLinkScale)
+	// expresses how much of the modelled link time the async engine
+	// actually exposes to compute.
+	LinkScale float64
 }
 
 // wireScale returns the payload multiplier of the wire-format ablation.
 func (s Spec) wireScale() float64 {
 	if s.WireFP32 {
 		return 2
+	}
+	return 1
+}
+
+// linkScale returns the calibrated link-duration multiplier.
+func (s Spec) linkScale() float64 {
+	if s.LinkScale > 0 {
+		return s.LinkScale
 	}
 	return 1
 }
@@ -127,7 +142,7 @@ func (b *builder) successorOf(w, id int) int {
 
 // linkFwd appends a transfer on ring link from→from+1.
 func (b *builder) linkFwd(from int, bytes float64, label string, deps ...int) int {
-	dur := bytes*b.spec.wireScale()/b.spec.Top.SendBW[from] + b.spec.Top.Latency[from]
+	dur := (bytes*b.spec.wireScale()/b.spec.Top.SendBW[from] + b.spec.Top.Latency[from]) * b.spec.linkScale()
 	return b.raw(fmt.Sprintf("l%d", from), -1, dur, "comm", label, deps)
 }
 
@@ -135,7 +150,7 @@ func (b *builder) linkFwd(from int, bytes float64, label string, deps ...int) in
 // `link` (i.e. from link+1 down to link); full-duplex links give the
 // reverse direction its own engine with the same bandwidth.
 func (b *builder) linkRev(link int, bytes float64, label string, deps ...int) int {
-	dur := bytes*b.spec.wireScale()/b.spec.Top.SendBW[link] + b.spec.Top.Latency[link]
+	dur := (bytes*b.spec.wireScale()/b.spec.Top.SendBW[link] + b.spec.Top.Latency[link]) * b.spec.linkScale()
 	return b.raw(fmt.Sprintf("r%d", link), -1, dur, "comm", label, deps)
 }
 

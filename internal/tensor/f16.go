@@ -106,6 +106,41 @@ func RoundBF16(t *Tensor) {
 	}
 }
 
+// RoundBF16Slice rounds every element of x through bf16 in place — the
+// value-domain effect of shipping x over a bf16 wire and decoding it back.
+func RoundBF16Slice(x []float32) {
+	for i, v := range x {
+		x[i] = BF16ToF32(F32ToBF16(v))
+	}
+}
+
+// PackBF16LE encodes src as little-endian bf16 words into dst, which must
+// hold 2·len(src) bytes. It allocates nothing; the transports use it to
+// halve belt payloads on the wire.
+func PackBF16LE(dst []byte, src []float32) {
+	if len(dst) < 2*len(src) {
+		panic("tensor: PackBF16LE dst too short")
+	}
+	for i, v := range src {
+		h := F32ToBF16(v)
+		dst[2*i] = byte(h)
+		dst[2*i+1] = byte(h >> 8)
+	}
+}
+
+// UnpackBF16LE decodes little-endian bf16 words from src into dst, which
+// must hold len(src)/2 float32s. It allocates nothing.
+func UnpackBF16LE(dst []float32, src []byte) {
+	n := len(src) / 2
+	if len(dst) < n {
+		panic("tensor: UnpackBF16LE dst too short")
+	}
+	for i := 0; i < n; i++ {
+		h := uint16(src[2*i]) | uint16(src[2*i+1])<<8
+		dst[i] = BF16ToF32(h)
+	}
+}
+
 // PackF16 encodes src into half-precision words.
 func PackF16(src []float32) []uint16 {
 	out := make([]uint16, len(src))

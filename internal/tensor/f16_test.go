@@ -143,6 +143,48 @@ func TestRoundTensorsAndPack(t *testing.T) {
 	}
 }
 
+func TestBF16WireKernels(t *testing.T) {
+	rng := NewRNG(9)
+	x := New(129) // odd length: no whole-vector alignment assumptions
+	FillNormal(x, rng, 1)
+
+	// RoundBF16Slice matches the scalar round-trip elementwise.
+	rounded := append([]float32(nil), x.Data...)
+	RoundBF16Slice(rounded)
+	for i, v := range x.Data {
+		if want := BF16ToF32(F32ToBF16(v)); rounded[i] != want {
+			t.Fatalf("RoundBF16Slice[%d] = %v, want %v", i, rounded[i], want)
+		}
+	}
+
+	// Pack/Unpack round-trips through the 2-byte LE wire format onto the
+	// rounded values.
+	buf := make([]byte, 2*len(x.Data))
+	PackBF16LE(buf, x.Data)
+	for i, v := range x.Data {
+		h := F32ToBF16(v)
+		if buf[2*i] != byte(h) || buf[2*i+1] != byte(h>>8) {
+			t.Fatalf("PackBF16LE[%d] wrong byte order", i)
+		}
+	}
+	out := make([]float32, len(x.Data))
+	UnpackBF16LE(out, buf)
+	for i := range out {
+		if out[i] != rounded[i] {
+			t.Fatalf("UnpackBF16LE[%d] = %v, want %v", i, out[i], rounded[i])
+		}
+	}
+}
+
+func TestPackBF16LEShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackBF16LE accepted a short destination")
+		}
+	}()
+	PackBF16LE(make([]byte, 3), []float32{1, 2})
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a := NewRNG(42)
 	b := NewRNG(42)

@@ -96,6 +96,18 @@ func NewInprocCluster(p int) []Transport {
 	return comm.NewCluster(p).Transports()
 }
 
+// CodecFunc selects the per-Tag wire codec for a transport fabric.
+type CodecFunc = comm.CodecFunc
+
+// BeltBF16 is the bf16 belt wire codec: weight and weight-gradient payloads
+// travel as bf16 (half the belt bytes), everything else stays f32.
+var BeltBF16 CodecFunc = comm.BeltBF16
+
+// NewInprocClusterCodec is NewInprocCluster with a wire codec (nil = f32).
+func NewInprocClusterCodec(p int, codec CodecFunc) []Transport {
+	return comm.NewClusterCodec(p, codec).Transports()
+}
+
 // DialTCP joins a TCP mesh; addrs lists every rank's listen address.
 func DialTCP(rank int, addrs []string) (Transport, error) {
 	return comm.DialTCP(rank, addrs)
@@ -248,6 +260,18 @@ type SimResult struct {
 // Simulate runs the performance model for one strategy on one workload and
 // topology using the paper's A800 GPUs.
 func Simulate(s Strategy, w Workload, top Topology) (SimResult, error) {
+	return SimulateScaled(s, w, top, 1)
+}
+
+// OverlapMeasurement is a blocking-vs-overlapped measurement pair from the
+// functional runtime; its SuggestedLinkScale feeds SimulateScaled.
+type OverlapMeasurement = cost.OverlapMeasurement
+
+// SimulateScaled is Simulate with a calibrated link-duration multiplier
+// (see cost.OverlapMeasurement.SuggestedLinkScale): linkScale expresses how
+// much of the modelled link time the measured transport actually exposes to
+// compute. linkScale <= 0 or 1 reproduces Simulate.
+func SimulateScaled(s Strategy, w Workload, top Topology, linkScale float64) (SimResult, error) {
 	w = w.WithDefaults()
 	gpu := cluster.A800()
 	out := SimResult{MemoryGB: w.MemoryBytes(string(s)) / (1 << 30)}
@@ -255,7 +279,7 @@ func Simulate(s Strategy, w Workload, top Topology) (SimResult, error) {
 		out.OOM = true
 		return out, nil
 	}
-	tasks, err := schedule.Build(string(s), schedule.Spec{W: w, GPU: gpu, Top: top, Overlap: true})
+	tasks, err := schedule.Build(string(s), schedule.Spec{W: w, GPU: gpu, Top: top, Overlap: true, LinkScale: linkScale})
 	if err != nil {
 		return out, err
 	}
