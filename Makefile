@@ -1,6 +1,8 @@
 GO ?= go
+# FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
+FUZZTIME ?= 20s
 
-.PHONY: build test check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick
+.PHONY: build test check fmt-check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick bench-guard
 
 build:
 	$(GO) build ./...
@@ -10,6 +12,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/comm/... ./internal/pipeline/...
@@ -33,8 +40,8 @@ elastic:
 		./internal/comm/ ./internal/pipeline/
 
 fuzz:
-	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime 20s ./internal/comm/
-	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime 20s ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/comm/
 
 # bench-overlap records the functional blocking-vs-overlapped belt-engine
 # A/B — step time, the compute loop's blocked time inside weight-belt
@@ -50,11 +57,20 @@ bench-overlap:
 bench-overlap-quick:
 	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 -out /tmp/weipipe_bench_overlap_quick.json
 
-# check is the pre-merge gate: static analysis, the race detector over the
-# packages with real concurrency (kernel worker pool, transports, pipeline
-# schedules), the fault-injection suite, the elastic-repair suite, and a
-# quick overlap-engine A/B (bit-identity + telemetry sanity).
-check: vet race chaos elastic bench-overlap-quick
+# bench-guard is the CI regression guard: run the quick overlap A/B and
+# fail unless the report's bit_identical verdict is true. The report path
+# is overridable so CI can upload it as an artifact.
+BENCH_GUARD_OUT ?= /tmp/weipipe_bench_guard.json
+bench-guard:
+	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 \
+		-out $(BENCH_GUARD_OUT) -require-bit-identical
+
+# check is the pre-merge gate: formatting, static analysis, the race
+# detector over the packages with real concurrency (kernel worker pool,
+# transports, pipeline schedules), the fault-injection suite, the
+# elastic-repair suite, and a quick overlap-engine A/B (bit-identity +
+# telemetry sanity).
+check: fmt-check vet race chaos elastic bench-overlap-quick
 
 bench:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/

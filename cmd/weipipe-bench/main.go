@@ -30,6 +30,7 @@ func main() {
 	overlapReps := flag.Int("reps", 3, "repetitions (min taken) for -overlap")
 	overlapH := flag.Int("H", 0, "hidden size override for -overlap (0 = default)")
 	overlapN := flag.Int("N", 0, "microbatch count override for -overlap (0 = default)")
+	requireBI := flag.Bool("require-bit-identical", false, "with -overlap: exit nonzero unless the report's bit_identical verdict is true (the CI regression guard); alone: check an existing -out report")
 	flag.Parse()
 
 	if *overlap {
@@ -37,6 +38,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *requireBI {
+		if err := bench.RequireBitIdentical(*overlapOut); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bit-identity guard: %s ok\n", *overlapOut)
+	}
+	if *overlap || *requireBI {
 		return
 	}
 	if *list {

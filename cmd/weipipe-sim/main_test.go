@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain re-execs the test binary as the real CLI when the marker
+// environment variable is set (see cmd/weipipe-train for the pattern).
+func TestMain(m *testing.M) {
+	if os.Getenv("WEIPIPE_SMOKE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "WEIPIPE_SMOKE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestSmokeSimulate(t *testing.T) {
+	out, err := runSelf(t,
+		"-strategy", "wzb2", "-H", "512", "-S", "1024", "-G", "1",
+		"-L", "4", "-N", "8", "-P", "4", "-topo", "nvlink")
+	if err != nil {
+		t.Fatalf("simulate failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"strategy", "throughput", "bubble ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeCompareTable(t *testing.T) {
+	out, err := runSelf(t,
+		"-compare", "-H", "512", "-S", "1024", "-G", "1",
+		"-L", "4", "-N", "8", "-P", "4", "-topo", "nvlink")
+	if err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "tokens/s/GPU") || !strings.Contains(out, "wzb2") {
+		t.Fatalf("unexpected compare output:\n%s", out)
+	}
+}
+
+func TestSmokeRejectsUnknownTopology(t *testing.T) {
+	if out, err := runSelf(t, "-topo", "carrier-pigeon"); err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+}

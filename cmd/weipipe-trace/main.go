@@ -1,9 +1,12 @@
 // weipipe-trace renders the simulated per-worker schedule of any strategy
-// as an ASCII timeline — the textual analogue of the paper's Figures 1–4.
+// as an ASCII timeline — the textual analogue of the paper's Figures 1–4 —
+// and aligns measured runtime traces against the model with -compare.
 //
-// Example:
+// Examples:
 //
 //	weipipe-trace -strategy weipipe-naive -p 4 -n 8
+//	weipipe-train -p 4 -strategy wzb2 -trace out.json && \
+//	    weipipe-trace -compare out.json          # measured vs simulated
 package main
 
 import (
@@ -24,7 +27,23 @@ func main() {
 	n := flag.Int("n", 8, "microbatches")
 	width := flag.Int("width", 96, "timeline width in characters")
 	chrome := flag.String("chrome", "", "also write a Chrome/Perfetto trace JSON to this path")
+	compare := flag.String("compare", "", "compare a measured trace JSON (from weipipe-train -trace) against the simulated schedule for the same strategy/p/n and print per-phase deltas")
 	flag.Parse()
+
+	if *compare != "" {
+		blob, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		rep, err := bench.CompareTrace(blob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
+	}
 
 	s, err := bench.Timeline(*strategy, *p, *n, *width)
 	if err != nil {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weipipe/internal/trace"
+)
+
+// TestMain re-execs the test binary as the real CLI when the marker
+// environment variable is set (see cmd/weipipe-train for the pattern).
+func TestMain(m *testing.M) {
+	if os.Getenv("WEIPIPE_SMOKE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "WEIPIPE_SMOKE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestSmokeTimeline(t *testing.T) {
+	out, err := runSelf(t, "-strategy", "wzb2", "-p", "2", "-n", "4", "-width", "40")
+	if err != nil {
+		t.Fatalf("timeline failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"wzb2: P=2 workers", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeChromeExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.json")
+	out, err := runSelf(t, "-strategy", "wzb2", "-p", "2", "-n", "4", "-width", "40", "-chrome", path)
+	if err != nil {
+		t.Fatalf("chrome export failed: %v\n%s", err, out)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events, _, err := trace.ParseChrome(blob); err != nil || len(events) == 0 {
+		t.Fatalf("chrome file invalid: %v (%d events)", err, len(events))
+	}
+}
+
+func TestSmokeCompare(t *testing.T) {
+	// A minimal measured trace: one rank, one 10ms step with a 2ms F span.
+	set := trace.NewSet(2, 64)
+	const ms = int64(1e6)
+	for r := 0; r < 2; r++ {
+		tr := set.Rank(r)
+		tr.Emit(0, 10*ms, trace.CodeStep, 0, 0)
+		tr.Emit(ms, 2*ms, trace.CodeF, 0, 0)
+	}
+	blob, err := set.ChromeTrace(&trace.RunMeta{Strategy: "wzb2", P: 2, N: 4, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "measured.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runSelf(t, "-compare", path)
+	if err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"compare: wzb2 p=2 n=4", "measured", "simulated", "calibration:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeCompareRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runSelf(t, "-compare", path); err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+}

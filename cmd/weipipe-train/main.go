@@ -16,6 +16,8 @@
 //	weipipe-train -tcp -ckpt-every 5 -max-restarts 3 \
 //	    -checkpoint /tmp/m.wpck                            # survive rank failures
 //	weipipe-train -tcp -chaos 0.05 -stats                  # chaos-test the transport
+//	weipipe-train -p 4 -strategy wzb2 -overlap \
+//	    -trace out.json -metrics                           # runtime tracing + rollup
 package main
 
 import (
@@ -26,8 +28,10 @@ import (
 	"time"
 
 	"weipipe"
+	"weipipe/internal/comm"
 	"weipipe/internal/optim"
 	"weipipe/internal/pipeline"
+	"weipipe/internal/trace"
 )
 
 // runConfig carries every CLI decision into run().
@@ -53,6 +57,9 @@ type runConfig struct {
 	stats       bool
 	sample      int
 	resumeW     []float32
+	tracePath   string
+	metrics     bool
+	traceSet    *trace.Set
 }
 
 func main() {
@@ -90,6 +97,8 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "checkpoint path: periodic saves in recovery mode, final snapshot always")
 	resume := flag.String("resume", "", "resume from this checkpoint (overrides the model flags)")
 	sample := flag.Int("sample", 0, "sample this many tokens from the trained model at the end")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this path (per-rank F/B/W, optimizer, stall, belt-lane and transport spans; open in ui.perfetto.dev or feed to weipipe-trace -compare)")
+	metrics := flag.Bool("metrics", false, "print the per-iteration timing rollup (step/F/B/W/opt/exposed means, stall counts, arena high-water marks) at the end")
 	flag.Parse()
 
 	cfg := weipipe.Config{
@@ -141,9 +150,14 @@ func main() {
 		maxRestarts: *maxRestarts, elastic: policy, spares: *spares,
 		watchdog: *watchdog,
 		stats:    *stats, sample: *sample, resumeW: resumeWeights,
+		tracePath: *tracePath, metrics: *metrics,
 	}
 	if rc.chaos > 0 && !rc.tcp {
 		fatal(fmt.Errorf("-chaos injects faults below the TCP reliability layer; it requires -tcp"))
+	}
+	if rc.tracePath != "" || rc.metrics {
+		rc.traceSet = trace.NewSet(rc.p, trace.DefaultCapacity)
+		rc.opts.Trace = rc.traceSet
 	}
 	if err := run(rc); err != nil {
 		fatal(err)
@@ -160,6 +174,9 @@ func run(rc runConfig) error {
 	if resilient {
 		if rc.wp > 0 {
 			return fmt.Errorf("recovery mode (-ckpt-every/-max-restarts) does not support hybrid -wp rings yet")
+		}
+		if rc.traceSet != nil {
+			return fmt.Errorf("-trace/-metrics are not supported in recovery mode yet (the restart loop rebuilds trainers mid-trace)")
 		}
 		if rc.resumeW != nil {
 			return fmt.Errorf("recovery mode resumes full state from -checkpoint automatically; -resume is for weight-only snapshots")
@@ -283,7 +300,10 @@ func runPlain(rc runConfig) error {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
+				rt := rc.traceSet.Rank(r)
+				span := rt.Begin()
 				losses[r], errs[r] = trainers[r].TrainIteration(batches)
+				rt.End(span, trace.CodeStep, int64(it), 0)
 			}(r)
 		}
 		wg.Wait()
@@ -304,10 +324,56 @@ func runPlain(rc runConfig) error {
 		}
 		printStats(all)
 	}
+	if rc.traceSet != nil {
+		if err := writeTraceOutputs(rc, trainers, transports); err != nil {
+			return err
+		}
+	}
 	for _, t := range transports {
 		t.Close()
 	}
 	return finish(rc, assemble(trainers, rc.p, rc.wp))
+}
+
+// writeTraceOutputs emits the tracer's two products after training: the
+// -metrics per-iteration rollup (with arena and in-flight high-water marks)
+// and the -trace Chrome JSON with the run's metadata embedded so
+// weipipe-trace -compare can rebuild the matching simulated schedule.
+func writeTraceOutputs(rc runConfig, trainers []weipipe.Trainer, transports []weipipe.Transport) error {
+	if rc.metrics {
+		sum := trace.Summarize(trace.PerIteration(rc.traceSet.Events()))
+		fmt.Print(sum)
+		for r, tr := range trainers {
+			if am, ok := tr.(pipeline.ArenaMeter); ok {
+				fmt.Printf("  rank %d arena high-water: %d slots\n", r, am.ArenaHighWater())
+			}
+		}
+		for r, t := range transports {
+			if m, ok := t.(interface{ CommStats() *weipipe.CommStats }); ok {
+				fmt.Printf("  rank %d max in-flight: %d bytes\n", r, m.CommStats().MaxInFlightBytes())
+			}
+		}
+		if d := rc.traceSet.Dropped(); d > 0 {
+			fmt.Printf("  (event ring wrapped: %d oldest events dropped)\n", d)
+		}
+	}
+	if rc.tracePath != "" {
+		blob, err := rc.traceSet.ChromeTrace(&trace.RunMeta{
+			Strategy: string(rc.strategy), P: rc.p, N: rc.n,
+			Hidden: rc.cfg.Hidden, Layers: rc.cfg.Layers, Seq: rc.cfg.MaxSeq,
+			Batch: rc.g, Heads: rc.cfg.Heads, Vocab: rc.cfg.Vocab,
+			Iters: rc.iters, Overlap: rc.opts.Overlap,
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rc.tracePath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev, or: weipipe-trace -compare %s)\n",
+			rc.tracePath, rc.tracePath)
+	}
+	return nil
 }
 
 // finish writes the final checkpoint and runs the optional sampling pass.
@@ -349,7 +415,9 @@ func buildTransports(rc runConfig, size int) ([]weipipe.Transport, error) {
 		codec = weipipe.BeltBF16
 	}
 	if !rc.tcp {
-		return weipipe.NewInprocClusterCodec(size, codec), nil
+		cl := comm.NewClusterCodec(size, codec)
+		cl.AttachTrace(rc.traceSet)
+		return cl.Transports(), nil
 	}
 	addrs, err := weipipe.LoopbackAddrs(size)
 	if err != nil {
@@ -374,7 +442,9 @@ func buildTransports(rc runConfig, size int) ([]weipipe.Transport, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			transports[r], errs[r] = weipipe.DialTCPOpts(r, addrs, topts)
+			to := topts
+			to.Trace = rc.traceSet.Rank(r)
+			transports[r], errs[r] = weipipe.DialTCPOpts(r, addrs, to)
 		}(r)
 	}
 	wg.Wait()

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"weipipe/internal/trace"
+)
+
+// syntheticTrace builds a deterministic measured trace: 2 ranks × 2 iters,
+// 10ms steps containing 2ms F, 1.5ms B, 1ms W, 0.5ms opt and 0.8ms stall.
+func syntheticTrace(t *testing.T) []byte {
+	t.Helper()
+	const ms = int64(1e6)
+	set := trace.NewSet(2, 256)
+	for r := 0; r < 2; r++ {
+		tr := set.Rank(r)
+		for iter := int64(0); iter < 2; iter++ {
+			base := iter * 20 * ms
+			tr.Emit(base, 10*ms, trace.CodeStep, iter, 0)
+			tr.Emit(base+1*ms, 2*ms, trace.CodeF, iter, 0)
+			tr.Emit(base+3*ms, 3*ms/2, trace.CodeB, iter, 0)
+			tr.Emit(base+5*ms, 1*ms, trace.CodeW, iter, 0)
+			tr.Emit(base+6*ms, ms/2, trace.CodeOpt, iter, 0)
+			tr.Emit(base+7*ms, 8*ms/10, trace.CodeStall, 0, 1)
+		}
+	}
+	blob, err := set.ChromeTrace(&trace.RunMeta{
+		Strategy: "wzb2", P: 2, N: 4, Iters: 2,
+		Hidden: 1024, Layers: 2, Seq: 4096, Batch: 4, Heads: 16, Vocab: 32000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestCompareTrace(t *testing.T) {
+	rep, err := CompareTrace(syntheticTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured.Ranks != 2 || rep.Measured.Iters != 2 {
+		t.Fatalf("measured shape = %d ranks × %d iters", rep.Measured.Ranks, rep.Measured.Iters)
+	}
+	approx := func(got, want float64) bool { return got > want*0.999 && got < want*1.001 }
+	if !approx(rep.Measured.StepSec, 0.010) {
+		t.Fatalf("StepSec = %v", rep.Measured.StepSec)
+	}
+	if !approx(rep.Measured.FSec, 0.002) || !approx(rep.Measured.BSec, 0.0015) ||
+		!approx(rep.Measured.WSec, 0.001) || !approx(rep.Measured.OptSec, 0.0005) {
+		t.Fatalf("compute totals = %+v", rep.Measured)
+	}
+	if !approx(rep.Measured.ExposedSec, 0.0008) {
+		t.Fatalf("ExposedSec = %v", rep.Measured.ExposedSec)
+	}
+	// The predicted schedule must be populated and coherent.
+	if rep.Simulated.StepSec <= 0 || rep.Simulated.FSec <= 0 {
+		t.Fatalf("simulated totals = %+v", rep.Simulated)
+	}
+	if rep.Bubble < 0 || rep.Bubble >= 1 {
+		t.Fatalf("bubble = %v", rep.Bubble)
+	}
+	if rep.Calibration.EffectiveFLOPS <= 0 {
+		t.Fatalf("calibration = %+v", rep.Calibration)
+	}
+	out := rep.String()
+	for _, want := range []string{"compare: wzb2 p=2 n=4", "step", "exposed", "calibration:", "MFU="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareTraceRejectsMetalessBlob(t *testing.T) {
+	set := trace.NewSet(1, 16)
+	set.Rank(0).Emit(0, 10, trace.CodeStep, 0, 0)
+	blob, err := set.ChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareTrace(blob); err == nil {
+		t.Fatal("expected error for trace without run metadata")
+	}
+}
+
+func TestCompareTraceRejectsGarbage(t *testing.T) {
+	if _, err := CompareTrace([]byte("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -259,3 +259,21 @@ func WriteOverlapBench(path string, iters, reps, hidden, microbatches int) error
 	fmt.Printf("  written to     %s\n", path)
 	return nil
 }
+
+// RequireBitIdentical reads an overlap-bench JSON report and returns an
+// error unless its bit_identical verdict is true. CI runs this after
+// `weipipe-bench -overlap` as the overlap-engine regression guard.
+func RequireBitIdentical(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep OverlapReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if !rep.BitIdentical {
+		return fmt.Errorf("bench: %s: overlapped run was NOT bit-identical to blocking mode", path)
+	}
+	return nil
+}

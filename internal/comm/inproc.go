@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"weipipe/internal/trace"
 )
 
 // Cluster is an in-process message fabric connecting n ranks that run as
@@ -13,10 +15,17 @@ type Cluster struct {
 	boxes []*mailbox
 	stats []*Stats
 	codec CodecFunc
+	trace *trace.Set
 }
 
 // Stats returns rank's communication meter.
 func (c *Cluster) Stats(rank int) *Stats { return c.stats[rank] }
+
+// AttachTrace points every endpoint at its rank's tracer; send and receive
+// calls then emit comm spans tagged by Kind and peer. A nil set detaches.
+// Transports already handed out observe the change too — they consult the
+// cluster per call, and a nil tracer costs one pointer test.
+func (c *Cluster) AttachTrace(set *trace.Set) { c.trace = set }
 
 // NewCluster creates a fabric for n ranks.
 func NewCluster(n int) *Cluster {
@@ -84,6 +93,8 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 	if dst < 0 || dst >= t.Size() {
 		return fmt.Errorf("comm: send to invalid rank %d", dst)
 	}
+	tr := t.cluster.trace.Rank(t.rank)
+	span := tr.Begin()
 	// Copy at the send boundary: the receiver must never alias our buffer.
 	// The copy is drawn from the payload pool; the receiver gives it back
 	// with Release once consumed.
@@ -93,6 +104,7 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 	applyCodec(codec, payload)
 	t.stats.record(tag.Kind, len(data), codec.bytesPerElem())
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
+	tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	return nil
 }
 
@@ -105,10 +117,13 @@ func (t *inprocTransport) SendOwned(dst int, tag Tag, payload []float32) error {
 		Release(payload)
 		return fmt.Errorf("comm: send to invalid rank %d", dst)
 	}
+	tr := t.cluster.trace.Rank(t.rank)
+	span := tr.Begin()
 	codec := codecFor(t.cluster.codec, tag)
 	applyCodec(codec, payload)
 	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
+	tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	return nil
 }
 
@@ -120,7 +135,10 @@ func (t *inprocTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) (
 	if src < 0 || src >= t.Size() {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
 	}
+	tr := t.cluster.trace.Rank(t.rank)
+	span := tr.Begin()
 	payload, err := t.cluster.boxes[t.rank].take(msgKey{src: src, tag: tag}, timeout)
+	tr.End(span, trace.CodeRecv, int64(tag.Kind), int64(src))
 	if err != nil && errors.Is(err, ErrTimeout) {
 		t.stats.recordTimeout(src)
 	}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"weipipe/internal/trace"
 )
 
 // TCPTransport is a Transport over a full TCP mesh: every pair of ranks
@@ -74,6 +76,10 @@ type TCPOptions struct {
 	// outgoing data frame — the fault layer the reliability machinery must
 	// mask. Never set it outside tests.
 	Chaos *ChaosConfig
+	// Trace, when non-nil, receives send/recv/retransmit spans for this
+	// rank. Each process owns one rank, so the option carries a single
+	// tracer rather than a Set.
+	Trace *trace.Tracer
 }
 
 // defaultSendWindow bounds the unacknowledged frames in flight per link.
@@ -414,6 +420,9 @@ func (t *TCPTransport) Send(dst int, tag Tag, data []float32) error {
 // link writer without a copy and released once encoded onto the wire (or at
 // shutdown). Self-sends deliver the buffer straight to the local mailbox.
 func (t *TCPTransport) SendOwned(dst int, tag Tag, payload []float32) error {
+	tr := t.opts.Trace
+	span := tr.Begin()
+	defer tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	codec := codecFor(t.opts.Codec, tag)
 	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
 	if dst == t.rank {
@@ -445,7 +454,10 @@ func (t *TCPTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]f
 	if src < 0 || src >= t.size {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
 	}
+	tr := t.opts.Trace
+	span := tr.Begin()
 	payload, err := t.box.take(msgKey{src: src, tag: tag}, timeout)
+	tr.End(span, trace.CodeRecv, int64(tag.Kind), int64(src))
 	if err != nil && errors.Is(err, ErrTimeout) {
 		t.stats.recordTimeout(src)
 	}
@@ -723,6 +735,7 @@ func (l *tcpLink) tick(now time.Time) {
 	// Retransmission: acks stalled with frames outstanding.
 	if l.conn != nil && l.sent > 0 && now.Sub(l.lastAckTime) > opts.RetransmitTimeout {
 		l.t.stats.recordRetransmit(l.peer, int64(l.sent))
+		l.t.opts.Trace.Instant(trace.CodeRetransmit, int64(l.peer), int64(l.sent))
 		l.sent = 0
 		l.lastAckTime = now
 		signal = true

@@ -1,0 +1,71 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"weipipe/internal/cluster"
+)
+
+func calWorkload() Workload {
+	return Workload{H: 64, S: 32, G: 1, L: 4, N: 4, P: 2, Heads: 4, Vocab: 100}
+}
+
+func TestPerRankFwdFLOPs(t *testing.T) {
+	w := calWorkload()
+	// N/P microbatches, each through all L layers plus the head.
+	want := 2 * (4*w.LayerFwdFLOPs() + w.HeadFwdFLOPs())
+	if got := w.PerRankFwdFLOPs(); math.Abs(got-want) > want*1e-12 {
+		t.Fatalf("PerRankFwdFLOPs = %v, want %v", got, want)
+	}
+}
+
+func TestCalibrateRecoversMFU(t *testing.T) {
+	w := calWorkload()
+	gpu := cluster.A800()
+	// Fabricate a measurement where the rank sustained exactly half of peak.
+	m := PhaseTotals{FSec: w.PerRankFwdFLOPs() / (gpu.PeakFLOPS * 0.5)}
+	c := Calibrate(w, gpu, m, 0)
+	if math.Abs(c.SuggestedMFU-0.5) > 1e-9 {
+		t.Fatalf("SuggestedMFU = %v, want 0.5", c.SuggestedMFU)
+	}
+	if math.Abs(c.EffectiveFLOPS-gpu.PeakFLOPS*0.5) > gpu.PeakFLOPS*1e-9 {
+		t.Fatalf("EffectiveFLOPS = %v", c.EffectiveFLOPS)
+	}
+	// Above-peak measurements clamp to MFU 1.
+	fast := PhaseTotals{FSec: w.PerRankFwdFLOPs() / (gpu.PeakFLOPS * 2)}
+	if c := Calibrate(w, gpu, fast, 0); c.SuggestedMFU != 1 {
+		t.Fatalf("above-peak SuggestedMFU = %v, want 1", c.SuggestedMFU)
+	}
+}
+
+func TestCalibrateLinkScaleClamps(t *testing.T) {
+	w := calWorkload()
+	gpu := cluster.A800()
+	cases := []struct {
+		measured, predicted, want float64
+	}{
+		{0.5, 1, 0.5},   // in range
+		{3, 1, 1},       // clamp high
+		{1e-5, 1, 0.01}, // clamp low
+		{0.5, 0, 1},     // no prediction → neutral
+	}
+	for _, tc := range cases {
+		c := Calibrate(w, gpu, PhaseTotals{ExposedSec: tc.measured}, tc.predicted)
+		if math.Abs(c.SuggestedLinkScale-tc.want) > 1e-12 {
+			t.Fatalf("measured=%v predicted=%v: SuggestedLinkScale = %v, want %v",
+				tc.measured, tc.predicted, c.SuggestedLinkScale, tc.want)
+		}
+	}
+}
+
+func TestCalibrateNoComputeFallsBack(t *testing.T) {
+	gpu := cluster.A800()
+	c := Calibrate(calWorkload(), gpu, PhaseTotals{}, 0)
+	if c.EffectiveFLOPS != 0 {
+		t.Fatalf("EffectiveFLOPS = %v, want 0", c.EffectiveFLOPS)
+	}
+	if c.SuggestedMFU != gpu.MFU {
+		t.Fatalf("SuggestedMFU = %v, want GPU default %v", c.SuggestedMFU, gpu.MFU)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"weipipe/internal/model"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // DP is plain data parallelism: every rank holds a full model replica and a
@@ -22,6 +23,7 @@ type DP struct {
 	seq     int // collective sequence counter (identical across ranks)
 	arena   *tensor.Arena
 	skipped int
+	tr      *trace.Tracer
 }
 
 // NewDP builds a DP trainer for this rank.
@@ -36,6 +38,7 @@ func NewDP(t Transport, cfg model.Config, opts Options) (*DP, error) {
 		opt:   optim.NewAdamW(mdl.NumParams(), opts.Adam),
 		opts:  opts,
 		arena: tensor.NewArena(),
+		tr:    opts.Trace.Rank(t.Rank()),
 	}, nil
 }
 
@@ -55,16 +58,24 @@ func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
 	nMods := len(d.mdl.Modules)
 	grads := newGrads(d.mdl)
 	var lossSum float64
-	for _, b := range mine {
+	for mi, b := range mine {
+		mb := int64(mi)
 		caches := newCaches(0, nMods, b.G(), b.S(), d.arena)
+		span := d.tr.Begin()
 		_, loss := forwardRange(d.mdl, 0, nMods, nil, b, caches, d.opts.Recompute)
+		d.tr.End(span, trace.CodeF, mb, 0)
 		lossSum += loss
 		var dy *tensor.Tensor
+		span = d.tr.Begin()
 		backwardRangeB(d.mdl, 0, nMods, dy, caches, d.opts.Recompute)
+		d.tr.End(span, trace.CodeB, mb, 0)
+		span = d.tr.Begin()
 		backwardRangeW(d.mdl, 0, nMods, caches, grads)
+		d.tr.End(span, trace.CodeW, mb, 0)
 		d.arena.Reset()
 	}
 
+	optSpan := d.tr.Begin()
 	total := d.mdl.NumParams()
 	flatG := make([]float32, total)
 	flattenGradsRange(d.mdl, grads, 0, nMods, flatG)
@@ -102,6 +113,8 @@ func (d *DP) TrainIteration(batches []data.Batch) (float64, error) {
 			d.opts.Scaler.Observe(true)
 		}
 	}
+
+	d.tr.End(optSpan, trace.CodeOpt, int64(d.seq), 0)
 
 	d.seq++
 	sum, err := comm.AllReduceScalarSum(d.t, lossSum, d.seq)

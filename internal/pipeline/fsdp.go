@@ -9,6 +9,7 @@ import (
 	"weipipe/internal/model"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // FSDP is fully-sharded data parallelism in the ZeRO-3 style the paper
@@ -20,9 +21,9 @@ import (
 // data-parallel: each rank trains its round-robin share of the
 // microbatches.
 type FSDP struct {
-	t      Transport
-	mdl    *model.Model // weight buffer; authoritative state is the shards
-	shards [][]float32  // per-module owned parameter shard (fp32 master)
+	t       Transport
+	mdl     *model.Model // weight buffer; authoritative state is the shards
+	shards  [][]float32  // per-module owned parameter shard (fp32 master)
 	opts    []*optim.AdamW
 	o       Options
 	seq     int
@@ -33,6 +34,9 @@ type FSDP struct {
 	// gather waits are recorded into it as belt stall so FSDP's exposed
 	// communication is measured the same way as WeiPipe's.
 	stats *comm.Stats
+
+	// tr is this rank's runtime tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
 
 // NewFSDP builds an FSDP trainer for this rank.
@@ -43,7 +47,7 @@ func NewFSDP(t Transport, cfg model.Config, o Options) (*FSDP, error) {
 	mdl := model.Build(cfg)
 	p := t.Size()
 	r := t.Rank()
-	f := &FSDP{t: t, mdl: mdl, o: o, arena: tensor.NewArena()}
+	f := &FSDP{t: t, mdl: mdl, o: o, arena: tensor.NewArena(), tr: o.Trace.Rank(t.Rank())}
 	if m, ok := t.(comm.Meter); ok {
 		f.stats = m.CommStats()
 	}
@@ -76,8 +80,10 @@ func (f *FSDP) shardLens(i int) []int {
 // gatherModule all-gathers module i's weights into the local buffer.
 func (f *FSDP) gatherModule(i int) error {
 	f.seq++
+	span := f.tr.Begin()
 	start := time.Now()
 	full, err := comm.AllGather(f.t, f.shards[i], f.shardLens(i), f.seq)
+	f.tr.End(span, trace.CodeStall, int64(comm.KindWeight), int64(i))
 	f.stats.RecordBeltStallKind(comm.KindWeight, time.Since(start))
 	if err != nil {
 		return err
@@ -154,8 +160,10 @@ func (f *FSDP) startGatherStream(nMB int) *gatherStream {
 // nextGather installs the stream's next prefetched module (which must be
 // module i — the stream replays the same order as the compute loop).
 func (f *FSDP) nextGather(s *gatherStream, i int) error {
+	span := f.tr.Begin()
 	start := time.Now()
 	it, ok := <-s.ch
+	f.tr.End(span, trace.CodeStall, int64(comm.KindWeight), int64(i))
 	f.stats.RecordBeltStallKind(comm.KindWeight, time.Since(start))
 	if !ok {
 		return fmt.Errorf("pipeline: gather stream exhausted")
@@ -215,7 +223,8 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 		return f.gatherModule(i)
 	}
 
-	for _, b := range mine {
+	for mi, b := range mine {
+		mb := int64(mi)
 		caches := newCaches(0, nMods, b.G(), b.S(), f.arena)
 
 		// Forward: gather each module just in time; the buffer is
@@ -225,8 +234,10 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 			if err := gather(i); err != nil {
 				return 0, err
 			}
+			span := f.tr.Begin()
 			var l float64
 			x, l = forwardModule(f.mdl, i, x, b, caches[i])
+			f.tr.End(span, trace.CodeF, mb, int64(i))
 			lossSum += l
 			if f.o.Recompute && i != 0 && i != nMods-1 {
 				caches[i].DropAllButX()
@@ -240,16 +251,21 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 				return 0, err
 			}
 			c := caches[i]
+			span := f.tr.Begin()
 			if f.o.Recompute && i != 0 && i != nMods-1 {
 				f.mdl.Modules[i].Forward(c.X, c)
 			}
 			dy = f.mdl.Modules[i].BackwardInput(dy, c)
+			f.tr.End(span, trace.CodeB, mb, int64(i))
+			span = f.tr.Begin()
 			f.mdl.Modules[i].BackwardParams(c, grads[i])
+			f.tr.End(span, trace.CodeW, mb, int64(i))
 		}
 		f.arena.Reset()
 	}
 
 	// Reduce-scatter each module's gradient into the owned shards.
+	optSpan := f.tr.Begin()
 	invN := gradFactor(f.o, len(batches))
 	gradShards := make([][]float32, nMods)
 	for i := 0; i < nMods; i++ {
@@ -300,6 +316,8 @@ func (f *FSDP) TrainIteration(batches []data.Batch) (float64, error) {
 			f.o.Scaler.Observe(true)
 		}
 	}
+
+	f.tr.End(optSpan, trace.CodeOpt, int64(f.seq), 0)
 
 	// Refresh the local buffer so Model() exposes post-step weights.
 	for i := 0; i < nMods; i++ {

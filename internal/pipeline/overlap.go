@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"weipipe/internal/comm"
+	"weipipe/internal/trace"
 )
 
 // The asynchronous weight-belt engine (Options.Overlap).
@@ -82,6 +83,7 @@ type beltLane struct {
 // background goroutines, one per belt.
 type beltEngine struct {
 	t       Transport
+	tr      *trace.Tracer
 	weights [2]*beltLane // indexed by beltFwd/beltBwd: weight hops, relayed at receipt
 	quit    chan struct{}
 }
@@ -137,7 +139,7 @@ func (w *WeiPipe) startBeltEngine(R int) *beltEngine {
 		b := beltOf(op.tag)
 		wPlans[b] = append(wPlans[b], op)
 	}
-	e := &beltEngine{t: w.t, quit: make(chan struct{})}
+	e := &beltEngine{t: w.t, tr: w.tr, quit: make(chan struct{})}
 	for b := range wPlans {
 		e.weights[b] = e.runLane(wPlans[b])
 	}
@@ -161,11 +163,17 @@ func (e *beltEngine) runLane(plan []beltOp) *beltLane {
 		defer close(l.done)
 		defer close(l.staged)
 		for _, op := range plan {
+			belt := int64(beltOf(op.tag))
+			use := int64(op.tag.B & (1<<beltUseBits - 1))
+			span := e.tr.Begin()
 			payload, err := t.Recv(op.src, op.tag)
+			e.tr.End(span, trace.CodePrefetch, belt, use)
 			if err == nil && op.fwdDst >= 0 {
 				// Store-and-forward: relay the weight chunk downstream the
 				// moment it lands, long before compute consumes it here.
+				span = e.tr.Begin()
 				err = t.Send(op.fwdDst, op.fwdTag, payload)
+				e.tr.End(span, trace.CodeRelay, belt, use+1)
 			}
 			if err != nil {
 				comm.Release(payload)

@@ -20,6 +20,7 @@ import (
 	"weipipe/internal/nn"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // Strategy names a parallel training strategy.
@@ -106,6 +107,13 @@ type Options struct {
 	// and no KindWeight/KindGrad message — to the training critical path.
 	// Ignored by non-WeiPipe strategies and single-rank rings.
 	Buddy bool
+	// Trace, when non-nil, receives runtime spans from every rank: F/B/W
+	// compute stages, optimizer steps, exposed-communication stalls, belt
+	// engine prefetch/relay activity and checkpoint barriers. All ranks of
+	// a run share the one Set (each pulls its own tracer by rank), so the
+	// per-rank timelines align on a common monotonic epoch. Nil means
+	// tracing off, which costs one pointer test per instrumentation site.
+	Trace *trace.Set
 }
 
 // guardActive reports whether non-finite gradients must skip the step.
@@ -307,6 +315,27 @@ func (ap *arenaPool) release(a *tensor.Arena) {
 	}
 	a.Reset()
 	ap.free = append(ap.free, a)
+}
+
+// highWater returns the largest slot count among the pool's arenas — the
+// scratch-memory high-water mark of the microbatches trained so far.
+// Meaningful between iterations, when every in-flight arena has been
+// released back.
+func (ap *arenaPool) highWater() int {
+	hw := 0
+	for _, a := range ap.free {
+		if s := a.Slots(); s > hw {
+			hw = s
+		}
+	}
+	return hw
+}
+
+// ArenaMeter is implemented by runners that recycle per-microbatch scratch
+// arenas; ArenaHighWater reports the peak arena slot count, the memory
+// figure the -metrics snapshot surfaces next to the comm buffer gauges.
+type ArenaMeter interface {
+	ArenaHighWater() int
 }
 
 // newGrads allocates a gradient set per module of mdl (nil-safe access by

@@ -9,6 +9,7 @@ import (
 	"weipipe/internal/nn"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // ppBase is the shared machinery of the activation-passing pipeline
@@ -37,7 +38,13 @@ type ppBase struct {
 	arenas  map[int]*tensor.Arena
 	apool   arenaPool
 	skipped int
+
+	// tr is this rank's runtime tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
+
+// ArenaHighWater implements ArenaMeter.
+func (p *ppBase) ArenaHighWater() int { return p.apool.highWater() }
 
 func newPPBase(t Transport, cfg model.Config, opts Options) (*ppBase, error) {
 	if opts.Scaler != nil {
@@ -57,6 +64,7 @@ func newPPBase(t Transport, cfg model.Config, opts Options) (*ppBase, error) {
 		hi:   hi,
 		opt:  optim.NewAdamW(mdl.ChunkSize(lo, hi), opts.Adam),
 		opts: opts,
+		tr:   opts.Trace.Rank(t.Rank()),
 	}, nil
 }
 
@@ -86,7 +94,9 @@ func (p *ppBase) hidden() int { return p.mdl.Cfg.Hidden }
 func (p *ppBase) forwardMB(m int, b data.Batch, recompute bool) error {
 	var x *tensor.Tensor
 	if !p.isFirst() {
+		span := p.tr.Begin()
 		payload, err := p.t.Recv(p.t.Rank()-1, Tag{Kind: comm.KindAct, A: m})
+		p.tr.End(span, trace.CodeStall, int64(comm.KindAct), int64(p.t.Rank()-1))
 		if err != nil {
 			return err
 		}
@@ -96,7 +106,9 @@ func (p *ppBase) forwardMB(m int, b data.Batch, recompute bool) error {
 	p.arenas[m] = arena
 	caches := newCaches(p.lo, p.hi, b.G(), b.S(), arena)
 	p.caches[m] = caches
+	span := p.tr.Begin()
 	out, loss := forwardRange(p.mdl, p.lo, p.hi, x, b, caches, recompute)
+	p.tr.End(span, trace.CodeF, int64(m), int64(p.t.Rank()))
 	if p.isLast() {
 		p.lossMB[m] = loss
 		return nil
@@ -110,13 +122,17 @@ func (p *ppBase) forwardMB(m int, b data.Batch, recompute bool) error {
 func (p *ppBase) backwardMBInput(m int, b data.Batch, recompute bool) error {
 	var dy *tensor.Tensor
 	if !p.isLast() {
+		span := p.tr.Begin()
 		payload, err := p.t.Recv(p.t.Rank()+1, Tag{Kind: comm.KindActGrad, A: m})
+		p.tr.End(span, trace.CodeStall, int64(comm.KindActGrad), int64(p.t.Rank()+1))
 		if err != nil {
 			return err
 		}
 		dy = tensor.FromSlice(payload, b.G()*b.S(), p.hidden())
 	}
+	span := p.tr.Begin()
 	dx := backwardRangeB(p.mdl, p.lo, p.hi, dy, p.caches[m], recompute)
+	p.tr.End(span, trace.CodeB, int64(m), int64(p.t.Rank()))
 	if p.isFirst() {
 		return nil
 	}
@@ -126,7 +142,9 @@ func (p *ppBase) backwardMBInput(m int, b data.Batch, recompute bool) error {
 // backwardMBParams runs this stage's W pass for microbatch m and releases
 // the microbatch's activation caches.
 func (p *ppBase) backwardMBParams(m int) {
+	span := p.tr.Begin()
 	backwardRangeW(p.mdl, p.lo, p.hi, p.caches[m], p.grads)
+	p.tr.End(span, trace.CodeW, int64(m), int64(p.t.Rank()))
 	delete(p.caches, m)
 	p.apool.release(p.arenas[m])
 	delete(p.arenas, m)
@@ -136,6 +154,8 @@ func (p *ppBase) backwardMBParams(m int) {
 // applies global-norm clipping (combining the stages' partial norms with a
 // scalar all-reduce) and takes the local optimizer update.
 func (p *ppBase) step(n int) error {
+	span := p.tr.Begin()
+	defer func() { p.tr.End(span, trace.CodeOpt, int64(p.seq), 0) }()
 	size := p.mdl.ChunkSize(p.lo, p.hi)
 	flatW := make([]float32, size)
 	flatG := make([]float32, size)

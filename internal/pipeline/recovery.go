@@ -10,6 +10,7 @@ import (
 	"weipipe/internal/comm"
 	"weipipe/internal/data"
 	"weipipe/internal/model"
+	"weipipe/internal/trace"
 )
 
 // Recoverable is implemented by trainers that can checkpoint and restore
@@ -89,6 +90,17 @@ func moduleOffsets(mdl *model.Model) []int {
 // so the two must not be conflated. Every trainer must be quiescent
 // (between iterations) and implement Recoverable.
 func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapshot, error) {
+	// The capture is one coordinated barrier; span it once, on the first
+	// rank that carries a tracer, rather than once per rank.
+	var ctr *trace.Tracer
+	for _, tr := range trainers {
+		if tj, ok := tr.(tracedRunner); ok && tj.tracer() != nil {
+			ctr = tj.tracer()
+			break
+		}
+	}
+	span := ctr.Begin()
+	defer ctr.End(span, trace.CodeCkpt, int64(completedIters), 0)
 	mdl := trainers[0].Model()
 	offsets := moduleOffsets(mdl)
 	total := mdl.NumParams()
@@ -504,3 +516,14 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	closeAll()
 	return res, nil
 }
+
+// tracedRunner is implemented by runners that carry a runtime tracer; the
+// checkpoint barrier uses it to attribute its span without widening the
+// Trainer interface.
+type tracedRunner interface{ tracer() *trace.Tracer }
+
+func (s *Serial) tracer() *trace.Tracer  { return s.tr }
+func (d *DP) tracer() *trace.Tracer      { return d.tr }
+func (f *FSDP) tracer() *trace.Tracer    { return f.tr }
+func (p *ppBase) tracer() *trace.Tracer  { return p.tr }
+func (w *WeiPipe) tracer() *trace.Tracer { return w.tr }

@@ -7,6 +7,7 @@ import (
 	"weipipe/internal/comm"
 	"weipipe/internal/data"
 	"weipipe/internal/model"
+	"weipipe/internal/trace"
 )
 
 // Owner is implemented by every trainer; it reports which contiguous module
@@ -109,6 +110,7 @@ func RunCluster(s Strategy, p int, cfg model.Config, opts Options, iters int,
 	}
 	cluster := comm.NewClusterCodec(p, codec)
 	defer cluster.Close()
+	cluster.AttachTrace(opts.Trace)
 
 	trainers := make([]Trainer, p)
 	losses := make([][]float64, p)
@@ -124,8 +126,11 @@ func RunCluster(s Strategy, p int, cfg model.Config, opts Options, iters int,
 				return
 			}
 			trainers[r] = tr
+			rt := opts.Trace.Rank(r)
 			for i := 0; i < iters; i++ {
+				span := rt.Begin()
 				loss, err := tr.TrainIteration(batchesFn(i))
+				rt.End(span, trace.CodeStep, int64(i), 0)
 				if err != nil {
 					errs[r] = fmt.Errorf("iteration %d: %w", i, err)
 					return

@@ -6,6 +6,7 @@ import (
 	"weipipe/internal/nn"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // Serial is the single-process reference trainer every distributed strategy
@@ -20,6 +21,7 @@ type Serial struct {
 	// in flight at a time it is reset as soon as the W pass has run.
 	arena   *tensor.Arena
 	skipped int
+	tr      *trace.Tracer
 }
 
 // NewSerial builds the reference trainer.
@@ -30,6 +32,7 @@ func NewSerial(cfg model.Config, opts Options) *Serial {
 		opt:   optim.NewAdamW(mdl.NumParams(), opts.Adam),
 		opts:  opts,
 		arena: tensor.NewArena(),
+		tr:    opts.Trace.Rank(0),
 	}
 }
 
@@ -44,16 +47,25 @@ func (s *Serial) TrainIteration(batches []data.Batch) (float64, error) {
 		s.mdl.Head.LossScale = float32(s.opts.Scaler.Scale())
 	}
 	var lossSum float64
-	for _, b := range batches {
+	for mi, b := range batches {
+		mb := int64(mi)
 		caches := newCaches(0, n, b.G(), b.S(), s.arena)
+		span := s.tr.Begin()
 		_, loss := forwardRange(s.mdl, 0, n, nil, b, caches, s.opts.Recompute)
+		s.tr.End(span, trace.CodeF, mb, 0)
 		lossSum += loss
 		var dy *tensor.Tensor
+		span = s.tr.Begin()
 		backwardRangeB(s.mdl, 0, n, dy, caches, s.opts.Recompute)
+		s.tr.End(span, trace.CodeB, mb, 0)
+		span = s.tr.Begin()
 		backwardRangeW(s.mdl, 0, n, caches, grads)
+		s.tr.End(span, trace.CodeW, mb, 0)
 		s.arena.Reset() // grads live on the heap; all scratch is now dead
 	}
+	span := s.tr.Begin()
 	s.step(grads, len(batches))
+	s.tr.End(span, trace.CodeOpt, 0, 0)
 	return lossSum / float64(len(batches)), nil
 }
 

@@ -84,11 +84,11 @@ type ProgressBoard struct {
 }
 
 type rankProgress struct {
-	lastBeat   time.Time
-	waiting    bool // parked in Recv: a stall victim, never a cause
-	idle       bool // finished the iteration / between iterations
-	iter, mb   int
-	phase      byte
+	lastBeat time.Time
+	waiting  bool // parked in Recv: a stall victim, never a cause
+	idle     bool // finished the iteration / between iterations
+	iter, mb int
+	phase    byte
 }
 
 // NewProgressBoard builds a board for n ranks, all idle.

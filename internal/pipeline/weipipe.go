@@ -10,6 +10,7 @@ import (
 	"weipipe/internal/nn"
 	"weipipe/internal/optim"
 	"weipipe/internal/tensor"
+	"weipipe/internal/trace"
 )
 
 // WeiPipeVariant selects which of the paper's weight-passing schedules a
@@ -145,7 +146,13 @@ type WeiPipe struct {
 	// stalled rank got stuck.
 	board     *ProgressBoard
 	boardRank int
+
+	// tr is this rank's runtime tracer (nil when tracing is off).
+	tr *trace.Tracer
 }
+
+// ArenaHighWater implements ArenaMeter.
+func (w *WeiPipe) ArenaHighWater() int { return w.apool.highWater() }
 
 // post publishes the rank's schedule position to the progress board.
 func (w *WeiPipe) post(mb int, phase byte) {
@@ -194,6 +201,7 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 	if m, ok := t.(comm.Meter); ok {
 		w.stats = m.CommStats()
 	}
+	w.tr = opts.Trace.Rank(t.Rank())
 	if opts.Buddy && p >= 2 {
 		w.initBuddy()
 	}
@@ -297,6 +305,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	}
 
 	// Collect the fully-accumulated gradient for the owned chunk and step.
+	optSpan := w.tr.Begin()
 	d, err := w.beltRecv(p-1, Tag{Kind: comm.KindGrad, A: w.ownChunk, B: w.enc(beltRetire, 0)})
 	if err != nil {
 		return 0, err
@@ -357,6 +366,7 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 			return 0, err
 		}
 	}
+	w.tr.End(optSpan, trace.CodeOpt, int64(w.iter), 0)
 
 	w.iter++
 	loss, err := comm.AllReduceScalarSum(w.t, st.lossSum, w.iter)
@@ -502,11 +512,16 @@ func (w *WeiPipe) runSchedule(st *wpState) error {
 // the two modes report comparable exposed-communication time.
 func (w *WeiPipe) beltRecv(src int, tag Tag) ([]float32, error) {
 	if w.engine != nil && tag.Kind == comm.KindWeight {
-		return w.engine.next(tag, w.stats)
+		span := w.tr.Begin()
+		payload, err := w.engine.next(tag, w.stats)
+		w.tr.End(span, trace.CodeStall, int64(tag.Kind), int64(src))
+		return payload, err
 	}
+	span := w.tr.Begin()
 	start := time.Now()
 	payload, err := w.t.Recv(src, tag)
 	wait := time.Since(start)
+	w.tr.End(span, trace.CodeStall, int64(tag.Kind), int64(src))
 	w.stats.RecordBeltStallKind(tag.Kind, wait)
 	if tag.Kind == comm.KindWeight {
 		// In overlapped mode the engine owns every weight-belt transport
@@ -611,7 +626,9 @@ func (w *WeiPipe) fStage(st *wpState, k, c int) error {
 		st.wRemaining[mb] = w.t.Size()
 	}
 	lo, hi := w.chunkRange(c)
+	span := w.tr.Begin()
 	out, loss := forwardRange(w.mdl, lo, hi, st.fwdX[mb], b, caches[lo:hi], w.opts.Recompute)
+	w.tr.End(span, trace.CodeF, int64(mb), int64(c))
 	st.lossSum += loss
 	if out != nil {
 		st.fwdX[mb] = out
@@ -630,7 +647,9 @@ func (w *WeiPipe) bStage(st *wpState, k, c int) error {
 	}
 	caches := st.caches[mb]
 	lo, hi := w.chunkRange(c)
+	span := w.tr.Begin()
 	dx := backwardRangeB(w.mdl, lo, hi, st.bwdDy[mb], caches[lo:hi], w.opts.Recompute)
+	w.tr.End(span, trace.CodeB, int64(mb), int64(c))
 	if lo > 0 && dx != nil {
 		st.bwdDy[mb] = dx
 	} else {
@@ -647,6 +666,7 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 	w.post(mb, 'W')
 	caches := st.caches[mb]
 	lo, hi := w.chunkRange(c)
+	span := w.tr.Begin()
 	grads := make([]*nn.ParamSet, len(w.mdl.Modules))
 	for i := lo; i < hi; i++ {
 		grads[i] = w.mdl.Modules[i].Params().NewLike()
@@ -654,6 +674,7 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
 	local := comm.GetBuf(w.mdl.ChunkSize(lo, hi))
 	flattenGradsRange(w.mdl, grads, lo, hi, local)
+	w.tr.End(span, trace.CodeW, int64(mb), int64(c))
 	// accumulateAndForwardD owns local from here (donated or released inside).
 	if err := w.accumulateAndForwardD(c, mb, local); err != nil {
 		return err

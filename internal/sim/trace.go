@@ -1,35 +1,26 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
-)
 
-// chromeEvent is one complete event ("ph":"X") of the Chrome trace format
-// (chrome://tracing, Perfetto). Timestamps and durations are microseconds.
-type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
-	Pid  int               `json:"pid"`
-	Tid  string            `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
-}
+	"weipipe/internal/trace"
+)
 
 // ChromeTrace renders the schedule as a Chrome/Perfetto trace: one track
 // per resource (compute engines first, then links and the fabric), one
-// complete event per task. Load the output in chrome://tracing or
-// ui.perfetto.dev.
+// complete event per task. The events marshal through the shared
+// trace.ChromeEvent writer — the same format the runtime tracer exports —
+// so a predicted schedule and a measured run load side by side in
+// Perfetto and feed the same -compare parser. Load the output in
+// chrome://tracing or ui.perfetto.dev.
 func (r *Result) ChromeTrace() ([]byte, error) {
-	events := make([]chromeEvent, 0, len(r.Tasks))
+	events := make([]trace.ChromeEvent, 0, len(r.Tasks))
 	for _, t := range r.Tasks {
 		if t.Dur == 0 {
 			continue // barriers and zero-cost syncs only clutter the view
 		}
-		events = append(events, chromeEvent{
+		events = append(events, trace.ChromeEvent{
 			Name: t.Label,
 			Cat:  t.Kind,
 			Ph:   "X",
@@ -46,7 +37,7 @@ func (r *Result) ChromeTrace() ([]byte, error) {
 		}
 		return events[i].Ts < events[j].Ts
 	})
-	return json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+	return trace.MarshalChrome(events, nil)
 }
 
 // ResourceBusy returns each resource's total occupied time, a utilisation

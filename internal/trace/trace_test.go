@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Begin(); got != 0 {
+		t.Fatalf("nil Begin = %d", got)
+	}
+	tr.End(0, CodeF, 1, 2)
+	tr.Instant(CodeRetransmit, 1, 2)
+	tr.Emit(0, 1, CodeF, 1, 2)
+	if tr.Events() != nil {
+		t.Fatal("nil Events non-nil")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil Dropped non-zero")
+	}
+
+	var s *Set
+	if s.Rank(0) != nil {
+		t.Fatal("nil Set.Rank non-nil")
+	}
+	if s.Size() != 0 || s.Dropped() != 0 || s.Events() != nil {
+		t.Fatal("nil Set accessors not zero")
+	}
+}
+
+func TestBeginEndRecordsSpan(t *testing.T) {
+	s := NewSet(2, 16)
+	tr := s.Rank(1)
+	start := tr.Begin()
+	time.Sleep(time.Millisecond)
+	tr.End(start, CodeB, 3, 7)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Code != CodeB || e.Rank != 1 || e.A != 3 || e.B != 7 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Dur < int64(500*time.Microsecond) {
+		t.Fatalf("duration %v too short", time.Duration(e.Dur))
+	}
+	if e.Start < 0 {
+		t.Fatalf("start %d negative", e.Start)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	s := NewSet(1, 4)
+	tr := s.Rank(0)
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), 1, CodeF, int64(i), 0)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Oldest retained first: events 6..9 survive in emission order.
+	for i, e := range evs {
+		if want := int64(6 + i); e.A != want || e.Start != want {
+			t.Fatalf("evs[%d] = %+v, want A=%d", i, e, want)
+		}
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("set dropped = %d", s.Dropped())
+	}
+}
+
+func TestEventsBeforeWrapInOrder(t *testing.T) {
+	s := NewSet(1, 8)
+	tr := s.Rank(0)
+	for i := 0; i < 5; i++ {
+		tr.Emit(int64(i*10), 5, CodeW, int64(i), 0)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.A != int64(i) {
+			t.Fatalf("evs[%d].A = %d", i, e.A)
+		}
+	}
+}
+
+// TestConcurrentEmit hammers one tracer from many goroutines; run under
+// -race (make race / CI) this pins the emit path as data-race free — the
+// real runtime has the compute thread, two belt lanes and transport
+// goroutines all emitting into per-rank tracers.
+func TestConcurrentEmit(t *testing.T) {
+	const workers = 8
+	const each = 500
+	s := NewSet(2, workers*each)
+	tr := s.Rank(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				start := tr.Begin()
+				tr.End(start, CodeRecv, int64(w), int64(i))
+			}
+		}(w)
+	}
+	// Concurrent readers must see consistent snapshots too.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Events()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(tr.Events()); got != workers*each {
+		t.Fatalf("events = %d, want %d", got, workers*each)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestSetEventsMergedSorted(t *testing.T) {
+	s := NewSet(3, 8)
+	s.Rank(2).Emit(30, 1, CodeF, 0, 0)
+	s.Rank(0).Emit(10, 1, CodeF, 0, 0)
+	s.Rank(1).Emit(20, 1, CodeF, 0, 0)
+	s.Rank(1).Emit(10, 1, CodeB, 0, 0) // ties with rank 0's: rank order breaks it
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	wantRanks := []int32{0, 1, 1, 2}
+	wantStarts := []int64{10, 10, 20, 30}
+	for i := range evs {
+		if evs[i].Rank != wantRanks[i] || evs[i].Start != wantStarts[i] {
+			t.Fatalf("evs[%d] = %+v", i, evs[i])
+		}
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	for c := CodeStep; c < codeCount; c++ {
+		if c.String() == "?" || c.Category() == "?" {
+			t.Fatalf("code %d unnamed", c)
+		}
+	}
+	if Code(200).String() != "?" || Code(200).Category() != "?" {
+		t.Fatal("out-of-range code not ?")
+	}
+}
+
+func TestPerIterationMetrics(t *testing.T) {
+	s := NewSet(2, 64)
+	ms := int64(time.Millisecond)
+	for rank := 0; rank < 2; rank++ {
+		tr := s.Rank(rank)
+		for iter := 0; iter < 2; iter++ {
+			base := int64(iter) * 100 * ms
+			tr.Emit(base, 50*ms, CodeStep, int64(iter), 0)
+			tr.Emit(base+1*ms, 10*ms, CodeF, 0, 0)
+			tr.Emit(base+11*ms, 8*ms, CodeB, 0, 0)
+			tr.Emit(base+19*ms, 6*ms, CodeW, 0, 0)
+			tr.Emit(base+25*ms, 4*ms, CodeOpt, int64(iter), 0)
+			tr.Emit(base+30*ms, 2*ms, CodeStall, 0, 1)
+			tr.Emit(base+32*ms, 3*ms, CodeStall, 1, 1)
+		}
+	}
+	got := PerIteration(s.Events())
+	if len(got) != 4 {
+		t.Fatalf("metrics rows = %d, want 4", len(got))
+	}
+	// Sorted by iter then rank.
+	want := []struct{ iter, rank int }{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, m := range got {
+		if m.Iter != want[i].iter || m.Rank != want[i].rank {
+			t.Fatalf("row %d = iter %d rank %d", i, m.Iter, m.Rank)
+		}
+		if m.Step != 50*time.Millisecond {
+			t.Fatalf("step = %v", m.Step)
+		}
+		if m.Fwd != 10*time.Millisecond || m.Bwd != 8*time.Millisecond || m.Wgrad != 6*time.Millisecond {
+			t.Fatalf("compute = %v/%v/%v", m.Fwd, m.Bwd, m.Wgrad)
+		}
+		if m.Opt != 4*time.Millisecond {
+			t.Fatalf("opt = %v", m.Opt)
+		}
+		if m.Exposed != 5*time.Millisecond || m.Stalls != 2 {
+			t.Fatalf("exposed = %v stalls = %d", m.Exposed, m.Stalls)
+		}
+		if m.Compute() != 28*time.Millisecond {
+			t.Fatalf("compute total = %v", m.Compute())
+		}
+	}
+	sum := Summarize(got)
+	if sum.Iters != 2 || sum.Ranks != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.AvgStep != 50*time.Millisecond || sum.AvgExposed != 5*time.Millisecond {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.TotalStalls != 8 {
+		t.Fatalf("stalls = %d", sum.TotalStalls)
+	}
+	if s := sum.String(); len(s) == 0 {
+		t.Fatal("empty summary string")
+	}
+	if len(Summarize(nil).String()) == 0 {
+		t.Fatal("empty-summary String failed")
+	}
+}

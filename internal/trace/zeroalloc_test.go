@@ -1,0 +1,35 @@
+package trace
+
+import "testing"
+
+// TestEmitZeroAlloc pins the tracing-on hot path at zero allocations per
+// span, the same way TestBeltHotPathZeroAlloc pins the belt cycle: the
+// ring is preallocated at NewSet, so Begin/End and Emit must only stamp
+// the clock, take the mutex and store into an existing slot.
+func TestEmitZeroAlloc(t *testing.T) {
+	s := NewSet(1, 1<<12)
+	tr := s.Rank(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tr.Begin()
+		tr.End(start, CodeF, 1, 2)
+		tr.Emit(start, 10, CodeStall, 3, 4)
+		tr.Instant(CodeRetransmit, 5, 6)
+	})
+	if allocs != 0 {
+		t.Fatalf("tracing hot path allocates: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestNilPathZeroAlloc pins the tracing-off path: a nil tracer must cost
+// nothing but the nil checks, or the ≤1% disabled-overhead budget is fiction.
+func TestNilPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tr.Begin()
+		tr.End(start, CodeF, 1, 2)
+		tr.Instant(CodeRetransmit, 5, 6)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates: %.1f allocs/run, want 0", allocs)
+	}
+}
