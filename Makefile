@@ -2,13 +2,19 @@ GO ?= go
 # FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
 FUZZTIME ?= 20s
 
-.PHONY: build test check fmt-check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick bench-guard
+.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# test-noasm runs the full suite with the SIMD kernels compiled out: the
+# scalar backend is the only registered backend and the assembly stubs
+# resolve to the pure-Go fallbacks, mirroring non-amd64 platforms.
+test-noasm:
+	$(GO) test -tags noasm ./...
 
 vet:
 	$(GO) vet ./...
@@ -58,19 +64,50 @@ bench-overlap-quick:
 	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 -out /tmp/weipipe_bench_overlap_quick.json
 
 # bench-guard is the CI regression guard: run the quick overlap A/B and
-# fail unless the report's bit_identical verdict is true. The report path
-# is overridable so CI can upload it as an artifact.
+# fail unless the report's bit_identical verdict is true, then run the
+# functional MatMulNT 256³ kernel A/B and fail unless the best SIMD
+# backend beats scalar by 2× (the local target is 4×+; the CI margin
+# absorbs shared-runner noise; hosts with no SIMD backend pass
+# vacuously). Report paths are overridable so CI can upload artifacts.
 BENCH_GUARD_OUT ?= /tmp/weipipe_bench_guard.json
+KERNEL_GUARD_OUT ?= /tmp/weipipe_kernel_guard.json
 bench-guard:
 	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 \
 		-out $(BENCH_GUARD_OUT) -require-bit-identical
+	$(GO) run ./cmd/weipipe-bench -kernel -kernel-out $(KERNEL_GUARD_OUT) \
+		-require-kernel-speedup 2
+
+# bench-sweep regenerates BENCH_sweep.json, the committed machine-readable
+# strategy×topology×scale grid of the cost model. The model is
+# deterministic: a clean regeneration must leave the file unchanged.
+bench-sweep:
+	$(GO) run ./cmd/weipipe-bench -sweep -sweep-out BENCH_sweep.json
+
+# bench-kernel records the committed functional kernel A/B measurement.
+bench-kernel:
+	$(GO) run ./cmd/weipipe-bench -kernel -kernel-out BENCH_kernel.json
+
+# experiments regenerates the full paper-table output that EXPERIMENTS.md
+# is curated from, stamped with the kernel backend that produced it. CI
+# uploads the file as an artifact on every run.
+EXPERIMENTS_OUT ?= /tmp/weipipe_experiments.txt
+experiments:
+	$(GO) run ./cmd/weipipe-bench -exp all > $(EXPERIMENTS_OUT)
+	@echo "experiments regenerated into $(EXPERIMENTS_OUT)"
 
 # check is the pre-merge gate: formatting, static analysis, the race
 # detector over the packages with real concurrency (kernel worker pool,
 # transports, pipeline schedules), the fault-injection suite, the
-# elastic-repair suite, and a quick overlap-engine A/B (bit-identity +
-# telemetry sanity).
-check: fmt-check vet race chaos elastic bench-overlap-quick
+# elastic-repair suite, the noasm (scalar-only) build of the kernel
+# packages, and a quick overlap-engine A/B (bit-identity + telemetry
+# sanity).
+check: fmt-check vet race chaos elastic check-noasm-kernels bench-overlap-quick
+
+# check-noasm-kernels is the cheap slice of test-noasm used inside the
+# pre-merge gate: just the packages whose code paths change under the tag.
+.PHONY: check-noasm-kernels
+check-noasm-kernels:
+	$(GO) test -tags noasm ./internal/tensor/ ./internal/nn/
 
 bench:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTranspose' -benchmem -run NONE ./internal/tensor/

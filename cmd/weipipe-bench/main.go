@@ -10,20 +10,27 @@
 //	weipipe-bench -list           # list experiment ids
 //	weipipe-bench -overlap        # functional A/B: blocking vs overlapped
 //	                              # belt engine, written to BENCH_overlap.json
+//	weipipe-bench -sweep          # strategy×topology×scale cost-model grid,
+//	                              # written to BENCH_sweep.json
+//	weipipe-bench -kernel         # functional MatMulNT 256³ scalar-vs-SIMD
+//	                              # A/B, written to BENCH_kernel.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"weipipe/internal/bench"
+	"weipipe/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: all, table2, table3, table4, fig1..fig9")
 	width := flag.Int("width", 96, "timeline width for fig1..fig4")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	backend := flag.String("backend", "", "tensor kernel backend: scalar, avx2, auto (default: scalar)")
 	overlap := flag.Bool("overlap", false, "run the functional blocking-vs-overlapped belt benchmark instead of the model tables")
 	overlapOut := flag.String("out", "BENCH_overlap.json", "output path for -overlap")
 	overlapIters := flag.Int("iters", 3, "timed iterations per rep for -overlap")
@@ -31,8 +38,43 @@ func main() {
 	overlapH := flag.Int("H", 0, "hidden size override for -overlap (0 = default)")
 	overlapN := flag.Int("N", 0, "microbatch count override for -overlap (0 = default)")
 	requireBI := flag.Bool("require-bit-identical", false, "with -overlap: exit nonzero unless the report's bit_identical verdict is true (the CI regression guard); alone: check an existing -out report")
+	sweep := flag.Bool("sweep", false, "run the strategy×topology×scale cost-model sweep")
+	sweepOut := flag.String("sweep-out", "BENCH_sweep.json", "output path for -sweep")
+	kernel := flag.Bool("kernel", false, "run the functional MatMulNT kernel A/B (scalar vs best backend)")
+	kernelOut := flag.String("kernel-out", "BENCH_kernel.json", "output path for -kernel")
+	kernelReps := flag.Int("kernel-reps", 20, "repetitions (min taken) for -kernel")
+	requireSpeedup := flag.Float64("require-kernel-speedup", 0, "exit nonzero unless the -kernel-out report's SIMD speedup reaches this factor (the CI kernel guard); 0 disables")
 	flag.Parse()
 
+	if *backend != "" {
+		if err := tensor.SetBackend(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *sweep {
+		if err := bench.WriteSweep(*sweepOut); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernel {
+		if err := bench.WriteKernelBench(*kernelOut, *kernelReps); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *requireSpeedup > 0 {
+		if err := bench.RequireKernelSpeedup(*kernelOut, *requireSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kernel guard: %s ok\n", *kernelOut)
+	}
+	if *kernel || *requireSpeedup > 0 {
+		return
+	}
 	if *overlap {
 		if err := bench.WriteOverlapBench(*overlapOut, *overlapIters, *overlapReps, *overlapH, *overlapN); err != nil {
 			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
@@ -73,6 +115,16 @@ func run(exp string, width int) error {
 
 	switch {
 	case exp == "all":
+		// Stamp the provenance of regenerated numbers: the cost model does
+		// no tensor math, but the stamp keys artifacts (EXPERIMENTS
+		// regeneration in CI) to the kernel configuration that produced any
+		// accompanying functional measurements.
+		exact := "exact"
+		if !tensor.BackendExact() {
+			exact = "tolerance mode"
+		}
+		fmt.Printf("regenerated by weipipe-bench (kernel backend: %s, %s; %s)\n\n",
+			tensor.BackendName(), exact, runtime.GOARCH)
 		for _, id := range []string{"fig1", "fig2", "fig3", "fig4"} {
 			s, err := timelines[id](width)
 			if err != nil {

@@ -31,6 +31,7 @@ import (
 	"weipipe/internal/comm"
 	"weipipe/internal/optim"
 	"weipipe/internal/pipeline"
+	"weipipe/internal/tensor"
 	"weipipe/internal/trace"
 )
 
@@ -64,6 +65,7 @@ type runConfig struct {
 
 func main() {
 	strategy := flag.String("strategy", "weipipe-interleave", "training strategy")
+	backend := flag.String("backend", "", "tensor kernel backend: scalar (default; bit-exact reference), avx2 (SIMD, reassociated NT reductions), auto (best available)")
 	p := flag.Int("p", 2, "workers")
 	wp := flag.Int("wp", 0, "hybrid mode: WeiPipe ring size (0 = plain strategy; implies weipipe-interleave rings × data parallel)")
 	vocab := flag.Int("vocab", 256, "vocabulary size")
@@ -100,6 +102,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this path (per-rank F/B/W, optimizer, stall, belt-lane and transport spans; open in ui.perfetto.dev or feed to weipipe-trace -compare)")
 	metrics := flag.Bool("metrics", false, "print the per-iteration timing rollup (step/F/B/W/opt/exposed means, stall counts, arena high-water marks) at the end")
 	flag.Parse()
+
+	if *backend != "" {
+		if err := tensor.SetBackend(*backend); err != nil {
+			fatal(err)
+		}
+	}
+	if name := tensor.BackendName(); name != "scalar" {
+		mode := "bit-exact"
+		if !tensor.BackendExact() {
+			mode = "tolerance mode: NT matmul and DotF32 reductions reassociated"
+		}
+		fmt.Printf("kernel backend: %s (%s; deterministic, strategies stay mutually bit-identical)\n", name, mode)
+	}
 
 	cfg := weipipe.Config{
 		Vocab: *vocab, Hidden: *hidden, Layers: *layers, Heads: *heads,

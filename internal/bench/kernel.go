@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"weipipe/internal/tensor"
+)
+
+// The kernel A/B is the functional counterpart of the Go benchmark
+// BenchmarkMatMulNT/256x256x256: it times the headline NT matmul on the
+// scalar oracle and on the best registered SIMD backend and records the
+// speedup, so CI can guard the kernel work without go-test bench
+// plumbing. On machines with no SIMD backend the A/B degenerates to
+// scalar-vs-scalar and reports a speedup of 1.
+
+// KernelReport is the serialised measurement, written by
+// `weipipe-bench -kernel`.
+type KernelReport struct {
+	GoArch        string   `json:"goarch"`
+	Backends      []string `json:"backends"`
+	BestBackend   string   `json:"best_backend"`
+	M             int      `json:"m"`
+	N             int      `json:"n"`
+	K             int      `json:"k"`
+	Reps          int      `json:"reps"`
+	ScalarMs      float64  `json:"scalar_ms"`
+	BestMs        float64  `json:"best_ms"`
+	Speedup       float64  `json:"speedup"`
+	MaxAbsDiff    float64  `json:"max_abs_diff"`
+	ToleranceMode bool     `json:"tolerance_mode"`
+}
+
+// timeNT returns the fastest of reps wall-clock timings of one
+// MatMulTB(dst, a, b) on the current backend.
+func timeNT(dst, a, b *tensor.Tensor, reps int) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		tensor.MatMulTB(dst, a, b)
+		if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// RunKernelBench measures the scalar-vs-best-backend NT A/B at the
+// benchmark shape 256×256×256.
+func RunKernelBench(reps int) (*KernelReport, error) {
+	const dim = 256
+	if reps <= 0 {
+		reps = 20
+	}
+	rng := tensor.NewRNG(1)
+	a := tensor.New(dim, dim)
+	bt := tensor.New(dim, dim)
+	tensor.FillUniform(a, rng, -1, 1)
+	tensor.FillUniform(bt, rng, -1, 1)
+	scalarDst := tensor.New(dim, dim)
+	bestDst := tensor.New(dim, dim)
+
+	rep := &KernelReport{
+		GoArch: runtime.GOARCH, Backends: tensor.Backends(),
+		M: dim, N: dim, K: dim, Reps: reps,
+	}
+	prev := tensor.BackendName()
+	defer func() { _ = tensor.SetBackend(prev) }()
+
+	if err := tensor.SetBackend("scalar"); err != nil {
+		return nil, err
+	}
+	timeNT(scalarDst, a, bt, 1) // warm the worker pool
+	rep.ScalarMs = timeNT(scalarDst, a, bt, reps) * 1e3
+
+	if err := tensor.SetBackend("auto"); err != nil {
+		return nil, err
+	}
+	rep.BestBackend = tensor.BackendName()
+	rep.ToleranceMode = !tensor.BackendExact()
+	timeNT(bestDst, a, bt, 1)
+	rep.BestMs = timeNT(bestDst, a, bt, reps) * 1e3
+	if rep.BestMs > 0 {
+		rep.Speedup = rep.ScalarMs / rep.BestMs
+	}
+	for i := range scalarDst.Data {
+		d := float64(scalarDst.Data[i]) - float64(bestDst.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > rep.MaxAbsDiff {
+			rep.MaxAbsDiff = d
+		}
+	}
+	return rep, nil
+}
+
+// WriteKernelBench runs the A/B and writes the JSON report.
+func WriteKernelBench(path string, reps int) error {
+	rep, err := RunKernelBench(reps)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("kernel A/B (MatMulNT %dx%dx%d, best of %d):\n", rep.M, rep.K, rep.N, rep.Reps)
+	fmt.Printf("  scalar   %.3f ms\n", rep.ScalarMs)
+	fmt.Printf("  %-8s %.3f ms (%.2fx, max |diff| %.2e, tolerance mode %v)\n",
+		rep.BestBackend, rep.BestMs, rep.Speedup, rep.MaxAbsDiff, rep.ToleranceMode)
+	fmt.Printf("  written to %s\n", path)
+	return nil
+}
+
+// RequireKernelSpeedup reads a kernel A/B report and fails unless the
+// best backend reached the given speedup over scalar. A report whose best
+// backend IS scalar (no SIMD on the host) passes vacuously — the guard
+// targets regressions in the SIMD kernels, not missing hardware.
+func RequireKernelSpeedup(path string, min float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep KernelReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.BestBackend == "scalar" {
+		fmt.Printf("kernel guard: no SIMD backend on this host, skipping speedup check\n")
+		return nil
+	}
+	if rep.Speedup < min {
+		return fmt.Errorf("bench: %s: %s speedup %.2fx below required %.2fx",
+			path, rep.BestBackend, rep.Speedup, min)
+	}
+	return nil
+}

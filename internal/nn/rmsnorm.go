@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"math"
-
 	"weipipe/internal/tensor"
 )
 
@@ -34,26 +32,15 @@ func (m *RMSNorm) Name() string { return m.name }
 // Params implements Module.
 func (m *RMSNorm) Params() *ParamSet { return m.params }
 
-// Forward implements Module. x is [rows, H].
+// Forward implements Module. x is [rows, H]. The row-wise normalisation
+// runs through the tensor.Backend seam (tensor.RMSNormRows), which also
+// stores 1/rms per row for the backward pass.
 func (m *RMSNorm) Forward(x *tensor.Tensor, cache *Cache) *tensor.Tensor {
 	h := m.Gain.Size()
 	rows := x.Size() / h
 	y := alloc(cache, rows, h)
 	inv := alloc(cache, rows) // 1/rms per row
-	g := m.Gain.Data
-	for i := 0; i < rows; i++ {
-		xr := x.Data[i*h : (i+1)*h]
-		yr := y.Data[i*h : (i+1)*h]
-		var ss float64
-		for _, v := range xr {
-			ss += float64(v) * float64(v)
-		}
-		r := float32(1.0 / math.Sqrt(ss/float64(h)+rmsEps))
-		inv.Data[i] = r
-		for j, v := range xr {
-			yr[j] = g[j] * v * r
-		}
-	}
+	tensor.RMSNormRows(y, inv, x, m.Gain, rmsEps)
 	cache.X = x
 	cache.Put("inv", inv)
 	return y

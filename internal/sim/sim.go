@@ -59,14 +59,21 @@ type Result struct {
 }
 
 // BubbleRatio returns the idle fraction of the workers' compute engines
-// over the makespan: 1 − Σ busy / (workers · makespan).
+// over the makespan: 1 − Σ busy / (workers · makespan). The sum runs in
+// ascending worker order, not map order, so the ratio is reproducible to
+// the last bit and regenerated reports (BENCH_sweep.json) diff clean.
 func (r *Result) BubbleRatio() float64 {
 	if r.Makespan == 0 || len(r.BusyTime) == 0 {
 		return 0
 	}
+	workers := make([]int, 0, len(r.BusyTime))
+	for w := range r.BusyTime {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
 	var busy float64
-	for _, b := range r.BusyTime {
-		busy += b
+	for _, w := range workers {
+		busy += r.BusyTime[w]
 	}
 	return 1 - busy/(float64(len(r.BusyTime))*r.Makespan)
 }

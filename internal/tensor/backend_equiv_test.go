@@ -1,0 +1,345 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The backend equivalence suite: every registered backend is checked
+// against the scalar oracle over edge-case shapes. Order-preserving
+// kernels (NN, TN, Axpy, Scale, AddInto, Dot) must match bit for bit on
+// every backend; reduction-reassociated kernels (NT, DotF32) on
+// tolerance-mode backends must stay within a bound derived from the
+// absolute-value dot product.
+
+// equivShapes covers the dispatch edge cases: unit dims, odd sizes,
+// non-multiples of the 8-lane vector width and of the 4-wide unrolls,
+// sizes straddling the blockK/blockN boundaries, and odd m (the NT
+// pair-kernel remainder row).
+var equivShapes = [][3]int{
+	{1, 1, 1},
+	{1, 5, 3},
+	{3, 1, 7},
+	{7, 9, 1},
+	{2, 3, 4},
+	{8, 8, 8},
+	{5, 13, 17},
+	{9, 7, 15},
+	{16, 16, 16},
+	{31, 33, 63},
+	{33, 7, 65},
+	{4, 260, 66},
+	{3, 258, 130},
+	{64, 64, 64},
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// withBackend runs fn with the named backend selected, restoring the
+// previous backend afterwards.
+func withBackend(t *testing.T, name string, fn func()) {
+	t.Helper()
+	prev := BackendName()
+	if err := SetBackend(name); err != nil {
+		t.Fatalf("SetBackend(%q): %v", name, err)
+	}
+	defer func() {
+		if err := SetBackend(prev); err != nil {
+			t.Fatalf("restore backend %q: %v", prev, err)
+		}
+	}()
+	fn()
+}
+
+// nonScalarBackends returns the names of every registered backend except
+// the scalar oracle (empty on machines with no SIMD backend).
+func nonScalarBackends() []string {
+	var names []string
+	for _, n := range Backends() {
+		if n != "scalar" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// absDotRow returns Σ_p |a_p|·|b_p| for NT output element (i,j), the
+// scale factor of the reassociation error bound.
+func absDotNT(a, b *Tensor, i, j, k int) float64 {
+	var s float64
+	for p := 0; p < k; p++ {
+		s += math.Abs(float64(a.Data[i*k+p])) * math.Abs(float64(b.Data[j*k+p]))
+	}
+	return s
+}
+
+// tolUlps is the relative reassociation bound: splitting a float32 sum
+// into 8 lanes plus a balanced tree changes each partial by a few ULPs;
+// 4e-7 (~3.4 float32 ULPs) times the absolute-value sum covers it with
+// margin while still catching real kernel bugs, which produce errors
+// orders of magnitude larger.
+const tolUlps = 4e-7
+
+func TestBackendMatMulEquivalence(t *testing.T) {
+	others := nonScalarBackends()
+	if len(others) == 0 {
+		t.Skip("no non-scalar backend registered on this machine")
+	}
+	rng := rand.New(rand.NewSource(11))
+	type mmCase struct {
+		name  string
+		exact bool // order-preserving on every backend
+		run   func(dst, a, b *Tensor, acc bool)
+		// shapes of a and b given (m, n, k)
+		aShape func(m, n, k int) [2]int
+		bShape func(m, n, k int) [2]int
+	}
+	cases := []mmCase{
+		{"NN", true,
+			func(dst, a, b *Tensor, acc bool) { current().MatMulNN(dst, a, b, acc) },
+			func(m, n, k int) [2]int { return [2]int{m, k} },
+			func(m, n, k int) [2]int { return [2]int{k, n} }},
+		{"NT", false,
+			func(dst, a, b *Tensor, acc bool) { current().MatMulNT(dst, a, b, acc) },
+			func(m, n, k int) [2]int { return [2]int{m, k} },
+			func(m, n, k int) [2]int { return [2]int{n, k} }},
+		{"TN", true,
+			func(dst, a, b *Tensor, acc bool) { current().MatMulTN(dst, a, b, acc) },
+			func(m, n, k int) [2]int { return [2]int{k, m} },
+			func(m, n, k int) [2]int { return [2]int{k, n} }},
+	}
+	for _, name := range others {
+		for _, c := range cases {
+			for _, acc := range []bool{false, true} {
+				for _, sh := range equivShapes {
+					m, n, k := sh[0], sh[1], sh[2]
+					as, bs := c.aShape(m, n, k), c.bShape(m, n, k)
+					a := randTensor(rng, as[0], as[1])
+					b := randTensor(rng, bs[0], bs[1])
+					seed := randTensor(rng, m, n)
+					want := New(m, n)
+					got := New(m, n)
+					copy(want.Data, seed.Data)
+					copy(got.Data, seed.Data)
+
+					c.run(want, a, b, acc) // scalar is current by default
+					withBackend(t, name, func() { c.run(got, a, b, acc) })
+
+					for i := 0; i < m; i++ {
+						for j := 0; j < n; j++ {
+							w, g := want.Data[i*n+j], got.Data[i*n+j]
+							if c.exact {
+								if w != g {
+									t.Fatalf("%s/%s acc=%v shape %v: dst[%d,%d] = %g, scalar %g (must be bit-identical)",
+										name, c.name, acc, sh, i, j, g, w)
+								}
+								continue
+							}
+							bound := tolUlps * absDotNT(a, b, i, j, k)
+							if acc {
+								bound += tolUlps * math.Abs(float64(seed.Data[i*n+j]))
+							}
+							if diff := math.Abs(float64(w) - float64(g)); diff > bound+1e-12 {
+								t.Fatalf("%s/%s acc=%v shape %v: dst[%d,%d] = %g, scalar %g, |diff| %g > bound %g",
+									name, c.name, acc, sh, i, j, g, w, diff, bound)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendMatMulAccAliasedHistory checks the accumulate path against a
+// dst that already holds a previous matmul result from the same backend —
+// the aliased-accumulate pattern of the backward pass (dW += xᵀ·dy).
+func TestBackendMatMulAccAliasedHistory(t *testing.T) {
+	others := nonScalarBackends()
+	if len(others) == 0 {
+		t.Skip("no non-scalar backend registered on this machine")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, name := range others {
+		for _, sh := range equivShapes {
+			m, n, k := sh[0], sh[1], sh[2]
+			a1 := randTensor(rng, k, m)
+			b1 := randTensor(rng, k, n)
+			a2 := randTensor(rng, k, m)
+			b2 := randTensor(rng, k, n)
+			want := New(m, n)
+			got := New(m, n)
+
+			current().MatMulTN(want, a1, b1, false)
+			current().MatMulTN(want, a2, b2, true)
+			withBackend(t, name, func() {
+				current().MatMulTN(got, a1, b1, false)
+				current().MatMulTN(got, a2, b2, true)
+			})
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s TN acc-chain shape %v: elem %d = %g, scalar %g",
+						name, sh, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBackendElementwiseEquivalence(t *testing.T) {
+	others := nonScalarBackends()
+	if len(others) == 0 {
+		t.Skip("no non-scalar backend registered on this machine")
+	}
+	rng := rand.New(rand.NewSource(13))
+	sizes := []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, 255, 1024}
+	for _, name := range others {
+		for _, sz := range sizes {
+			a := randTensor(rng, sz)
+			seed := randTensor(rng, sz)
+			s := float32(rng.NormFloat64())
+
+			// Axpy: bit-identical on every backend.
+			want, got := New(sz), New(sz)
+			copy(want.Data, seed.Data)
+			copy(got.Data, seed.Data)
+			current().Axpy(want, s, a)
+			withBackend(t, name, func() { current().Axpy(got, s, a) })
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s Axpy n=%d elem %d: %g vs scalar %g", name, sz, i, got.Data[i], want.Data[i])
+				}
+			}
+
+			// Scale, aliased dst==a: bit-identical.
+			copy(want.Data, a.Data)
+			copy(got.Data, a.Data)
+			current().Scale(want, want, s)
+			withBackend(t, name, func() { current().Scale(got, got, s) })
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s Scale(aliased) n=%d elem %d: %g vs scalar %g", name, sz, i, got.Data[i], want.Data[i])
+				}
+			}
+
+			// AddInto: bit-identical.
+			copy(want.Data, seed.Data)
+			copy(got.Data, seed.Data)
+			current().AddInto(want, a)
+			withBackend(t, name, func() { current().AddInto(got, a) })
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s AddInto n=%d elem %d: %g vs scalar %g", name, sz, i, got.Data[i], want.Data[i])
+				}
+			}
+
+			// Dot (float64 accumulation): bit-identical on every backend.
+			b := randTensor(rng, sz)
+			dw := current().Dot(a, b)
+			var dg float64
+			withBackend(t, name, func() { dg = current().Dot(a, b) })
+			if dw != dg {
+				t.Fatalf("%s Dot n=%d: %g vs scalar %g", name, sz, dg, dw)
+			}
+
+			// DotF32: tolerance-bounded.
+			fw := current().DotF32(a, b)
+			var fg float32
+			withBackend(t, name, func() { fg = current().DotF32(a, b) })
+			var absSum float64
+			for i := range a.Data {
+				absSum += math.Abs(float64(a.Data[i])) * math.Abs(float64(b.Data[i]))
+			}
+			if diff := math.Abs(float64(fw) - float64(fg)); diff > tolUlps*absSum+1e-12 {
+				t.Fatalf("%s DotF32 n=%d: %g vs scalar %g, |diff| %g > bound %g",
+					name, sz, fg, fw, diff, tolUlps*absSum)
+			}
+		}
+	}
+}
+
+// TestBackendRegistry exercises the selection API.
+func TestBackendRegistry(t *testing.T) {
+	if BackendName() != "scalar" {
+		t.Fatalf("default backend = %q, want scalar", BackendName())
+	}
+	if !BackendExact() {
+		t.Fatal("scalar backend must report Exact")
+	}
+	if err := SetBackend("no-such-backend"); err == nil {
+		t.Fatal("SetBackend with unknown name must fail")
+	}
+	if BackendName() != "scalar" {
+		t.Fatalf("failed SetBackend changed backend to %q", BackendName())
+	}
+	names := Backends()
+	found := false
+	for _, n := range names {
+		if n == "scalar" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Backends() = %v, missing scalar", names)
+	}
+	// auto resolves to some registered backend and back.
+	withBackend(t, "auto", func() {
+		cur := BackendName()
+		ok := false
+		for _, n := range names {
+			if n == cur {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("auto selected %q, not in %v", cur, names)
+		}
+	})
+	if BackendName() != "scalar" {
+		t.Fatalf("backend not restored, now %q", BackendName())
+	}
+}
+
+// FuzzBackendNTEquivalence drives the tolerance contract of the NT kernel
+// with fuzzer-chosen shapes and data.
+func FuzzBackendNTEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(5), uint8(9))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(42), uint8(16), uint8(8), uint8(32))
+	f.Add(int64(99), uint8(5), uint8(4), uint8(65))
+	f.Fuzz(func(t *testing.T, seed int64, mr, nr, kr uint8) {
+		others := nonScalarBackends()
+		if len(others) == 0 {
+			t.Skip("no non-scalar backend registered")
+		}
+		m := int(mr%24) + 1
+		n := int(nr%24) + 1
+		k := int(kr%96) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, n, k)
+		want := New(m, n)
+		got := New(m, n)
+		current().MatMulNT(want, a, b, false)
+		for _, name := range others {
+			withBackend(t, name, func() { current().MatMulNT(got, a, b, false) })
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					bound := tolUlps*absDotNT(a, b, i, j, k) + 1e-12
+					diff := math.Abs(float64(want.Data[i*n+j]) - float64(got.Data[i*n+j]))
+					if diff > bound {
+						t.Fatalf("%s NT %dx%dx%d dst[%d,%d]: |diff| %g > bound %g",
+							name, m, n, k, i, j, diff, bound)
+					}
+				}
+			}
+		}
+	})
+}

@@ -15,25 +15,25 @@ const blockN = 256
 
 // MatMul computes dst = a·b where a is [m,k] and b is [k,n] under the
 // canonical 2-D views. dst must be [m,n] and must not alias a or b.
-func MatMul(dst, a, b *Tensor) { matmulNN(dst, a, b, false) }
+func MatMul(dst, a, b *Tensor) { current().MatMulNN(dst, a, b, false) }
 
 // MatMulAcc computes dst += a·b.
-func MatMulAcc(dst, a, b *Tensor) { matmulNN(dst, a, b, true) }
+func MatMulAcc(dst, a, b *Tensor) { current().MatMulNN(dst, a, b, true) }
 
 // MatMulTB computes dst = a·bᵀ where a is [m,k] and b is [n,k]. dst must be
 // [m,n] and must not alias a or b. This is the shape of dX = dY·Wᵀ with W
 // stored [in,out], and of attention scores Q·Kᵀ.
-func MatMulTB(dst, a, b *Tensor) { matmulNT(dst, a, b, false) }
+func MatMulTB(dst, a, b *Tensor) { current().MatMulNT(dst, a, b, false) }
 
 // MatMulTBAcc computes dst += a·bᵀ.
-func MatMulTBAcc(dst, a, b *Tensor) { matmulNT(dst, a, b, true) }
+func MatMulTBAcc(dst, a, b *Tensor) { current().MatMulNT(dst, a, b, true) }
 
 // MatMulTA computes dst = aᵀ·b where a is [k,m] and b is [k,n]. dst must be
 // [m,n] and must not alias a or b. This is the shape of dW = Xᵀ·dY.
-func MatMulTA(dst, a, b *Tensor) { matmulTN(dst, a, b, false) }
+func MatMulTA(dst, a, b *Tensor) { current().MatMulTN(dst, a, b, false) }
 
 // MatMulTAAcc computes dst += aᵀ·b.
-func MatMulTAAcc(dst, a, b *Tensor) { matmulTN(dst, a, b, true) }
+func MatMulTAAcc(dst, a, b *Tensor) { current().MatMulTN(dst, a, b, true) }
 
 // mmKind selects the concrete kernel of a dispatched matmul.
 type mmKind uint8
@@ -50,14 +50,32 @@ const (
 type mmArgs struct {
 	kind       mmKind
 	acc        bool
+	simd       bool
 	ad, bd, dd []float32
 	m, n, k    int
 }
 
 // run executes the kernel over dst rows [lo, hi). Every dst element is
-// produced by a fixed-order accumulation that depends only on the shapes,
-// never on the chunking, so parallel and serial runs are bitwise identical.
+// produced by a fixed-order accumulation that depends only on the shapes
+// and the selected backend, never on the chunking, so parallel and serial
+// runs are bitwise identical.
+//
+// The simd range kernels are statically linked (build-tagged stubs fall
+// back to the scalar kernels) rather than dispatched through function
+// values: a function-value call would make g escape and put one heap
+// allocation back on every matmul.
 func (g *mmArgs) run(lo, hi int) {
+	if g.simd {
+		switch g.kind {
+		case mmNN:
+			simdNNRange(g, lo, hi)
+		case mmNT:
+			simdNTRange(g, lo, hi)
+		case mmTN:
+			simdTNRange(g, lo, hi)
+		}
+		return
+	}
 	switch g.kind {
 	case mmNN:
 		mmNNRange(g, lo, hi)
@@ -68,27 +86,27 @@ func (g *mmArgs) run(lo, hi int) {
 	}
 }
 
-func matmulNN(dst, a, b *Tensor, acc bool) {
+func matmulNN(dst, a, b *Tensor, acc, simd bool) {
 	m, k := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v -> %v", a.shape, b.shape, dst.shape))
 	}
-	args := mmArgs{kind: mmNN, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	args := mmArgs{kind: mmNN, acc: acc, simd: simd, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
 	dispatch(&args, m, m*n*k)
 }
 
-func matmulNT(dst, a, b *Tensor, acc bool) {
+func matmulNT(dst, a, b *Tensor, acc, simd bool) {
 	m, k := a.Rows(), a.Cols()
 	n, k2 := b.Rows(), b.Cols()
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulTB shapes %v x %vᵀ -> %v", a.shape, b.shape, dst.shape))
 	}
-	args := mmArgs{kind: mmNT, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	args := mmArgs{kind: mmNT, acc: acc, simd: simd, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
 	dispatch(&args, m, m*n*k)
 }
 
-func matmulTN(dst, a, b *Tensor, acc bool) {
+func matmulTN(dst, a, b *Tensor, acc, simd bool) {
 	k, m := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
@@ -96,7 +114,7 @@ func matmulTN(dst, a, b *Tensor, acc bool) {
 	}
 	// Parallelise over output rows (columns of a) so workers never write the
 	// same dst element.
-	args := mmArgs{kind: mmTN, acc: acc, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
+	args := mmArgs{kind: mmTN, acc: acc, simd: simd, ad: a.Data, bd: b.Data, dd: dst.Data, m: m, n: n, k: k}
 	dispatch(&args, m, m*n*k)
 }
 

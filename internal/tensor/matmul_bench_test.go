@@ -14,69 +14,75 @@ var benchShapes = []struct{ m, k, n int }{
 	{64, 512, 64},
 }
 
-func benchMatMul(b *testing.B, run func(dst, a, bb *Tensor)) {
+// benchMatMulBackends runs one sub-benchmark per shape per registered
+// backend (scalar always; avx2 on capable amd64 machines), so a single
+// `go test -bench` run produces the backend A/B comparison.
+func benchMatMulBackends(b *testing.B, mk func(sh struct{ m, k, n int }) (dst, x, y *Tensor), run func(dst, x, y *Tensor)) {
 	for _, sh := range benchShapes {
-		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
-			rng := NewRNG(1)
-			a := New(sh.m, sh.k)
-			bb := New(sh.k, sh.n)
-			dst := New(sh.m, sh.n)
-			FillUniform(a, rng, -1, 1)
-			FillUniform(bb, rng, -1, 1)
-			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				run(dst, a, bb)
-			}
-		})
+		for _, bk := range Backends() {
+			b.Run(fmt.Sprintf("%dx%dx%d/%s", sh.m, sh.k, sh.n, bk), func(b *testing.B) {
+				if err := SetBackend(bk); err != nil {
+					b.Fatal(err)
+				}
+				defer func() {
+					if err := SetBackend("scalar"); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				dst, x, y := mk(sh)
+				b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run(dst, x, y)
+				}
+			})
+		}
 	}
 }
 
 func BenchmarkMatMulNN(b *testing.B) {
-	benchMatMul(b, MatMul)
+	benchMatMulBackends(b,
+		func(sh struct{ m, k, n int }) (*Tensor, *Tensor, *Tensor) {
+			rng := NewRNG(1)
+			a := New(sh.m, sh.k)
+			bb := New(sh.k, sh.n)
+			FillUniform(a, rng, -1, 1)
+			FillUniform(bb, rng, -1, 1)
+			return New(sh.m, sh.n), a, bb
+		},
+		MatMul)
 }
 
 // BenchmarkMatMulNT benchmarks dst = a·bᵀ; b is allocated [n,k] so the
-// benchmark exercises the same output shapes as NN.
+// benchmark exercises the same output shapes as NN. The 256x256x256/avx2
+// cell is the headline kernel number guarded by CI.
 func BenchmarkMatMulNT(b *testing.B) {
-	for _, sh := range benchShapes {
-		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+	benchMatMulBackends(b,
+		func(sh struct{ m, k, n int }) (*Tensor, *Tensor, *Tensor) {
 			rng := NewRNG(1)
 			a := New(sh.m, sh.k)
 			bt := New(sh.n, sh.k)
-			dst := New(sh.m, sh.n)
 			FillUniform(a, rng, -1, 1)
 			FillUniform(bt, rng, -1, 1)
-			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				MatMulTB(dst, a, bt)
-			}
-		})
-	}
+			return New(sh.m, sh.n), a, bt
+		},
+		MatMulTB)
 }
 
 // BenchmarkMatMulTN benchmarks dst = aᵀ·b; a is allocated [k,m] so the
 // benchmark exercises the same output shapes as NN (the dW = Xᵀ·dY shape).
 func BenchmarkMatMulTN(b *testing.B) {
-	for _, sh := range benchShapes {
-		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+	benchMatMulBackends(b,
+		func(sh struct{ m, k, n int }) (*Tensor, *Tensor, *Tensor) {
 			rng := NewRNG(1)
 			at := New(sh.k, sh.m)
 			bb := New(sh.k, sh.n)
-			dst := New(sh.m, sh.n)
 			FillUniform(at, rng, -1, 1)
 			FillUniform(bb, rng, -1, 1)
-			b.SetBytes(int64(sh.m) * int64(sh.k) * int64(sh.n) * 4)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				MatMulTA(dst, at, bb)
-			}
-		})
-	}
+			return New(sh.m, sh.n), at, bb
+		},
+		MatMulTA)
 }
 
 func BenchmarkTranspose(b *testing.B) {

@@ -5,6 +5,11 @@ import (
 	"math"
 )
 
+// The exported ops below are thin routers: they validate shapes and hand
+// the kernel to the current Backend. Elementwise ops not on the Backend
+// seam (Add, Sub, Mul, Transpose) are pure memory-bound copies with a
+// single rounding per element and stay direct.
+
 // Add computes dst = a + b elementwise. dst may alias a or b.
 func Add(dst, a, b *Tensor) {
 	checkSameSize3(dst, a, b, "Add")
@@ -32,30 +37,103 @@ func Mul(dst, a, b *Tensor) {
 // Scale computes dst = s * a. dst may alias a.
 func Scale(dst, a *Tensor, s float32) {
 	checkSameSize2(dst, a, "Scale")
-	for i := range dst.Data {
-		dst.Data[i] = s * a.Data[i]
-	}
+	current().Scale(dst, a, s)
 }
 
 // Axpy computes dst += s * a.
 func Axpy(dst *Tensor, s float32, a *Tensor) {
 	checkSameSize2(dst, a, "Axpy")
-	for i := range dst.Data {
-		dst.Data[i] += s * a.Data[i]
-	}
+	current().Axpy(dst, s, a)
 }
 
 // AddInto computes dst += a.
 func AddInto(dst, a *Tensor) {
 	checkSameSize2(dst, a, "AddInto")
+	current().AddInto(dst, a)
+}
+
+// Dot returns the inner product of a and b accumulated in float64,
+// ascending. Every backend preserves this contract exactly; use DotF32
+// for the float32-native fast path.
+func Dot(a, b *Tensor) float64 {
+	checkSameSize2(a, b, "Dot")
+	return current().Dot(a, b)
+}
+
+// DotF32 returns the inner product of a and b accumulated natively in
+// float32. Accumulation contract: the scalar reference sums ascending in
+// a single chain; tolerance backends split the sum into per-lane chains
+// (lane l accumulates elements with index ≡ l mod 8, ascending) combined
+// by the balanced tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), followed by
+// the ascending remainder. Deviation from the scalar chain is bounded by
+// the equivalence suite.
+func DotF32(a, b *Tensor) float32 {
+	checkSameSize2(a, b, "DotF32")
+	return current().DotF32(a, b)
+}
+
+// SiLU computes dst = a * sigmoid(a). dst may alias a.
+func SiLU(dst, a *Tensor) {
+	checkSameSize2(dst, a, "SiLU")
+	current().SiLU(dst, a)
+}
+
+// SiLUBackward computes dst = dy * d(silu)/dx evaluated at x.
+// dst may alias dy but not x.
+func SiLUBackward(dst, x, dy *Tensor) {
+	checkSameSize3(dst, x, dy, "SiLUBackward")
+	current().SiLUBackward(dst, x, dy)
+}
+
+// SoftmaxRows computes a numerically stable softmax over each row of the
+// canonical 2-D view of a, writing into dst. dst may alias a.
+func SoftmaxRows(dst, a *Tensor) {
+	checkSameSize2(dst, a, "SoftmaxRows")
+	current().SoftmaxRows(dst, a)
+}
+
+// SoftmaxRowsBackward computes dx for y = softmax(x) row-wise given y and dy:
+// dx = y ⊙ (dy − sum(dy ⊙ y)). dst may alias dy.
+func SoftmaxRowsBackward(dst, y, dy *Tensor) {
+	checkSameSize3(dst, y, dy, "SoftmaxRowsBackward")
+	current().SoftmaxRowsBackward(dst, y, dy)
+}
+
+// RMSNormRows computes y_ij = g_j · x_ij / rms_i row-wise over the hidden
+// dimension, where rms_i = sqrt(mean_j(x_ij²) + eps), and stores each
+// row's 1/rms_i into inv (for the backward pass). x and y are [rows, h]
+// under the canonical 2-D view with h = gain.Size(); inv has rows
+// elements. y may alias x.
+func RMSNormRows(y, inv, x, gain *Tensor, eps float64) {
+	h := gain.Size()
+	if x.Size()%h != 0 || y.Size() != x.Size() || inv.Size() != x.Size()/h {
+		panic(fmt.Sprintf("tensor: RMSNormRows shapes y %v inv %v x %v gain %v",
+			y.shape, inv.shape, x.shape, gain.shape))
+	}
+	current().RMSNormRows(y, inv, x, gain, eps)
+}
+
+// ---- scalar reference kernels ---------------------------------------------
+
+func scaleScalar(dst, a *Tensor, s float32) {
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+func axpyScalar(dst *Tensor, s float32, a *Tensor) {
+	for i := range dst.Data {
+		dst.Data[i] += s * a.Data[i]
+	}
+}
+
+func addIntoScalar(dst, a *Tensor) {
 	for i := range dst.Data {
 		dst.Data[i] += a.Data[i]
 	}
 }
 
-// Dot returns the inner product of a and b in float64.
-func Dot(a, b *Tensor) float64 {
-	checkSameSize2(a, b, "Dot")
+func dotScalar(a, b *Tensor) float64 {
 	var s float64
 	for i := range a.Data {
 		s += float64(a.Data[i]) * float64(b.Data[i])
@@ -63,18 +141,22 @@ func Dot(a, b *Tensor) float64 {
 	return s
 }
 
-// SiLU computes dst = a * sigmoid(a). dst may alias a.
-func SiLU(dst, a *Tensor) {
-	checkSameSize2(dst, a, "SiLU")
+func dotF32Scalar(a, b []float32) float32 {
+	var s float32
+	b = b[:len(a)]
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func siluScalar(dst, a *Tensor) {
 	for i, v := range a.Data {
 		dst.Data[i] = v * sigmoid(v)
 	}
 }
 
-// SiLUBackward computes dst = dy * d(silu)/dx evaluated at x.
-// dst may alias dy but not x.
-func SiLUBackward(dst, x, dy *Tensor) {
-	checkSameSize3(dst, x, dy, "SiLUBackward")
+func siluBackwardScalar(dst, x, dy *Tensor) {
 	for i, v := range x.Data {
 		s := sigmoid(v)
 		dst.Data[i] = dy.Data[i] * (s + v*s*(1-s))
@@ -85,10 +167,7 @@ func sigmoid(v float32) float32 {
 	return float32(1.0 / (1.0 + math.Exp(-float64(v))))
 }
 
-// SoftmaxRows computes a numerically stable softmax over each row of the
-// canonical 2-D view of a, writing into dst. dst may alias a.
-func SoftmaxRows(dst, a *Tensor) {
-	checkSameSize2(dst, a, "SoftmaxRows")
+func softmaxRowsScalar(dst, a *Tensor) {
 	c := a.Cols()
 	r := a.Rows()
 	for i := 0; i < r; i++ {
@@ -113,10 +192,7 @@ func SoftmaxRows(dst, a *Tensor) {
 	}
 }
 
-// SoftmaxRowsBackward computes dx for y = softmax(x) row-wise given y and dy:
-// dx = y ⊙ (dy − sum(dy ⊙ y)). dst may alias dy.
-func SoftmaxRowsBackward(dst, y, dy *Tensor) {
-	checkSameSize3(dst, y, dy, "SoftmaxRowsBackward")
+func softmaxRowsBackwardScalar(dst, y, dy *Tensor) {
 	c := y.Cols()
 	r := y.Rows()
 	for i := 0; i < r; i++ {
@@ -130,6 +206,25 @@ func SoftmaxRowsBackward(dst, y, dy *Tensor) {
 		d := float32(dot)
 		for j := range yr {
 			out[j] = yr[j] * (dyr[j] - d)
+		}
+	}
+}
+
+func rmsNormRowsScalar(y, inv, x, gain *Tensor, eps float64) {
+	h := gain.Size()
+	rows := x.Size() / h
+	g := gain.Data
+	for i := 0; i < rows; i++ {
+		xr := x.Data[i*h : (i+1)*h]
+		yr := y.Data[i*h : (i+1)*h]
+		var ss float64
+		for _, v := range xr {
+			ss += float64(v) * float64(v)
+		}
+		r := float32(1.0 / math.Sqrt(ss/float64(h)+eps))
+		inv.Data[i] = r
+		for j, v := range xr {
+			yr[j] = g[j] * v * r
 		}
 	}
 }

@@ -1,0 +1,306 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// AVX2/FMA kernel set for the avx2 backend. Conventions:
+//
+//   - All kernels are leaf NOSPLIT functions taking raw pointers; bounds
+//     are the caller's responsibility (the Go wrappers slice-check first).
+//   - R14 (goroutine pointer) and X15/Y15 (ABIInternal zero register) are
+//     never touched.
+//   - Every kernel that executes VEX-256 instructions ends with VZEROUPPER
+//     so SSE code after the call pays no transition penalty.
+//   - Plan 9 operand order: VFMADD231PS m, y1, y2 means y2 += y1 * m.
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX2(dst, a *float32, n8 int, s float32)
+//
+// dst[i] += s*a[i] for i in [0, n8*8). One VMULPS + one VADDPS per lane:
+// exactly the scalar rounding sequence (no FMA), so this path is
+// bit-identical to axpyScalar. n8 must be >= 1.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ n8+16(FP), CX
+	VBROADCASTSS s+24(FP), Y0
+
+axpy_loop:
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VMOVUPS (DI), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNE     axpy_loop
+	VZEROUPPER
+	RET
+
+// func scaleAVX2(dst, a *float32, n8 int, s float32)
+//
+// dst[i] = s*a[i] for i in [0, n8*8). Bit-identical to scaleScalar.
+TEXT ·scaleAVX2(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ n8+16(FP), CX
+	VBROADCASTSS s+24(FP), Y0
+
+scale_loop:
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNE     scale_loop
+	VZEROUPPER
+	RET
+
+// func addIntoAVX2(dst, a *float32, n8 int)
+//
+// dst[i] += a[i] for i in [0, n8*8). Bit-identical to addIntoScalar.
+TEXT ·addIntoAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ n8+16(FP), CX
+
+addinto_loop:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DI), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNE     addinto_loop
+	VZEROUPPER
+	RET
+
+// func dotAVX2(a, b *float32, n int) float32
+//
+// Single-vector FMA dot product. Lane l accumulates elements with index
+// ≡ l (mod 8) in ascending order; lanes combine through the balanced tree
+// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)); the n%8 remainder then folds in
+// ascending with one mul and one add per element. This is the documented
+// tolerance-mode reduction contract shared with the NT matmul kernels.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DX
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   dot_reduce
+
+dot_loop8:
+	VMOVUPS     (SI), Y1
+	VFMADD231PS (DX), Y1, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, DX
+	DECQ        BX
+	JNE         dot_loop8
+
+dot_reduce:
+	// Balanced tree: after two VHADDPS each 128-bit half holds its own
+	// 4-lane tree sum in every element; add high half onto low.
+	VHADDPS      Y0, Y0, Y0
+	VHADDPS      Y0, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDSS       X1, X0, X0
+	ANDQ         $7, CX
+	JZ           dot_done
+
+dot_tail:
+	VMOVSS (SI), X2
+	VMULSS (DX), X2, X2
+	VADDSS X2, X0, X0
+	ADDQ   $4, SI
+	ADDQ   $4, DX
+	DECQ   CX
+	JNE    dot_tail
+
+dot_done:
+	VMOVSS X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func nnQuadAVX2(drow, b0, b1, b2, b3 *float32, n8 int, a0, a1, a2, a3 float32)
+//
+// drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] for j in [0, n8*8),
+// evaluated per element as (((a0*b0 + a1*b1) + a2*b2) + a3*b3) then added
+// to drow — the exact rounding sequence of the scalar NN/TN quad kernel
+// (separate VMULPS/VADDPS, no FMA), so the avx2 NN and TN paths stay
+// bit-identical to scalar. n8 must be >= 1.
+TEXT ·nnQuadAVX2(SB), NOSPLIT, $0-64
+	MOVQ drow+0(FP), DI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n8+40(FP), CX
+	VBROADCASTSS a0+48(FP), Y8
+	VBROADCASTSS a1+52(FP), Y9
+	VBROADCASTSS a2+56(FP), Y10
+	VBROADCASTSS a3+60(FP), Y11
+	XORQ DX, DX
+
+nnquad_loop:
+	VMOVUPS (R8)(DX*1), Y0
+	VMULPS  Y8, Y0, Y0
+	VMOVUPS (R9)(DX*1), Y1
+	VMULPS  Y9, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS (R10)(DX*1), Y2
+	VMULPS  Y10, Y2, Y2
+	VADDPS  Y2, Y0, Y0
+	VMOVUPS (R11)(DX*1), Y3
+	VMULPS  Y11, Y3, Y3
+	VADDPS  Y3, Y0, Y0
+	VMOVUPS (DI)(DX*1), Y4
+	VADDPS  Y0, Y4, Y4
+	VMOVUPS Y4, (DI)(DX*1)
+	ADDQ    $32, DX
+	DECQ    CX
+	JNE     nnquad_loop
+	VZEROUPPER
+	RET
+
+// func ntQuad2AVX2(a0, a1, b *float32, k8, kstride int, out *float32)
+//
+// Main-sum kernel of the register-blocked NT matmul: two a rows against
+// four consecutive b rows (b, b+kstride, ..., b+3*kstride bytes), over the
+// first k8*8 elements of k. Eight independent FMA accumulators (2 rows ×
+// 4 columns) share every a and b load. Writes the eight raw column sums
+// to out[0..7] (row0 in out[0..3], row1 in out[4..7]); the caller folds
+// the k remainder and performs the store/accumulate, so every code path
+// shares one per-column reduction contract (see dotAVX2). k8 may be 0,
+// in which case out is zeroed.
+TEXT ·ntQuad2AVX2(SB), NOSPLIT, $0-48
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ b+16(FP), R8
+	MOVQ k8+24(FP), CX
+	MOVQ kstride+32(FP), R13
+	MOVQ out+40(FP), R12
+	LEAQ (R8)(R13*1), R9
+	LEAQ (R9)(R13*1), R10
+	LEAQ (R10)(R13*1), R11
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	XORQ DX, DX
+	TESTQ CX, CX
+	JZ   nt2_reduce
+
+nt2_loop:
+	VMOVUPS     (SI)(DX*1), Y8
+	VMOVUPS     (DI)(DX*1), Y9
+	VMOVUPS     (R8)(DX*1), Y10
+	VMOVUPS     (R9)(DX*1), Y11
+	VFMADD231PS Y10, Y8, Y0
+	VFMADD231PS Y10, Y9, Y4
+	VFMADD231PS Y11, Y8, Y1
+	VFMADD231PS Y11, Y9, Y5
+	VMOVUPS     (R10)(DX*1), Y10
+	VMOVUPS     (R11)(DX*1), Y11
+	VFMADD231PS Y10, Y8, Y2
+	VFMADD231PS Y10, Y9, Y6
+	VFMADD231PS Y11, Y8, Y3
+	VFMADD231PS Y11, Y9, Y7
+	ADDQ        $32, DX
+	DECQ        CX
+	JNE         nt2_loop
+
+nt2_reduce:
+	// Row 0: Y0..Y3 -> out[0..3]. Two VHADDPS interleave the four
+	// accumulators so each 128-bit half of the result holds the four
+	// per-column half-tree sums; adding the high half onto the low yields
+	// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) per column — the dotAVX2 tree.
+	VHADDPS      Y1, Y0, Y0
+	VHADDPS      Y3, Y2, Y2
+	VHADDPS      Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X12
+	VADDPS       X12, X0, X12
+	VMOVUPS      X12, (R12)
+
+	// Row 1: Y4..Y7 -> out[4..7].
+	VHADDPS      Y5, Y4, Y4
+	VHADDPS      Y7, Y6, Y6
+	VHADDPS      Y6, Y4, Y4
+	VEXTRACTF128 $1, Y4, X13
+	VADDPS       X13, X4, X13
+	VMOVUPS      X13, 16(R12)
+	VZEROUPPER
+	RET
+
+// func ntQuad1AVX2(a, b *float32, k8, kstride int, out *float32)
+//
+// Single-row variant of ntQuad2AVX2: one a row against four b rows,
+// writing the four raw column sums to out[0..3]. Identical per-column
+// accumulation and reduction order to ntQuad2AVX2, so a row computed via
+// the single path is bitwise identical to the same row computed as either
+// half of a pair.
+TEXT ·ntQuad1AVX2(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), R8
+	MOVQ k8+16(FP), CX
+	MOVQ kstride+24(FP), R13
+	MOVQ out+32(FP), R12
+	LEAQ (R8)(R13*1), R9
+	LEAQ (R9)(R13*1), R10
+	LEAQ (R10)(R13*1), R11
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ DX, DX
+	TESTQ CX, CX
+	JZ   nt1_reduce
+
+nt1_loop:
+	VMOVUPS     (SI)(DX*1), Y8
+	VMOVUPS     (R8)(DX*1), Y10
+	VMOVUPS     (R9)(DX*1), Y11
+	VFMADD231PS Y10, Y8, Y0
+	VFMADD231PS Y11, Y8, Y1
+	VMOVUPS     (R10)(DX*1), Y10
+	VMOVUPS     (R11)(DX*1), Y11
+	VFMADD231PS Y10, Y8, Y2
+	VFMADD231PS Y11, Y8, Y3
+	ADDQ        $32, DX
+	DECQ        CX
+	JNE         nt1_loop
+
+nt1_reduce:
+	VHADDPS      Y1, Y0, Y0
+	VHADDPS      Y3, Y2, Y2
+	VHADDPS      Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X12
+	VADDPS       X12, X0, X12
+	VMOVUPS      X12, (R12)
+	VZEROUPPER
+	RET

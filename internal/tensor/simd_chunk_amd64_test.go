@@ -1,0 +1,47 @@
+//go:build !noasm
+
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSIMDNTChunkInvariance pins the determinism contract of the NT pair
+// kernel: rows pair on global parity, so computing the same rows through
+// different worker chunkings — including chunk boundaries that split a
+// pair, forcing the single-row kernel — must produce bitwise identical
+// results.
+func TestSIMDNTChunkInvariance(t *testing.T) {
+	if !cpuHasAVX2FMA() {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range [][3]int{{8, 6, 19}, {7, 9, 33}, {5, 4, 8}, {9, 13, 64}} {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, n, k)
+		for _, acc := range []bool{false, true} {
+			seed := randTensor(rng, m, n)
+			ref := New(m, n)
+			copy(ref.Data, seed.Data)
+			refArgs := mmArgs{kind: mmNT, acc: acc, simd: true, ad: a.Data, bd: b.Data, dd: ref.Data, m: m, n: n, k: k}
+			refArgs.run(0, m)
+
+			// Every contiguous two-way split, including odd boundaries.
+			for cut := 0; cut <= m; cut++ {
+				got := New(m, n)
+				copy(got.Data, seed.Data)
+				args := mmArgs{kind: mmNT, acc: acc, simd: true, ad: a.Data, bd: b.Data, dd: got.Data, m: m, n: n, k: k}
+				args.run(0, cut)
+				args.run(cut, m)
+				for i := range ref.Data {
+					if ref.Data[i] != got.Data[i] {
+						t.Fatalf("shape %v acc=%v cut=%d: elem %d = %b, serial %b",
+							sh, acc, cut, i, got.Data[i], ref.Data[i])
+					}
+				}
+			}
+		}
+	}
+}

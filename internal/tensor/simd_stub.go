@@ -1,0 +1,12 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// Scalar-only builds (non-amd64, or the noasm tag): no SIMD backend ever
+// registers, so mmArgs.simd is never set; these stubs keep the static call
+// sites in mmArgs.run linking and defensively fall back to the scalar
+// kernels.
+
+func simdNNRange(g *mmArgs, lo, hi int) { mmNNRange(g, lo, hi) }
+func simdNTRange(g *mmArgs, lo, hi int) { mmNTRange(g, lo, hi) }
+func simdTNRange(g *mmArgs, lo, hi int) { mmTNRange(g, lo, hi) }
