@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
 FUZZTIME ?= 20s
 
-.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
+.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/comm/... ./internal/pipeline/...
+	$(GO) test -race ./internal/tensor/... ./internal/comm/... ./internal/pipeline/... ./internal/launch/...
 
 # chaos runs the fault-injection suite under the race detector: transport
 # chaos (drop/dup/reorder/corrupt/reset), deadline and peer-death paths,
@@ -33,7 +33,7 @@ race:
 chaos:
 	$(GO) test -race -timeout 300s \
 		-run 'Fault|Chaos|Timeout|PeerDeath|Recovery|Resilient|Crash|Frame|CloseFailsPending|CloseLeaks|DialTimeout' \
-		./internal/comm/ ./internal/pipeline/
+		./internal/comm/ ./internal/pipeline/ ./internal/launch/
 
 # elastic runs the ring-repair suite under the race detector: buddy
 # replication off the critical path, shrink/spare repair (including the
@@ -43,11 +43,23 @@ chaos:
 elastic:
 	$(GO) test -race -timeout 300s \
 		-run 'Elastic|Buddy|Watchdog|Repair|Membership|DeadPeer' \
-		./internal/comm/ ./internal/pipeline/
+		./internal/comm/ ./internal/pipeline/ ./internal/launch/
 
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzMembershipEvidence -fuzztime $(FUZZTIME) ./internal/comm/
+
+# soak replays SOAK_SCHEDULES seeded randomized fault schedules — process
+# SIGKILLs, SIGSTOP stalls, timed one-sided partitions, frame-level chaos —
+# against a 4-rank + 1-spare cross-process WZB2 cluster, requiring every
+# run to finish bit-identical to its fault-free in-process replay with no
+# goroutine or file-descriptor leaks. SOAK_OUT, when set, collects one
+# JSONL supervisor trace per schedule (CI uploads them on failure).
+SOAK_SCHEDULES ?= 8
+soak:
+	WEIPIPE_SOAK=$(SOAK_SCHEDULES) WEIPIPE_SOAK_OUT=$(SOAK_OUT) \
+		$(GO) test -run TestSoakChaosSchedules -count=1 -v -timeout 600s ./internal/launch/
 
 # bench-overlap records the functional blocking-vs-overlapped belt-engine
 # A/B — step time, the compute loop's blocked time inside weight-belt

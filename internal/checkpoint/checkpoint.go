@@ -13,6 +13,7 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -226,6 +227,28 @@ func readSection(r io.Reader) (string, []float32, error) {
 		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 	}
 	return string(name), data, nil
+}
+
+// Marshal serialises a snapshot to bytes — the wire form used when a
+// snapshot travels between processes (seeding a freshly admitted spare
+// rank) instead of to disk. The format is identical to the file format,
+// checksum trailer included.
+func Marshal(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserialises a snapshot produced by Marshal (or read from a
+// checkpoint file), verifying magic, version and checksum.
+func Unmarshal(b []byte) (*Snapshot, error) {
+	s, err := Read(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Save writes a snapshot to a file crash-safely: the bytes go to a unique

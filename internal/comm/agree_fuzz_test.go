@@ -1,0 +1,55 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzMembershipEvidence hammers the membership-evidence decoder with
+// arbitrary bytes, both directly and through the float32 byte-packing
+// layer it rides over the wire. The decoder must never panic, and any
+// input it accepts must re-encode to the identical byte string (no two
+// wire forms for one evidence value — that would let a malformed frame
+// masquerade as a different rank's testimony).
+func FuzzMembershipEvidence(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeEvidence(Evidence{OldSize: 1}))
+	f.Add(EncodeEvidence(Evidence{Epoch: 9, OldSize: 4, Round: 3, From: 2, Dead: []int{0, 3}}))
+	f.Add(EncodeEvidence(Evidence{Epoch: 1 << 20, OldSize: 300, Round: 1, From: 299, Dead: []int{5}}))
+	trunc := EncodeEvidence(Evidence{OldSize: 4, From: 1, Dead: []int{0, 2, 3}})
+	f.Add(trunc[:len(trunc)-3])
+	f.Add(append(append([]byte{}, trunc...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvidence(data)
+		if err == nil {
+			re := EncodeEvidence(ev)
+			if !reflect.DeepEqual(re, data) {
+				t.Fatalf("accepted input is not canonical: %x -> %+v -> %x", data, ev, re)
+			}
+			if ev.From >= ev.OldSize || ev.From < 0 {
+				t.Fatalf("accepted out-of-range From: %+v", ev)
+			}
+			for i, d := range ev.Dead {
+				if d < 0 || d >= ev.OldSize || (i > 0 && d <= ev.Dead[i-1]) {
+					t.Fatalf("accepted invalid dead set: %+v", ev)
+				}
+			}
+		}
+
+		// The same bytes through the f32 packing layer: pack/unpack is the
+		// identity on byte strings, and unpacking arbitrary payloads never
+		// panics either.
+		p := PackBytes(data)
+		back, err := UnpackBytes(p)
+		if err != nil {
+			t.Fatalf("UnpackBytes(PackBytes(%d bytes)): %v", len(data), err)
+		}
+		if len(back) != len(data) || (len(data) > 0 && !reflect.DeepEqual(back, data)) {
+			t.Fatalf("pack roundtrip mangled %d bytes", len(data))
+		}
+		if len(p) > 0 {
+			UnpackBytes(p[:len(p)-1]) // truncated payload must not panic
+		}
+	})
+}

@@ -23,6 +23,15 @@ var (
 	// ErrCrashed reports that this rank was killed by an injected fault
 	// (FaultConfig.CrashAtSend); all subsequent operations fail with it.
 	ErrCrashed = errors.New("comm: rank crashed (injected fault)")
+	// ErrNoQuorum reports that membership agreement finished with the
+	// survivors holding at most half the old world: this segment of a
+	// partitioned cluster must not continue training (the split-brain
+	// guard), so the caller aborts to standby or checkpoint restart.
+	ErrNoQuorum = errors.New("comm: membership quorum lost")
+	// ErrEvicted reports that the cluster's agreed dead set names this
+	// rank: the survivors repaired around it, so it must stop training
+	// and rejoin (if at all) as a fresh spare under a new epoch.
+	ErrEvicted = errors.New("comm: evicted from membership")
 )
 
 // TimeoutError is returned by RecvTimeout when no matching message arrived

@@ -258,6 +258,19 @@ func (f *FaultTransport) Close() error {
 	return f.inner.Close()
 }
 
+// BeginRecovery implements Recoverer by forwarding to the wrapped
+// transport (a crashed endpoint stays crashed — injected deaths are
+// permanent).
+func (f *FaultTransport) BeginRecovery() []int {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil
+	}
+	return BeginRecovery(f.inner)
+}
+
 // Crashed reports whether the scheduled crash has fired.
 func (f *FaultTransport) Crashed() bool {
 	f.mu.Lock()

@@ -12,20 +12,26 @@ import (
 
 // TCP wire framing. Every frame is:
 //
-//	src u32 | kind u32 | a i64 | b i64 | seq u64 | n u64 | crc u32 | payload n elems
+//	src u32 | kind u32 | epoch u32 | a i64 | b i64 | seq u64 | n u64 | crc u32 | payload n elems
 //
 // all little-endian. The kind field carries the application Kind in its low
 // byte and the payload codec in its second byte (bits 8–15): CodecF32
 // payloads are n×4 bytes of float32, CodecBF16 payloads are n×2 bytes of
-// bfloat16 — the belt's half-width wire format. seq is the per-link data
-// sequence number (1-based; 0 marks unsequenced control frames), used for
-// redelivery dedup and reordering. crc is CRC32 (IEEE) over the first 40
-// header bytes and the payload, so both a corrupted length field and a
-// corrupted payload are detected. Control frames reuse the same layout with
-// kind values outside the application Kind space: acks carry the cumulative
-// acknowledged sequence in a, heartbeats are empty.
+// bfloat16 — the belt's half-width wire format. epoch is the cluster
+// incarnation the sender belongs to: after an elastic repair the survivors
+// rebuild the mesh under a bumped epoch, and a receiver drops (without
+// acknowledging, and without refreshing liveness) any frame from a stale
+// epoch — the split-brain fence that keeps a zombie segment of a
+// partitioned ring from ever feeding frames into the repaired one. seq is
+// the per-link data sequence number (1-based; 0 marks unsequenced control
+// frames), used for redelivery dedup and reordering. crc is CRC32 (IEEE)
+// over the header bytes before the crc field and the payload, so both a
+// corrupted length field and a corrupted payload are detected. Control
+// frames reuse the same layout with kind values outside the application
+// Kind space: acks carry the cumulative acknowledged sequence in a,
+// heartbeats are empty.
 const (
-	frameHeaderLen = 4 + 4 + 8 + 8 + 8 + 8 + 4
+	frameHeaderLen = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4
 	frameCRCOffset = frameHeaderLen - 4
 
 	// Control frame kinds, disjoint from the application Kind space.
@@ -47,6 +53,7 @@ const (
 type frameHeader struct {
 	src   int
 	kind  uint32 // raw kind field; low byte is the app Kind for data frames
+	epoch uint32 // cluster incarnation of the sender
 	codec WireCodec
 	a, b  int64
 	seq   uint64
@@ -75,14 +82,15 @@ func parseFrameHeader(hdr []byte, size, maxElems int) (frameHeader, error) {
 		maxElems = defaultMaxFrameElems
 	}
 	h := frameHeader{
-		src:  int(int32(binary.LittleEndian.Uint32(hdr[0:4]))),
-		kind: binary.LittleEndian.Uint32(hdr[4:8]),
-		a:    int64(binary.LittleEndian.Uint64(hdr[8:16])),
-		b:    int64(binary.LittleEndian.Uint64(hdr[16:24])),
-		seq:  binary.LittleEndian.Uint64(hdr[24:32]),
-		crc:  binary.LittleEndian.Uint32(hdr[frameCRCOffset:frameHeaderLen]),
+		src:   int(int32(binary.LittleEndian.Uint32(hdr[0:4]))),
+		kind:  binary.LittleEndian.Uint32(hdr[4:8]),
+		epoch: binary.LittleEndian.Uint32(hdr[8:12]),
+		a:     int64(binary.LittleEndian.Uint64(hdr[12:20])),
+		b:     int64(binary.LittleEndian.Uint64(hdr[20:28])),
+		seq:   binary.LittleEndian.Uint64(hdr[28:36]),
+		crc:   binary.LittleEndian.Uint32(hdr[frameCRCOffset:frameHeaderLen]),
 	}
-	n := binary.LittleEndian.Uint64(hdr[32:40])
+	n := binary.LittleEndian.Uint64(hdr[36:44])
 	if h.src < 0 || (size > 0 && h.src >= size) {
 		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("source rank %d out of range", h.src)}
 	}
@@ -110,14 +118,15 @@ func kindField(kind Kind, codec WireCodec) uint32 {
 
 // encodeFrame builds a complete wire frame (header + CRC + payload),
 // encoding the payload at the codec's width.
-func encodeFrame(src int, kind uint32, a, b int64, seq uint64, codec WireCodec, payload []float32) []byte {
+func encodeFrame(src int, kind, epoch uint32, a, b int64, seq uint64, codec WireCodec, payload []float32) []byte {
 	frame := make([]byte, frameHeaderLen+len(payload)*codec.bytesPerElem())
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(src))
 	binary.LittleEndian.PutUint32(frame[4:8], kind)
-	binary.LittleEndian.PutUint64(frame[8:16], uint64(a))
-	binary.LittleEndian.PutUint64(frame[16:24], uint64(b))
-	binary.LittleEndian.PutUint64(frame[24:32], seq)
-	binary.LittleEndian.PutUint64(frame[32:40], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], epoch)
+	binary.LittleEndian.PutUint64(frame[12:20], uint64(a))
+	binary.LittleEndian.PutUint64(frame[20:28], uint64(b))
+	binary.LittleEndian.PutUint64(frame[28:36], seq)
+	binary.LittleEndian.PutUint64(frame[36:44], uint64(len(payload)))
 	if codec == CodecBF16 {
 		tensor.PackBF16LE(frame[frameHeaderLen:], payload)
 	} else {
@@ -131,8 +140,8 @@ func encodeFrame(src int, kind uint32, a, b int64, seq uint64, codec WireCodec, 
 
 // encodeCtlFrame builds a control frame (ack/heartbeat); control payloads
 // are always empty and carry no codec.
-func encodeCtlFrame(src int, kind uint32, a int64) []byte {
-	return encodeFrame(src, kind, a, 0, 0, CodecF32, nil)
+func encodeCtlFrame(src int, kind, epoch uint32, a int64) []byte {
+	return encodeFrame(src, kind, epoch, a, 0, 0, CodecF32, nil)
 }
 
 // frameCRC computes the checksum of an encoded frame: the header bytes

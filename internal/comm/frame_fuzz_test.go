@@ -12,8 +12,8 @@ import (
 // never a panic and never an allocation sized by unvalidated input.
 
 func FuzzParseFrameHeader(f *testing.F) {
-	f.Add(encodeFrame(1, uint32(KindWeight), 3, 4, 9, CodecF32, []float32{1, 2})[:frameHeaderLen])
-	f.Add(encodeCtlFrame(0, ctlAck, 17)[:frameHeaderLen])
+	f.Add(encodeFrame(1, uint32(KindWeight), 0, 3, 4, 9, CodecF32, []float32{1, 2})[:frameHeaderLen])
+	f.Add(encodeCtlFrame(0, ctlAck, 0, 17)[:frameHeaderLen])
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, frameHeaderLen))
 	f.Add(bytes.Repeat([]byte{0x00}, frameHeaderLen-1))
@@ -36,7 +36,7 @@ func FuzzParseFrameHeader(f *testing.F) {
 }
 
 func FuzzReadFrame(f *testing.F) {
-	good := encodeFrame(2, uint32(KindGrad), -1, 7, 42, CodecF32, []float32{1.5, -2.5, 0})
+	good := encodeFrame(2, uint32(KindGrad), 7, -1, 7, 42, CodecF32, []float32{1.5, -2.5, 0})
 	f.Add(good)
 	f.Add(good[:len(good)-3]) // truncated payload
 	f.Add(good[:frameHeaderLen-5])
@@ -44,8 +44,8 @@ func FuzzReadFrame(f *testing.F) {
 	flipped[frameHeaderLen] ^= 0x10 // payload corruption
 	f.Add(flipped)
 	badLen := append([]byte(nil), good...)
-	badLen[32] = 0xFF // huge element count
-	badLen[38] = 0xFF
+	badLen[36] = 0xFF // huge element count
+	badLen[42] = 0xFF
 	f.Add(badLen)
 	f.Add(append(append([]byte(nil), good...), good...)) // two frames back to back
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -74,12 +74,12 @@ func FuzzReadFrame(f *testing.F) {
 // was encoded.
 func TestFrameRoundTrip(t *testing.T) {
 	payload := []float32{0, -1.25, 3e9, 1e-30}
-	wire := encodeFrame(3, uint32(KindAct), -9, 1<<40, 77, CodecF32, payload)
+	wire := encodeFrame(3, uint32(KindAct), 5, -9, 1<<40, 77, CodecF32, payload)
 	h, got, synced, err := readFrame(bytes.NewReader(wire), 4, 0)
 	if err != nil || !synced {
 		t.Fatalf("decode: %v (synced=%v)", err, synced)
 	}
-	if h.src != 3 || h.kind != uint32(KindAct) || h.a != -9 || h.b != 1<<40 || h.seq != 77 {
+	if h.src != 3 || h.kind != uint32(KindAct) || h.epoch != 5 || h.a != -9 || h.b != 1<<40 || h.seq != 77 {
 		t.Fatalf("header mismatch: %+v", h)
 	}
 	for i := range payload {
@@ -93,7 +93,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // Corrupting any single payload byte must be caught by the CRC, with the
 // stream still frame-aligned (synced) so the connection survives.
 func TestFramePayloadCorruptionDetected(t *testing.T) {
-	wire := encodeFrame(1, uint32(KindWeight), 0, 0, 5, CodecF32, []float32{1, 2, 3})
+	wire := encodeFrame(1, uint32(KindWeight), 0, 0, 0, 5, CodecF32, []float32{1, 2, 3})
 	for off := frameHeaderLen; off < len(wire); off++ {
 		bad := append([]byte(nil), wire...)
 		bad[off] ^= 0x01

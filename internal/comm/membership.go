@@ -13,6 +13,24 @@ import (
 // deterministic function of the union of observations, needing no
 // coordinator and no extra round of messages beyond what already failed.
 
+// Recoverer is implemented by transports that can transition from
+// "failed" (a peer death closed the endpoint, unblocking every parked
+// receive) back to "recovering" (the healthy links usable again for the
+// membership-agreement and state-harvest exchanges). BeginRecovery
+// returns the locally-observed dead set. Wrapper transports forward it.
+type Recoverer interface {
+	BeginRecovery() []int
+}
+
+// BeginRecovery reopens t for recovery traffic when it supports it,
+// returning the locally-observed dead set (nil otherwise).
+func BeginRecovery(t Transport) []int {
+	if r, ok := t.(Recoverer); ok {
+		return r.BeginRecovery()
+	}
+	return nil
+}
+
 // DeadPeer extracts the rank a failure implicates, if the error names one:
 // a PeerDeadError (heartbeat silence + exhausted reconnection) identifies
 // the remote peer. Errors that do not name a peer (ErrClosed, ErrTimeout,

@@ -403,7 +403,7 @@ func TestStatsStringIncludesFaults(t *testing.T) {
 	s.recordRetransmit(1, 3)
 	s.recordDup(1)
 	out := s.String()
-	if want := "peer1[rtx=3 to=0 rc=0 hb=0 crc=0 dup=1]"; !contains(out, want) {
+	if want := "peer1[rtx=3 to=0 rc=0 hb=0 crc=0 dup=1 stale=0]"; !contains(out, want) {
 		t.Fatalf("stats string %q missing %q", out, want)
 	}
 }

@@ -47,11 +47,13 @@ type PeerFaults struct {
 	HeartbeatMisses int64 // heartbeat intervals that elapsed with no traffic
 	CorruptFrames   int64 // frames discarded for CRC mismatch
 	DupFrames       int64 // duplicate frames discarded by sequence dedup
+	StaleEpochs     int64 // frames/handshakes rejected by the epoch fence
 }
 
 func (f PeerFaults) zero() bool {
 	return f.Retransmits == 0 && f.Timeouts == 0 && f.Reconnects == 0 &&
-		f.HeartbeatMisses == 0 && f.CorruptFrames == 0 && f.DupFrames == 0
+		f.HeartbeatMisses == 0 && f.CorruptFrames == 0 && f.DupFrames == 0 &&
+		f.StaleEpochs == 0
 }
 
 // NewStats returns an empty meter (used for aggregation).
@@ -226,6 +228,12 @@ func (s *Stats) recordDup(peer int) {
 	s.mu.Unlock()
 }
 
+func (s *Stats) recordStaleEpoch(peer int) {
+	s.mu.Lock()
+	s.peerFaults(peer).StaleEpochs++
+	s.mu.Unlock()
+}
+
 // Faults returns a copy of the fault counters for one peer link.
 func (s *Stats) Faults(peer int) PeerFaults {
 	s.mu.Lock()
@@ -248,6 +256,7 @@ func (s *Stats) TotalFaults() PeerFaults {
 		t.HeartbeatMisses += f.HeartbeatMisses
 		t.CorruptFrames += f.CorruptFrames
 		t.DupFrames += f.DupFrames
+		t.StaleEpochs += f.StaleEpochs
 	}
 	return t
 }
@@ -313,6 +322,7 @@ func (s *Stats) Add(o *Stats) {
 		t.HeartbeatMisses += f.HeartbeatMisses
 		t.CorruptFrames += f.CorruptFrames
 		t.DupFrames += f.DupFrames
+		t.StaleEpochs += f.StaleEpochs
 	}
 	s.recvWaitNs += recvWait
 	s.beltStallNs += beltStall
@@ -354,9 +364,9 @@ func (s *Stats) String() string {
 			continue
 		}
 		parts = append(parts, fmt.Sprintf(
-			"peer%d[rtx=%d to=%d rc=%d hb=%d crc=%d dup=%d]",
+			"peer%d[rtx=%d to=%d rc=%d hb=%d crc=%d dup=%d stale=%d]",
 			p, f.Retransmits, f.Timeouts, f.Reconnects, f.HeartbeatMisses,
-			f.CorruptFrames, f.DupFrames))
+			f.CorruptFrames, f.DupFrames, f.StaleEpochs))
 	}
 	if s.recvWaitNs > 0 || s.beltStallNs > 0 || s.maxInflight > 0 {
 		parts = append(parts, fmt.Sprintf("overlap[wait=%s stall=%s maxfly=%dB]",

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +43,9 @@ type TCPTransport struct {
 	ln    *net.TCPListener
 	stats *Stats
 
+	deadMu    sync.Mutex
+	deadPeers map[int]error // peers declared dead, with the declaring cause
+
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -50,6 +54,13 @@ type TCPTransport struct {
 // TCPOptions tunes the failure model of a TCP mesh. The zero value selects
 // production defaults; tests shrink the timeouts.
 type TCPOptions struct {
+	// Epoch is the cluster incarnation this endpoint belongs to. It rides
+	// in the connection handshake and in every frame header; connections
+	// and frames from any other epoch are rejected (see the epoch fence in
+	// frame.go). Elastic repair bumps the epoch when the survivors rebuild
+	// the mesh, so a stale segment of a partitioned ring can neither
+	// rejoin nor refresh anyone's liveness. Default 0.
+	Epoch uint32
 	// DialTimeout bounds the whole initial mesh bring-up: a peer that never
 	// comes up yields a per-peer error instead of hanging forever.
 	// Default 15s.
@@ -151,13 +162,14 @@ func DialTCPOpts(rank int, addrs []string, opts TCPOptions) (*TCPTransport, erro
 	}
 	opts = opts.withDefaults()
 	t := &TCPTransport{
-		rank:  rank,
-		size:  size,
-		opts:  opts,
-		box:   newMailbox(),
-		links: make([]*tcpLink, size),
-		stats: newStats(),
-		done:  make(chan struct{}),
+		rank:      rank,
+		size:      size,
+		opts:      opts,
+		box:       newMailbox(),
+		links:     make([]*tcpLink, size),
+		stats:     newStats(),
+		deadPeers: make(map[int]error),
+		done:      make(chan struct{}),
 	}
 	t.box.stats = t.stats
 	ln, err := net.Listen("tcp", addrs[rank])
@@ -273,11 +285,15 @@ func (t *TCPTransport) dialPeer(peer int, deadline time.Time) error {
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}
-		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], uint32(t.rank))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			lastErr = err
+		if err := l.completeHello(conn); err != nil {
 			conn.Close()
+			if errors.Is(err, errStaleEpoch) {
+				// The peer is another cluster incarnation: retrying cannot
+				// help, and joining it would breach the split-brain fence.
+				return fmt.Errorf("comm: dial rank %d (%s): %w", peer, l.addr, err)
+			}
+			lastErr = err
+			time.Sleep(10 * time.Millisecond)
 			continue
 		}
 		l.install(conn)
@@ -311,19 +327,74 @@ func (t *TCPTransport) acceptLoop(bringup time.Time) {
 			return // listener closed
 		}
 		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
-		var hdr [4]byte
+		var hdr [8]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			conn.Close()
 			continue
 		}
 		conn.SetReadDeadline(time.Time{})
-		peer := int(binary.LittleEndian.Uint32(hdr[:]))
+		peer := int(binary.LittleEndian.Uint32(hdr[0:4]))
 		if peer <= t.rank || peer >= t.size {
+			conn.Close()
+			continue
+		}
+		if epoch := binary.LittleEndian.Uint32(hdr[4:8]); epoch != t.opts.Epoch {
+			// A connection from another cluster incarnation: a zombie from a
+			// partitioned-away segment (or a badly stale reconnect). Refuse
+			// it — the epoch fence must hold at admission, not just per
+			// frame.
+			t.stats.recordStaleEpoch(peer)
+			conn.Close()
+			continue
+		}
+		// Admission ack: echo our own hello so the dialer learns it was
+		// accepted (and at which epoch) before it considers the link up.
+		if _, err := conn.Write(t.helloBytes()); err != nil {
 			conn.Close()
 			continue
 		}
 		t.links[peer].install(conn)
 	}
+}
+
+// errStaleEpoch marks a handshake refused by the epoch fence: the peer
+// answered from a different cluster incarnation. Dial paths treat it as
+// definitive — retrying cannot reconcile two incarnations.
+var errStaleEpoch = errors.New("comm: epoch fence rejected handshake")
+
+// completeHello runs the dialer side of the connection handshake: write
+// our rank|epoch hello, then wait for the acceptor to echo its own as the
+// admission ack. Without the ack the dialer cannot distinguish "admitted"
+// from "silently refused by the epoch fence", and would install a link
+// the peer has already discarded.
+func (l *tcpLink) completeHello(conn net.Conn) error {
+	if _, err := conn.Write(l.t.helloBytes()); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	var ack [8]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if got := int(binary.LittleEndian.Uint32(ack[0:4])); got != l.peer {
+		return fmt.Errorf("comm: handshake ack claims rank %d, want %d", got, l.peer)
+	}
+	if epoch := binary.LittleEndian.Uint32(ack[4:8]); epoch != l.t.opts.Epoch {
+		l.t.stats.recordStaleEpoch(l.peer)
+		return fmt.Errorf("%w: peer %d at epoch %d, local epoch %d",
+			errStaleEpoch, l.peer, epoch, l.t.opts.Epoch)
+	}
+	return nil
+}
+
+// helloBytes builds the connection handshake: rank u32 | epoch u32. The
+// acceptor validates both, then echoes its own hello as the admission ack.
+func (t *TCPTransport) helloBytes() []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.rank))
+	binary.LittleEndian.PutUint32(hdr[4:8], t.opts.Epoch)
+	return hdr[:]
 }
 
 // meshUp reports whether every link has connected at least once.
@@ -454,6 +525,20 @@ func (t *TCPTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]f
 	if src < 0 || src >= t.size {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", src)
 	}
+	// After BeginRecovery the mailbox accepts takes again, but a receive
+	// naming a dead peer must keep failing fast with the typed evidence —
+	// not burn a whole timeout on a rank that can never answer.
+	if src != t.rank {
+		t.deadMu.Lock()
+		cause, dead := t.deadPeers[src]
+		t.deadMu.Unlock()
+		if dead {
+			if payload, ok := t.box.tryTake(msgKey{src: src, tag: tag}); ok {
+				return payload, nil // already delivered before the death
+			}
+			return nil, &PeerDeadError{Rank: src, Cause: cause}
+		}
+	}
 	tr := t.opts.Trace
 	span := tr.Begin()
 	payload, err := t.box.take(msgKey{src: src, tag: tag}, timeout)
@@ -462,6 +547,47 @@ func (t *TCPTransport) RecvTimeout(src int, tag Tag, timeout time.Duration) ([]f
 		t.stats.recordTimeout(src)
 	}
 	return payload, err
+}
+
+// Flush blocks until every frame queued for a live peer has been
+// acknowledged (or timeout expires, or the endpoint closes). Close drops
+// unacknowledged frames by design — it models an abrupt kill — so a clean
+// shutdown must flush first, or the tail of an exchange protocol can
+// vanish from under a peer that is still receiving. Links to peers the
+// failure detector has declared dead are skipped: their backlog can never
+// drain.
+func (t *TCPTransport) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for _, l := range t.links {
+			if l == nil {
+				continue
+			}
+			l.mu.Lock()
+			if !l.dead && !l.closed {
+				pending += len(l.sendq)
+			}
+			l.mu.Unlock()
+		}
+		if pending == 0 || t.isClosed() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("comm: flush timed out with %d frames unacknowledged", pending)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FlushTransport drains t's send queues when the transport supports it
+// (see TCPTransport.Flush); in-process transports deliver synchronously
+// and need no flush.
+func FlushTransport(t Transport, timeout time.Duration) error {
+	if f, ok := t.(interface{ Flush(time.Duration) error }); ok {
+		return f.Flush(timeout)
+	}
+	return nil
 }
 
 // Close implements Transport. It fails all pending receives, tears down
@@ -483,9 +609,63 @@ func (t *TCPTransport) Close() error {
 }
 
 // peerDead fails the whole endpoint: the training protocol cannot make
-// progress without the peer, so every blocked receive must abort.
+// progress without the peer, so every blocked receive must abort. The
+// death is also recorded so BeginRecovery can report it after reopening
+// the mailbox for the membership-agreement exchange.
 func (t *TCPTransport) peerDead(peer int, cause error) {
+	t.deadMu.Lock()
+	if _, seen := t.deadPeers[peer]; !seen {
+		t.deadPeers[peer] = cause
+	}
+	t.deadMu.Unlock()
 	t.box.closeWithErr(&PeerDeadError{Rank: peer, Cause: cause})
+}
+
+// DeadPeers lists the peers this endpoint's failure detector has declared
+// dead, in ascending rank order.
+func (t *TCPTransport) DeadPeers() []int {
+	t.deadMu.Lock()
+	out := make([]int, 0, len(t.deadPeers))
+	for r := range t.deadPeers {
+		out = append(out, r)
+	}
+	t.deadMu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// BeginRecovery transitions the endpoint from "failed" to "recovering":
+// the mailbox, wholesale-closed by the first peer death so every blocked
+// runner aborts, is reopened so the survivors can exchange membership
+// evidence over the still-healthy links. It returns the locally-observed
+// dead set. Sends and receives naming a dead peer keep failing fast with
+// *PeerDeadError; a further peer death during recovery closes the mailbox
+// again (call BeginRecovery again to continue). After a local Close the
+// mailbox stays closed and BeginRecovery only reports the dead set.
+func (t *TCPTransport) BeginRecovery() []int {
+	dead := t.DeadPeers()
+	t.box.reopen()
+	return dead
+}
+
+// Blackhole makes this endpoint drop every outgoing byte (data, acks,
+// heartbeats, reconnection handshakes) to the given peers for d — a
+// deterministic network-partition injector. Incoming traffic still
+// flows, so an asymmetric partition is one-sided Blackhole and a full
+// partition is Blackhole on both sides. Frames queued during the window
+// stay in the retransmit queue: a blackout shorter than PeerDeadTimeout
+// heals by retransmission, a longer one fires the failure detector.
+func (t *TCPTransport) Blackhole(peers []int, d time.Duration) {
+	until := time.Now().Add(d)
+	for _, p := range peers {
+		if p < 0 || p >= t.size || p == t.rank || t.links[p] == nil {
+			continue
+		}
+		l := t.links[p]
+		l.mu.Lock()
+		l.blackUntil = until
+		l.mu.Unlock()
+	}
 }
 
 // ---- per-link state ------------------------------------------------------
@@ -548,6 +728,7 @@ type tcpLink struct {
 	lastMiss    time.Time // last heartbeat-miss counted
 	downSince   time.Time // zero while connected
 	quietUntil  time.Time // post-reconnect window where only ctl frames flow
+	blackUntil  time.Time // injected-partition window: no bytes leave the link
 
 	redialing bool
 	dead      bool
@@ -673,18 +854,33 @@ func (l *tcpLink) redialLoop() {
 	for {
 		l.mu.Lock()
 		stop := l.closed || l.dead || l.conn != nil
+		hole := time.Until(l.blackUntil)
 		l.mu.Unlock()
 		if stop || l.t.isClosed() {
 			return
 		}
+		if hole > 0 {
+			// An injected partition blocks the reconnection handshake too —
+			// a partitioned host cannot reach the peer's listener either.
+			if hole > 5*time.Millisecond {
+				hole = 5 * time.Millisecond
+			}
+			select {
+			case <-l.t.done:
+				return
+			case <-time.After(hole):
+			}
+			continue
+		}
 		conn, err := net.DialTimeout("tcp", l.addr, backoff+50*time.Millisecond)
 		if err == nil {
-			var hdr [4]byte
-			binary.LittleEndian.PutUint32(hdr[:], uint32(l.t.rank))
-			if _, werr := conn.Write(hdr[:]); werr == nil {
+			if herr := l.completeHello(conn); herr == nil {
 				l.install(conn)
 				return
 			}
+			// A stale-epoch refusal keeps backing off like any other failure:
+			// the monitor will declare the peer dead when the grace window
+			// runs out, which is exactly what a zombie peer deserves.
 			conn.Close()
 		}
 		select {
@@ -792,15 +988,27 @@ func (l *tcpLink) writeLoop() {
 			l.mu.Unlock()
 			return
 		}
+		if hole := time.Until(l.blackUntil); hole > 0 {
+			// Injected partition: nothing leaves the link — no data, no acks,
+			// no heartbeats. Dirty flags stay set so the backlog drains the
+			// moment the window closes.
+			l.mu.Unlock()
+			if hole > 5*time.Millisecond {
+				hole = 5 * time.Millisecond
+			}
+			time.Sleep(hole)
+			continue
+		}
 		conn, gen := l.conn, l.gen
+		epoch := l.t.opts.Epoch
 		var batch net.Buffers
 		if l.ackDirty {
 			l.ackDirty = false
-			batch = append(batch, encodeCtlFrame(l.t.rank, ctlAck, int64(l.rexpect-1)))
+			batch = append(batch, encodeCtlFrame(l.t.rank, ctlAck, epoch, int64(l.rexpect-1)))
 		}
 		if l.hbDue {
 			l.hbDue = false
-			batch = append(batch, encodeCtlFrame(l.t.rank, ctlHeartbeat, 0))
+			batch = append(batch, encodeCtlFrame(l.t.rank, ctlHeartbeat, epoch, 0))
 		}
 		var frames []*outFrame
 		quiet := time.Until(l.quietUntil)
@@ -817,7 +1025,7 @@ func (l *tcpLink) writeLoop() {
 		// encoded and reused as-is.
 		for _, f := range frames {
 			if f.wire == nil {
-				f.wire = encodeFrame(l.t.rank, kindField(f.tag.Kind, f.codec),
+				f.wire = encodeFrame(l.t.rank, kindField(f.tag.Kind, f.codec), epoch,
 					int64(f.tag.A), int64(f.tag.B), f.seq, f.codec, f.payload)
 				Release(f.payload)
 				f.payload = nil
@@ -937,6 +1145,18 @@ func (l *tcpLink) readLoop(conn net.Conn, gen int) {
 			}
 			l.markDown(gen)
 			return
+		}
+		if h.epoch != l.t.opts.Epoch {
+			// Stale-epoch frame: a sender from another cluster incarnation.
+			// Drop it without acknowledging and — critically — without
+			// refreshing lastContact: a zombie segment must not be able to
+			// keep itself "alive" here, or the fenced-off rank would never
+			// be declared dead and the repaired ring would stall on it.
+			if payload != nil {
+				Release(payload)
+			}
+			l.t.stats.recordStaleEpoch(l.peer)
+			continue
 		}
 		l.mu.Lock()
 		l.lastContact = time.Now()

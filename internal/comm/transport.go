@@ -13,6 +13,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -223,6 +224,32 @@ func (m *mailbox) take(key msgKey, timeout time.Duration) ([]float32, error) {
 	}
 }
 
+// tryTake returns an already-delivered payload for key without blocking.
+// It succeeds even on a closed mailbox: delivery outlives failure, so
+// evidence that arrived before a peer death is never lost.
+func (m *mailbox) tryTake(key msgKey) ([]float32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[key]
+	if len(q) == 0 {
+		return nil, false
+	}
+	payload := q[0]
+	if len(q) == 1 {
+		delete(m.queues, key)
+		q[0] = nil
+		if len(m.free) < 8 {
+			m.free = append(m.free, q[:0])
+		}
+	} else {
+		m.queues[key] = q[1:]
+	}
+	if m.stats != nil {
+		m.stats.noteInflight(int64(len(payload)) * -4)
+	}
+	return payload, true
+}
+
 // waiter returns key's parked-take entry, creating it if needed, and counts
 // the caller in. Callers hold m.mu and must pair with unpark.
 func (m *mailbox) waiter(key msgKey) *keyWaiter {
@@ -249,6 +276,24 @@ func (m *mailbox) unpark(key msgKey, w *keyWaiter) {
 
 // close fails the mailbox with ErrClosed (a clean local shutdown).
 func (m *mailbox) close() { m.closeWithErr(ErrClosed) }
+
+// reopen clears a peer-death closure so recovery protocols (membership
+// agreement, state harvest) can keep using the healthy links. Only a
+// *PeerDeadError cause is cleared: a locally-Closed mailbox stays closed —
+// reopening it would race the owner's shutdown. Returns whether the
+// mailbox accepts takes afterwards.
+func (m *mailbox) reopen() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil {
+		return true
+	}
+	if !errors.Is(m.err, ErrPeerDead) {
+		return false
+	}
+	m.err = nil
+	return true
+}
 
 // closeWithErr fails all pending and future takes with cause. The first
 // cause wins; later calls are no-ops.

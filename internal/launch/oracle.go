@@ -1,0 +1,101 @@
+package launch
+
+import (
+	"fmt"
+
+	"weipipe/internal/checkpoint"
+	"weipipe/internal/comm"
+	"weipipe/internal/pipeline"
+)
+
+// ReplayOracle reproduces, entirely in-process and fault-free, the exact
+// training trajectory a supervised run took through its incarnations, and
+// returns the per-iteration losses plus the final assembled weights.
+//
+// The trajectory of a segment is fully determined by (world size, start
+// iteration, starting snapshot): data is a pure function of the global
+// iteration number, and WZB2 arithmetic depends only on the world size.
+// So the oracle walks the epoch history, trains each segment at its world
+// size, and carries a snapshot across the boundary exactly where the real
+// run harvested (or checkpoint-loaded) one. Bit-identity between this
+// replay and the cross-process run is the soak harness's correctness
+// criterion: any frame loss, re-admission bug, or partition leak shows up
+// as a diverging weight hash.
+func ReplayOracle(spec TrainSpec, history []EpochEvent) ([]float64, []float32, error) {
+	if len(history) == 0 {
+		return nil, nil, fmt.Errorf("launch: empty history")
+	}
+	losses := make([]float64, spec.Iters)
+	var snap *checkpoint.Snapshot
+	batches := spec.batches()
+	opts := spec.options()
+	opts.Buddy = true // RunRank forces buddy replication on; mirror it
+
+	for i, ev := range history {
+		// The segment ends where the next incarnation starts — not at
+		// spec.Iters — because a failure may roll back past iterations the
+		// previous segment already ran (checkpoint restart) or cut them at
+		// the harvest point.
+		end := spec.Iters
+		if i+1 < len(history) {
+			end = history[i+1].StartIter
+		}
+		if end < ev.StartIter {
+			return nil, nil, fmt.Errorf("launch: epoch %d rolls back from %d to %d across the boundary",
+				ev.Epoch, ev.StartIter, end)
+		}
+
+		cluster := comm.NewCluster(ev.World)
+		trainers := make([]pipeline.Trainer, ev.World)
+		for r := 0; r < ev.World; r++ {
+			tr, err := pipeline.New(pipeline.StrategyWZB2, cluster.Transport(r), spec.config(), opts)
+			if err != nil {
+				cluster.Close()
+				return nil, nil, err
+			}
+			trainers[r] = tr
+		}
+		if snap != nil {
+			if err := pipeline.RestoreSnapshot(snap, trainers); err != nil {
+				cluster.Close()
+				return nil, nil, err
+			}
+		}
+
+		for it := ev.StartIter; it < end; it++ {
+			mb := batches(it)
+			perRank := make([]float64, ev.World)
+			errs := make([]error, ev.World)
+			done := make(chan int, ev.World)
+			for r := 0; r < ev.World; r++ {
+				go func(r int) {
+					perRank[r], errs[r] = trainers[r].TrainIteration(mb)
+					done <- r
+				}(r)
+			}
+			for r := 0; r < ev.World; r++ {
+				<-done
+			}
+			for r := 0; r < ev.World; r++ {
+				if errs[r] != nil {
+					cluster.Close()
+					return nil, nil, fmt.Errorf("launch: oracle epoch %d iter %d rank %d: %w", ev.Epoch, it, r, errs[r])
+				}
+			}
+			losses[it] = perRank[0]
+		}
+
+		if i+1 == len(history) {
+			w := pipeline.AssembleWeights(trainers)
+			cluster.Close()
+			return losses, w, nil
+		}
+		captured, err := pipeline.CaptureSnapshot(trainers, end)
+		cluster.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		snap = captured
+	}
+	return nil, nil, fmt.Errorf("launch: unreachable")
+}

@@ -5,6 +5,7 @@ import (
 
 	"weipipe/internal/checkpoint"
 	"weipipe/internal/comm"
+	"weipipe/internal/model"
 )
 
 // Elastic repair: when ranks die mid-run, the survivors already hold every
@@ -70,6 +71,54 @@ type RepairEvent struct {
 	Snapshot *checkpoint.Snapshot
 }
 
+// chunkSource decides which survivor supplies chunk c's state once the
+// dead set is agreed: the chunk's owner when it survived, the owner's
+// buddy otherwise. fromBuddy tells the source which replica to export.
+// This is the single provenance mapping both the in-process harvest and
+// the cross-process wire harvest (rankrun.go) follow, so the two repair
+// paths can never disagree about which rank serves a chunk.
+func chunkSource(c int, m comm.Membership) (rank int, fromBuddy bool, err error) {
+	p := m.OldSize
+	owner := (c - 1 + p) % p
+	if !m.IsDead(owner) {
+		return owner, false, nil
+	}
+	buddy := (owner - 1 + p) % p
+	if m.IsDead(buddy) {
+		return 0, false, fmt.Errorf("pipeline: chunk %d unrecoverable: owner %d and buddy %d both dead", c, owner, buddy)
+	}
+	return buddy, true, nil
+}
+
+// newRepairSnapshot allocates the empty full-state snapshot a harvest
+// fills in, cut at tCut completed iterations.
+func newRepairSnapshot(mdl *model.Model, tCut int) *checkpoint.Snapshot {
+	total := mdl.NumParams()
+	return &checkpoint.Snapshot{
+		Config:  mdl.Cfg,
+		Weights: make([]float32, total),
+		Sections: map[string][]float32{
+			"adam.m": make([]float32, total),
+			"adam.v": make([]float32, total),
+		},
+		Step: int64(tCut),
+	}
+}
+
+// placeChunkState copies one chunk's harvested state into the snapshot,
+// validating the extent against the model layout.
+func placeChunkState(snap *checkpoint.Snapshot, ref *WeiPipe, offsets []int, c int, st StateExport) error {
+	lo, hi := ref.chunkRange(c)
+	want := offsets[hi] - offsets[lo]
+	if len(st.W) != want || len(st.M) != want || len(st.V) != want {
+		return fmt.Errorf("pipeline: chunk %d harvest covers %d params, want %d", c, len(st.W), want)
+	}
+	copy(snap.Weights[offsets[lo]:offsets[hi]], st.W)
+	copy(snap.Sections["adam.m"][offsets[lo]:offsets[hi]], st.M)
+	copy(snap.Sections["adam.v"][offsets[lo]:offsets[hi]], st.V)
+	return nil
+}
+
 // harvestRepairSnapshot assembles a full-state snapshot from the
 // survivors of a failed attempt: every chunk's fp32 weights, AdamW moments
 // and step count come from the chunk's owner when it survived, or from the
@@ -107,45 +156,28 @@ func harvestRepairSnapshot(trainers []Trainer, m comm.Membership) (*checkpoint.S
 	ref := wps[survivors[0]]
 	mdl := ref.Model()
 	offsets := moduleOffsets(mdl)
-	total := mdl.NumParams()
-	snap := &checkpoint.Snapshot{
-		Config:  mdl.Cfg,
-		Weights: make([]float32, total),
-		Sections: map[string][]float32{
-			"adam.m": make([]float32, total),
-			"adam.v": make([]float32, total),
-		},
-		Step: int64(tCut),
-	}
+	snap := newRepairSnapshot(mdl, tCut)
 	optStep := -1
 	for c := 0; c < p; c++ {
-		owner := (c - 1 + p) % p
+		src, fromBuddy, err := chunkSource(c, m)
+		if err != nil {
+			return nil, err
+		}
 		var st StateExport
-		var err error
-		switch {
-		case !m.IsDead(owner):
-			st, err = wps[owner].ExportOwnedStateAt(tCut)
-		default:
-			buddy := (owner - 1 + p) % p
-			if m.IsDead(buddy) {
-				return nil, fmt.Errorf("pipeline: chunk %d unrecoverable: owner %d and buddy %d both dead", c, owner, buddy)
+		if fromBuddy {
+			if sc, ok := wps[src].BuddyChunk(); !ok || sc != c {
+				return nil, fmt.Errorf("pipeline: rank %d does not shadow chunk %d", src, c)
 			}
-			if sc, ok := wps[buddy].BuddyChunk(); !ok || sc != c {
-				return nil, fmt.Errorf("pipeline: rank %d does not shadow chunk %d", buddy, c)
-			}
-			st, err = wps[buddy].ExportBuddyStateAt(tCut)
+			st, err = wps[src].ExportBuddyStateAt(tCut)
+		} else {
+			st, err = wps[src].ExportOwnedStateAt(tCut)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: harvest chunk %d: %w", c, err)
 		}
-		lo, hi := ref.chunkRange(c)
-		want := offsets[hi] - offsets[lo]
-		if len(st.W) != want {
-			return nil, fmt.Errorf("pipeline: chunk %d harvest covers %d params, want %d", c, len(st.W), want)
+		if err := placeChunkState(snap, ref, offsets, c, st); err != nil {
+			return nil, err
 		}
-		copy(snap.Weights[offsets[lo]:offsets[hi]], st.W)
-		copy(snap.Sections["adam.m"][offsets[lo]:offsets[hi]], st.M)
-		copy(snap.Sections["adam.v"][offsets[lo]:offsets[hi]], st.V)
 		if optStep == -1 {
 			optStep = st.Step
 		} else if optStep != st.Step {

@@ -488,7 +488,15 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			ropts.OnIteration(iter, iterLoss)
 		}
 		if ropts.CheckpointEvery > 0 && (iter+1)%ropts.CheckpointEvery == 0 && iter+1 < iters {
-			ns, err := CaptureSnapshot(trainers, iter+1)
+			// The capture (and any disk write below) is a long off-wire
+			// barrier; beacon through it so a slow checkpoint never reads as
+			// a stalled rank.
+			var ns *checkpoint.Snapshot
+			err := BeaconBarrier(board, 0, 0, func() error {
+				var cerr error
+				ns, cerr = CaptureSnapshot(trainers, iter+1)
+				return cerr
+			})
 			if err != nil {
 				closeAll()
 				return nil, &attemptFailure{err: err, iter: iter}

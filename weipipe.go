@@ -160,6 +160,10 @@ type (
 	WatchdogConfig = pipeline.WatchdogConfig
 	// StragglerReport describes one rank the watchdog flagged as stalled.
 	StragglerReport = pipeline.StragglerReport
+	// Deadlines is the single timeout budget threaded through the TCP
+	// transport, failure detector, membership agreement and barrier layers
+	// (Retransmit < Heartbeat < PeerDead < AgreeRound < Barrier).
+	Deadlines = comm.Deadlines
 )
 
 // The elastic repair policies.
