@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
 FUZZTIME ?= 20s
 
-.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
+.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak sdc sdc-quick bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzMembershipEvidence -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzChunkChecksum -fuzztime $(FUZZTIME) ./internal/comm/
 
 # soak replays SOAK_SCHEDULES seeded randomized fault schedules — process
 # SIGKILLs, SIGSTOP stalls, timed one-sided partitions, frame-level chaos —
@@ -60,6 +61,23 @@ SOAK_SCHEDULES ?= 8
 soak:
 	WEIPIPE_SOAK=$(SOAK_SCHEDULES) WEIPIPE_SOAK_OUT=$(SOAK_OUT) \
 		$(GO) test -run TestSoakChaosSchedules -count=1 -v -timeout 600s ./internal/launch/
+
+# sdc replays SDC_SCHEDULES seeded bit-flip schedules — corruption injected
+# into resident weights, optimizer moments, belt staging buffers and (on
+# alternate schedules) matmul outputs via the ABFT fault hook — against a
+# WZB2 ring over chaotic TCP with full integrity defense armed. Every flip
+# must be detected and repaired (checkpoint restart), every run must finish
+# bit-identical to its fault-free oracle: zero silent corruptions. SDC_OUT,
+# when set, collects one JSON report + Chrome trace per schedule.
+SDC_SCHEDULES ?= 8
+sdc:
+	WEIPIPE_SDC=$(SDC_SCHEDULES) WEIPIPE_SDC_OUT=$(SDC_OUT) \
+		$(GO) test -run TestSoakBitFlipSchedules -count=1 -v -timeout 600s ./internal/pipeline/
+
+# sdc-quick is the 2-schedule slice of the bit-flip soak used inside the
+# pre-merge gate (one kernel-flip schedule, one state-flip schedule).
+sdc-quick:
+	WEIPIPE_SDC=2 $(GO) test -run TestSoakBitFlipSchedules -count=1 -timeout 300s ./internal/pipeline/
 
 # bench-overlap records the functional blocking-vs-overlapped belt-engine
 # A/B — step time, the compute loop's blocked time inside weight-belt
@@ -110,10 +128,10 @@ experiments:
 # check is the pre-merge gate: formatting, static analysis, the race
 # detector over the packages with real concurrency (kernel worker pool,
 # transports, pipeline schedules), the fault-injection suite, the
-# elastic-repair suite, the noasm (scalar-only) build of the kernel
-# packages, and a quick overlap-engine A/B (bit-identity + telemetry
-# sanity).
-check: fmt-check vet race chaos elastic check-noasm-kernels bench-overlap-quick
+# elastic-repair suite, a 2-schedule slice of the bit-flip SDC soak, the
+# noasm (scalar-only) build of the kernel packages, and a quick
+# overlap-engine A/B (bit-identity + telemetry sanity).
+check: fmt-check vet race chaos elastic sdc-quick check-noasm-kernels bench-overlap-quick
 
 # check-noasm-kernels is the cheap slice of test-noasm used inside the
 # pre-merge gate: just the packages whose code paths change under the tag.

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -95,6 +97,13 @@ func main() {
 	spares := flag.Int("spares", 0, "standby rank budget for -elastic spare")
 	watchdog := flag.Bool("watchdog", false, "run the straggler watchdog (reports ranks stalled past 8× the median iteration; with elastic repair on, declares them dead)")
 	guard := flag.Bool("guard", false, "skip optimizer steps whose global gradient is non-finite (NaN/Inf)")
+	integrity := flag.Bool("integrity", false, "end-to-end silent-data-corruption defense: CRC-sealed belt chunks verified at every consumption point plus resident weight/moment guards; detections become typed failures the recovery machinery repairs")
+	abft := flag.Bool("abft", false, "algorithm-based fault tolerance on the tensor kernels: every matmul verified against row/column checksums (O(n²) overhead per matmul)")
+	spikeWindow := flag.Int("spike-window", 0, "arm the windowed grad-norm spike detector over the last n accepted norms (0 disables)")
+	spikeSkip := flag.Bool("spike-skip", false, "skip optimizer steps the spike detector flags (with -spike-window)")
+	bitflipChaos := flag.Int("bitflip-chaos", 0, "inject n seeded bit flips spread across the fault sites (weights, optimizer moments, belt buffers; kernel outputs with -abft) — the SDC chaos tier; combine with -integrity and recovery flags")
+	bitflipSeed := flag.Uint64("bitflip-seed", 1, "seed for the deterministic bit-flip schedule")
+	verifyCkpt := flag.String("verify-ckpt", "", "verify checkpoint integrity (whole-file CRC + per-section digests) for this file or every *.wpck in this directory, then exit")
 	stats := flag.Bool("stats", false, "print per-rank communication and fault statistics at the end")
 	ckpt := flag.String("checkpoint", "", "checkpoint path: periodic saves in recovery mode, final snapshot always")
 	resume := flag.String("resume", "", "resume from this checkpoint (overrides the model flags)")
@@ -102,6 +111,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this path (per-rank F/B/W, optimizer, stall, belt-lane and transport spans; open in ui.perfetto.dev or feed to weipipe-trace -compare)")
 	metrics := flag.Bool("metrics", false, "print the per-iteration timing rollup (step/F/B/W/opt/exposed means, stall counts, arena high-water marks) at the end")
 	flag.Parse()
+
+	if *verifyCkpt != "" {
+		if err := runVerifyCkpt(*verifyCkpt); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *backend != "" {
 		if err := tensor.SetBackend(*backend); err != nil {
@@ -137,6 +153,29 @@ func main() {
 	opts.BF16Wire = *bf16
 	opts.ClipNorm = *clip
 	opts.GuardNonFinite = *guard
+	opts.Integrity = *integrity
+	opts.SpikeWindow = *spikeWindow
+	opts.SpikeSkip = *spikeSkip
+	if *abft {
+		weipipe.EnableABFT()
+		fmt.Println("ABFT armed: matmul outputs verified against row/column checksums")
+	}
+	if *bitflipChaos > 0 {
+		sites := []weipipe.FlipSite{
+			weipipe.FlipWeights, weipipe.FlipMomentM, weipipe.FlipMomentV,
+			weipipe.FlipBeltWeight, weipipe.FlipBeltGrad,
+		}
+		if *abft {
+			sites = append(sites, weipipe.FlipKernel)
+		}
+		events := weipipe.GenBitFlips(*bitflipSeed, *p, *iters, *bitflipChaos, sites)
+		inj := weipipe.NewBitFlipInjector(events)
+		opts.BitFlip = inj
+		if *abft {
+			tensor.SetABFTFault(inj.KernelHook())
+		}
+		fmt.Printf("bit-flip chaos armed: %d scheduled flips (seed %d)\n", len(events), *bitflipSeed)
+	}
 
 	var policy weipipe.ElasticPolicy
 	switch *elastic {
@@ -249,6 +288,7 @@ func runResilient(rc runConfig) error {
 	if rc.stats {
 		printStats(res.Comm)
 		fmt.Printf("guard-skipped optimizer steps: %d\n", res.SkippedSteps)
+		fmt.Printf("spike-flagged steps: %d\n", res.SpikeSteps)
 		fmt.Printf("elastic repairs: %d\n", len(res.Repairs))
 	}
 	return finish(rc, res.Weights)
@@ -419,9 +459,55 @@ func finish(rc runConfig, weights []float32) error {
 // CRC-rejected and duplicate frames).
 func printStats(all []*weipipe.CommStats) {
 	fmt.Println("communication statistics:")
+	var checks, fails int64
 	for r, s := range all {
 		fmt.Printf("  rank %d: %s\n", r, s)
+		c, f := s.TotalIntegrityChecks()
+		checks += c
+		fails += f
 	}
+	if checks > 0 {
+		fmt.Printf("  integrity: %d checks, %d failures detected\n", checks, fails)
+	}
+}
+
+// runVerifyCkpt implements -verify-ckpt: verify one checkpoint file, or
+// every *.wpck under a directory, against the whole-file CRC and the
+// per-section digests. Any failure exits non-zero after scanning the rest.
+func runVerifyCkpt(target string) error {
+	info, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	paths := []string{target}
+	if info.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(target, "*.wpck"))
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("no *.wpck files under %s", target)
+		}
+		sort.Strings(paths)
+	}
+	bad := 0
+	for _, p := range paths {
+		sections, digested, err := weipipe.VerifyCheckpoint(p)
+		switch {
+		case err != nil:
+			bad++
+			fmt.Printf("%s: FAIL: %v\n", p, err)
+		case digested:
+			fmt.Printf("%s: ok (%d sections, per-section digests verified)\n", p, len(sections))
+		default:
+			fmt.Printf("%s: ok (%d sections; pre-digest format, whole-file CRC only)\n", p, len(sections))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d checkpoints failed verification", bad, len(paths))
+	}
+	fmt.Printf("%d checkpoints verified\n", len(paths))
+	return nil
 }
 
 func buildTransports(rc runConfig, size int) ([]weipipe.Transport, error) {

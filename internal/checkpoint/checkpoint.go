@@ -28,6 +28,17 @@ import (
 const (
 	magic   = "WPCK"
 	version = 1
+
+	// DigestSection is the reserved section name carrying per-section CRC32
+	// digests: four byte-valued float32 elements (little-endian CRC bytes)
+	// per data section, covering the weights first and then every named
+	// section in sorted order. Written by Write, stripped and verified by
+	// Read. The global file CRC already rejects wire/disk corruption of the
+	// *file*; the per-section digests additionally localise it ("adam.m is
+	// corrupt") and — because they are recomputed from the in-memory vectors
+	// at save time — catch corruption that happened in memory before the
+	// save, which the file CRC would faithfully preserve.
+	DigestSection = "digest.crc32"
 )
 
 // Snapshot is the serialisable state of a training run.
@@ -84,9 +95,11 @@ func Write(w io.Writer, s *Snapshot) error {
 		}
 	}
 	// weights as the unnamed first section, then named sections sorted by
-	// insertion-independent ordering (we sort names for determinism).
+	// insertion-independent ordering (we sort names for determinism), then
+	// the per-section digest vector last so a reader can verify each data
+	// section against the checksum its writer computed in memory.
 	names := sortedNames(s.Sections)
-	if err := binary.Write(bw, binary.LittleEndian, int64(1+len(names))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, int64(2+len(names))); err != nil {
 		return err
 	}
 	if err := writeSection(bw, "weights", s.Weights); err != nil {
@@ -97,6 +110,9 @@ func Write(w io.Writer, s *Snapshot) error {
 			return err
 		}
 	}
+	if err := writeSection(bw, DigestSection, digestVector(s, names)); err != nil {
+		return err
+	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -104,9 +120,78 @@ func Write(w io.Writer, s *Snapshot) error {
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
+// sectionCRC is the CRC32-IEEE of a section's little-endian float32 bit
+// patterns — the same bytes writeSection puts on disk, computed without
+// materialising them.
+func sectionCRC(data []float32) uint32 {
+	var buf [512]byte
+	crc := uint32(0)
+	for i := 0; i < len(data); {
+		n := len(data) - i
+		if n > len(buf)/4 {
+			n = len(buf) / 4
+		}
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(data[i+j]))
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n*4])
+		i += n
+	}
+	return crc
+}
+
+// digestVector encodes one CRC32 per data section (weights first, then the
+// given names in order) as four byte-valued float32 elements each — values
+// 0..255 are exact in every float precision, so the digests survive any
+// lossy re-encoding a snapshot's payload might legitimately go through.
+func digestVector(s *Snapshot, names []string) []float32 {
+	out := make([]float32, 0, 4*(1+len(names)))
+	appendCRC := func(c uint32) {
+		out = append(out, float32(c&0xff), float32(c>>8&0xff), float32(c>>16&0xff), float32(c>>24&0xff))
+	}
+	appendCRC(sectionCRC(s.Weights))
+	for _, n := range names {
+		appendCRC(sectionCRC(s.Sections[n]))
+	}
+	return out
+}
+
+// verifyDigests checks every data section against the digest vector read
+// from the file. A nil digest (old file) verifies vacuously; a present but
+// malformed or mismatched digest is an error naming the bad section.
+func verifyDigests(s *Snapshot, digest []float32) error {
+	if digest == nil {
+		return nil
+	}
+	names := sortedNames(s.Sections)
+	if len(digest) != 4*(1+len(names)) {
+		return fmt.Errorf("checkpoint: digest section covers %d entries, want %d", len(digest)/4, 1+len(names))
+	}
+	decode := func(d []float32) uint32 {
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	}
+	if got, want := sectionCRC(s.Weights), decode(digest[:4]); got != want {
+		return fmt.Errorf("checkpoint: section %q digest mismatch: want %08x got %08x", "weights", want, got)
+	}
+	for i, n := range names {
+		d := digest[4*(1+i) : 4*(2+i)]
+		if got, want := sectionCRC(s.Sections[n]), decode(d); got != want {
+			return fmt.Errorf("checkpoint: section %q digest mismatch: want %08x got %08x", n, want, got)
+		}
+	}
+	return nil
+}
+
+// sortedNames lists the named data sections in deterministic order. The
+// digest section is metadata about the others, not a data section, so it is
+// excluded — Write appends it explicitly and Read strips it before handing
+// the snapshot back.
 func sortedNames(m map[string][]float32) []string {
 	names := make([]string, 0, len(m))
 	for n := range m {
+		if n == DigestSection {
+			continue
+		}
 		names = append(names, n)
 	}
 	for i := 1; i < len(names); i++ { // insertion sort; tiny n
@@ -139,24 +224,31 @@ func writeSection(w io.Writer, name string, data []float32) error {
 // All reads are exact-size (no buffered lookahead), so the running checksum
 // covers precisely the payload bytes.
 func Read(r io.Reader) (*Snapshot, error) {
+	s, _, err := readVerify(r)
+	return s, err
+}
+
+// readVerify is Read plus a report of whether the file carried a
+// per-section digest vector (pre-digest files verify by global CRC only).
+func readVerify(r io.Reader) (*Snapshot, bool, error) {
 	crc := crc32.NewIEEE()
 	br := io.TeeReader(r, crc)
 
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+		return nil, false, fmt.Errorf("checkpoint: %w", err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic %q", head)
+		return nil, false, fmt.Errorf("checkpoint: bad magic %q", head)
 	}
 	var fields [9]int64
 	for i := range fields {
 		if err := binary.Read(br, binary.LittleEndian, &fields[i]); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if fields[0] != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", fields[0])
+		return nil, false, fmt.Errorf("checkpoint: unsupported version %d", fields[0])
 	}
 	s := &Snapshot{
 		Config: model.Config{
@@ -169,15 +261,15 @@ func Read(r io.Reader) (*Snapshot, error) {
 	}
 	var nSections int64
 	if err := binary.Read(br, binary.LittleEndian, &nSections); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if nSections < 1 || nSections > 1<<16 {
-		return nil, fmt.Errorf("checkpoint: implausible section count %d", nSections)
+		return nil, false, fmt.Errorf("checkpoint: implausible section count %d", nSections)
 	}
 	for i := int64(0); i < nSections; i++ {
 		name, data, err := readSection(br)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if name == "weights" {
 			s.Weights = data
@@ -188,15 +280,39 @@ func Read(r io.Reader) (*Snapshot, error) {
 	wantSum := crc.Sum32()
 	var gotSum uint32
 	if err := binary.Read(r, binary.LittleEndian, &gotSum); err != nil {
-		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+		return nil, false, fmt.Errorf("checkpoint: missing checksum: %w", err)
 	}
 	if gotSum != wantSum {
-		return nil, fmt.Errorf("checkpoint: checksum mismatch (corrupt file)")
+		return nil, false, fmt.Errorf("checkpoint: checksum mismatch (corrupt file)")
 	}
 	if s.Weights == nil {
-		return nil, fmt.Errorf("checkpoint: no weights section")
+		return nil, false, fmt.Errorf("checkpoint: no weights section")
 	}
-	return s, nil
+	digest, hasDigest := s.Sections[DigestSection]
+	if hasDigest {
+		delete(s.Sections, DigestSection)
+		if err := verifyDigests(s, digest); err != nil {
+			return nil, false, err
+		}
+	}
+	return s, hasDigest, nil
+}
+
+// Verify reads and fully checks a checkpoint file — magic, version, global
+// CRC and (when present) the per-section digests — without keeping the
+// state. It reports the data sections found and whether the file carried
+// per-section digests, for scan tooling (weipipe-train -verify-ckpt).
+func Verify(path string) (sections []string, digested bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	s, digested, err := readVerify(f)
+	if err != nil {
+		return nil, digested, err
+	}
+	return append([]string{"weights"}, sortedNames(s.Sections)...), digested, nil
 }
 
 func readSection(r io.Reader) (string, []float32, error) {

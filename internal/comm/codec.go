@@ -50,6 +50,15 @@ func BeltBF16(tag Tag) WireCodec {
 	return CodecF32
 }
 
+// CodecProvider is implemented by transports that can report which wire
+// codec a tag's payload travels under. The integrity layer uses it to seal
+// chunk checksums over the canonical wire-value domain even when the
+// trainer options don't spell the codec out (a caller-built transport).
+type CodecProvider interface {
+	// WireCodec returns the codec applied to payloads sent under tag.
+	WireCodec(tag Tag) WireCodec
+}
+
 // codecFor resolves f(tag) with the nil-policy default.
 func codecFor(f CodecFunc, tag Tag) WireCodec {
 	if f == nil {

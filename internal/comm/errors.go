@@ -32,6 +32,10 @@ var (
 	// rank: the survivors repaired around it, so it must stop training
 	// and rejoin (if at all) as a fresh spare under a new epoch.
 	ErrEvicted = errors.New("comm: evicted from membership")
+	// ErrIntegrity reports detected silent data corruption: an end-to-end
+	// chunk checksum, resident-state guard, ABFT kernel check or checkpoint
+	// digest that no longer matches its data (see IntegrityError).
+	ErrIntegrity = errors.New("comm: integrity checksum mismatch")
 )
 
 // TimeoutError is returned by RecvTimeout when no matching message arrived

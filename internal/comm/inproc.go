@@ -89,6 +89,10 @@ func (t *inprocTransport) CommStats() *Stats { return t.stats }
 func (t *inprocTransport) Rank() int { return t.rank }
 func (t *inprocTransport) Size() int { return len(t.cluster.boxes) }
 
+// WireCodec implements CodecProvider: the codec a payload sent under tag is
+// rounded through at the send boundary.
+func (t *inprocTransport) WireCodec(tag Tag) WireCodec { return codecFor(t.cluster.codec, tag) }
+
 func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 	if dst < 0 || dst >= t.Size() {
 		return fmt.Errorf("comm: send to invalid rank %d", dst)

@@ -34,6 +34,13 @@ type Stats struct {
 	computeRecvNs int64 // compute-thread time blocked inside a transport Recv for weights
 	inflightBytes int64
 	maxInflight   int64
+
+	// Integrity telemetry: end-to-end checksum verifications by payload
+	// kind (resident-state and kernel checks record under KindCtl). The
+	// maps stay nil until the first check, so runs with integrity off pay
+	// nothing.
+	integrityChecks map[Kind]int64
+	integrityFails  map[Kind]int64
 }
 
 // PeerFaults counts the fault-handling events of one peer link: the
@@ -182,6 +189,53 @@ func (s *Stats) MaxInFlightBytes() int64 {
 	return s.maxInflight
 }
 
+// RecordIntegrityCheck counts one end-to-end integrity verification of a
+// payload of the given kind, and whether it failed.
+func (s *Stats) RecordIntegrityCheck(kind Kind, ok bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.integrityChecks == nil {
+		s.integrityChecks = make(map[Kind]int64)
+		s.integrityFails = make(map[Kind]int64)
+	}
+	s.integrityChecks[kind]++
+	if !ok {
+		s.integrityFails[kind]++
+	}
+	s.mu.Unlock()
+}
+
+// IntegrityChecks returns the number of integrity verifications run on
+// payloads of the given kind.
+func (s *Stats) IntegrityChecks(kind Kind) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.integrityChecks[kind]
+}
+
+// IntegrityFailures returns the number of failed integrity verifications
+// for payloads of the given kind.
+func (s *Stats) IntegrityFailures(kind Kind) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.integrityFails[kind]
+}
+
+// TotalIntegrityChecks sums integrity verifications across all kinds.
+func (s *Stats) TotalIntegrityChecks() (checks, failures int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.integrityChecks {
+		checks += v
+	}
+	for _, v := range s.integrityFails {
+		failures += v
+	}
+	return checks, failures
+}
+
 // peerFaults returns the (locked-caller) fault record for peer.
 func (s *Stats) peerFaults(peer int) *PeerFaults {
 	f := s.faults[peer]
@@ -305,6 +359,17 @@ func (s *Stats) Add(o *Stats) {
 	}
 	recvWait, beltStall, weightStall, maxFly := o.recvWaitNs, o.beltStallNs, o.weightStallNs, o.maxInflight
 	computeRecv := o.computeRecvNs
+	var icCopy, ifCopy map[Kind]int64
+	if o.integrityChecks != nil {
+		icCopy = make(map[Kind]int64, len(o.integrityChecks))
+		ifCopy = make(map[Kind]int64, len(o.integrityFails))
+		for k, v := range o.integrityChecks {
+			icCopy[k] = v
+		}
+		for k, v := range o.integrityFails {
+			ifCopy[k] = v
+		}
+	}
 	o.mu.Unlock()
 
 	s.mu.Lock()
@@ -330,6 +395,18 @@ func (s *Stats) Add(o *Stats) {
 	s.computeRecvNs += computeRecv
 	if maxFly > s.maxInflight {
 		s.maxInflight = maxFly
+	}
+	if icCopy != nil {
+		if s.integrityChecks == nil {
+			s.integrityChecks = make(map[Kind]int64)
+			s.integrityFails = make(map[Kind]int64)
+		}
+		for k, v := range icCopy {
+			s.integrityChecks[k] += v
+		}
+		for k, v := range ifCopy {
+			s.integrityFails[k] += v
+		}
 	}
 	s.mu.Unlock()
 }
@@ -372,6 +449,16 @@ func (s *Stats) String() string {
 		parts = append(parts, fmt.Sprintf("overlap[wait=%s stall=%s maxfly=%dB]",
 			time.Duration(s.recvWaitNs).Round(time.Microsecond),
 			time.Duration(s.beltStallNs).Round(time.Microsecond), s.maxInflight))
+	}
+	if len(s.integrityChecks) > 0 {
+		var checks, fails int64
+		for _, v := range s.integrityChecks {
+			checks += v
+		}
+		for _, v := range s.integrityFails {
+			fails += v
+		}
+		parts = append(parts, fmt.Sprintf("integrity[checks=%d fails=%d]", checks, fails))
 	}
 	return strings.Join(parts, " ")
 }

@@ -477,6 +477,10 @@ func (t *TCPTransport) Size() int { return t.size }
 // CommStats implements Meter.
 func (t *TCPTransport) CommStats() *Stats { return t.stats }
 
+// WireCodec implements CodecProvider: the codec payloads sent under tag are
+// encoded with on the wire.
+func (t *TCPTransport) WireCodec(tag Tag) WireCodec { return codecFor(t.opts.Codec, tag) }
+
 // Send implements Transport. The payload is copied at the send boundary
 // (the caller keeps its slice); frame encoding and checksumming happen
 // later, on the link's writer goroutine, so the compute thread pays one

@@ -111,6 +111,12 @@ func (o *AdamW) CopyStateInto(m, v []float32) int {
 	return o.step
 }
 
+// VisitState hands the optimizer's live moment vectors to f without
+// copying. The integrity layer's resident-state guard checksums them
+// through this (and the bit-flip chaos injector corrupts them through it);
+// f must not retain the slices.
+func (o *AdamW) VisitState(f func(m, v []float32)) { f(o.m, o.v) }
+
 // LoadState restores the optimizer from a checkpointed step count and moment
 // vectors (copied in). The vectors must match the optimizer's size.
 func (o *AdamW) LoadState(step int, m, v []float32) error {

@@ -65,11 +65,13 @@ func (w *WeiPipe) initBuddy() {
 	lo, hi := w.chunkRange(sc)
 	size := w.mdl.ChunkSize(lo, hi)
 	bs := &buddyState{
-		chunk:    sc,
-		w:        make([]float32, size),
-		opt:      optim.NewAdamW(size, w.opts.Adam),
-		scratch:  make([]float32, size),
-		pendingD: make([]float32, size),
+		chunk:   sc,
+		w:       make([]float32, size),
+		opt:     optim.NewAdamW(size, w.opts.Adam),
+		scratch: make([]float32, size),
+		// The self-stash holds the exact sealed payload the wire path would
+		// deliver, trailer included, so both delivery paths verify alike.
+		pendingD: make([]float32, size+w.pad),
 		rbW:      make([]float32, size),
 		rbM:      make([]float32, size),
 		rbV:      make([]float32, size),
@@ -143,11 +145,18 @@ func (w *WeiPipe) buddyStep() error {
 		}
 		defer comm.Release(d)
 	}
-	if len(d) != len(bs.w) {
-		return fmt.Errorf("pipeline: buddy gradient size mismatch %d != %d", len(d), len(bs.w))
+	// The dual-delivered payload carries the retiring worker's seal; verify
+	// it before replaying — a flip in the buddy copy would otherwise fork
+	// the shadow from the owner silently.
+	if verr := w.verifyBelt(comm.SiteBuddy, comm.KindBuddy, bs.chunk, d); verr != nil {
+		return verr
 	}
-	for i := range d {
-		bs.scratch[i] = d[i] * w.lastInv
+	db := w.beltBody(d)
+	if len(db) != len(bs.w) {
+		return fmt.Errorf("pipeline: buddy gradient size mismatch %d != %d", len(db), len(bs.w))
+	}
+	for i := range db {
+		bs.scratch[i] = db[i] * w.lastInv
 	}
 	// Pre-step rollback stash, mirroring the owned chunk's.
 	copy(bs.rbW, bs.w)

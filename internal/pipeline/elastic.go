@@ -185,6 +185,19 @@ func harvestRepairSnapshot(trainers []Trainer, m comm.Membership) (*checkpoint.S
 		}
 	}
 	snap.Sections["adam.step"] = []float32{float32(optStep)}
+	// Spike-detector state at the cut: the verdict history is lock-step
+	// identical across ranks, so any survivor whose phase count brackets the
+	// cut can contribute it.
+	for _, r := range survivors {
+		ss, err := wps[r].exportSpikeAt(tCut)
+		if err != nil {
+			continue
+		}
+		if ss != nil {
+			snap.Sections[spikeSection] = ss
+		}
+		break
+	}
 	return snap, nil
 }
 

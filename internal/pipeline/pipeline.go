@@ -114,15 +114,48 @@ type Options struct {
 	// per-rank timelines align on a common monotonic epoch. Nil means
 	// tracing off, which costs one pointer test per instrumentation site.
 	Trace *trace.Set
+	// Integrity enables end-to-end silent-data-corruption defense on
+	// WeiPipe trainers: every belt chunk carries a CRC32 trailer sealed at
+	// its origin over the canonical wire-value domain and verified at
+	// consumption (surviving relay hops and the lossy bf16/f16 codecs),
+	// and the resident fp32 master weights and optimizer moments are
+	// guarded by checksums refreshed after each legitimate mutation. A
+	// mismatch surfaces as a typed *comm.IntegrityError, which RunResilient
+	// treats as lost rank state — the same buddy-harvest/checkpoint repair
+	// path a crash takes. Off by default: the belt hot path then carries no
+	// trailer, runs no checks and allocates nothing extra. All ranks of a
+	// run must agree on it (payload sizes change).
+	Integrity bool
+	// SpikeWindow, when positive, arms the windowed grad-norm spike
+	// detector: the globally agreed Σg² of each step is compared against
+	// the median + SpikeMAD·(1.4826·MAD) envelope of the last SpikeWindow
+	// accepted norms. Detected spikes are counted (see SpikeCounter) and,
+	// with SpikeSkip, skip the optimizer step exactly like the non-finite
+	// guard — the verdict is global, so every rank and buddy shadow agrees.
+	SpikeWindow int
+	// SpikeMAD is the spike verdict threshold in robust standard
+	// deviations; ≤ 0 defaults to 6.
+	SpikeMAD float64
+	// SpikeSkip makes detected spikes skip the optimizer step instead of
+	// only counting them.
+	SpikeSkip bool
+	// BitFlip, when non-nil, is the seeded in-memory fault injector of the
+	// chaos tier: it flips scheduled bits in master weights, optimizer
+	// moments and staged belt payloads as the schedule's (rank, iteration)
+	// points pass. Shared by every rank of a run (and across restart
+	// attempts — events fire once). Test/chaos use only.
+	BitFlip *BitFlipInjector
 }
 
 // guardActive reports whether non-finite gradients must skip the step.
 func guardActive(opts Options) bool { return opts.GuardNonFinite || opts.Scaler != nil }
 
 // needGlobalSumSq reports whether the step phase needs the global Σg²
-// (for clipping, for the non-finite guard, or for both — one all-reduce
-// serves every consumer).
-func needGlobalSumSq(opts Options) bool { return opts.ClipNorm > 0 || guardActive(opts) }
+// (for clipping, for the non-finite guard, or for the spike detector —
+// one all-reduce serves every consumer).
+func needGlobalSumSq(opts Options) bool {
+	return opts.ClipNorm > 0 || guardActive(opts) || opts.SpikeWindow > 0
+}
 
 // finiteSum reports whether a gradient sum-of-squares is finite.
 func finiteSum(sumSq float64) bool {

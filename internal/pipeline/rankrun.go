@@ -453,6 +453,13 @@ func checkpointExchange(a RankAssignment, t comm.Transport, dl comm.Deadlines,
 		}
 	}
 	snap.Sections["adam.step"] = []float32{float32(optStep)}
+	// Spike-detector state is lock-step identical on every rank, so each
+	// rank contributes its own copy locally — no extra wire traffic.
+	if ss, err := wp.exportSpikeAt(completed); err != nil {
+		return nil, err
+	} else if ss != nil {
+		snap.Sections[spikeSection] = ss
+	}
 	return snap, nil
 }
 
@@ -476,6 +483,12 @@ func failureOutcome(a RankAssignment, rc RankConfig, t comm.Transport, tr Traine
 	evidence := comm.BeginRecovery(t)
 	if r, ok := comm.DeadPeer(cause); ok {
 		evidence = append(evidence, r)
+	}
+	if errors.Is(cause, comm.ErrIntegrity) {
+		// Detected silent corruption in our own resident or staged state:
+		// offer ourselves as evidence so the survivors rebuild this shard
+		// from its buddy replica instead of trusting it.
+		evidence = append(evidence, a.Rank)
 	}
 	rc.beacon("agree", iter)
 	m, err := comm.AgreeOverTransport(t, evidence, comm.AgreeConfig{
@@ -624,6 +637,9 @@ func wireHarvest(a RankAssignment, t comm.Transport, dl comm.Deadlines,
 		}
 	}
 	snap.Sections["adam.step"] = []float32{float32(optStep)}
+	if ss, err := wp.exportSpikeAt(tCut); err == nil && ss != nil {
+		snap.Sections[spikeSection] = ss
+	}
 	return snap, tCut, nil
 }
 

@@ -36,9 +36,16 @@ func (w *WeiPipe) ExportOptimState() (int64, []float32, []float32) {
 	return int64(step), m, v
 }
 
-// RestoreOptimState implements Recoverable for WeiPipe.
+// RestoreOptimState implements Recoverable for WeiPipe. Loading moments is
+// a legitimate mutation of guarded resident state, so the integrity guards
+// are re-armed eagerly — deferring the refresh to the next iteration entry
+// would let a flip that lands in the window go unseen.
 func (w *WeiPipe) RestoreOptimState(step int64, m, v []float32) error {
-	return w.opt.LoadState(int(step), m, v)
+	if err := w.opt.LoadState(int(step), m, v); err != nil {
+		return err
+	}
+	w.refreshResidentGuards()
+	return nil
 }
 
 // SetIteration implements Recoverable for WeiPipe. Beyond the wire-tag
@@ -135,6 +142,21 @@ func CaptureSnapshot(trainers []Trainer, completedIters int) (*checkpoint.Snapsh
 		}
 	}
 	snap.Sections["adam.step"] = []float32{float32(optStep)}
+	// The spike-detector window evolves in lock-step on every rank; the
+	// first trainer carrying one contributes the (identical) state, so a
+	// resumed run's verdicts match an uninterrupted run's bit-for-bit.
+	for _, tr := range trainers {
+		if wp, ok := tr.(*WeiPipe); ok {
+			ss, err := wp.exportSpikeAt(completedIters)
+			if err != nil {
+				return nil, err
+			}
+			if ss != nil {
+				snap.Sections[spikeSection] = ss
+			}
+			break
+		}
+	}
 	return snap, nil
 }
 
@@ -181,6 +203,9 @@ func RestoreSnapshot(snap *checkpoint.Snapshot, trainers []Trainer) error {
 			return err
 		}
 		rec.SetIteration(int(snap.Step))
+		if wp, ok := tr.(*WeiPipe); ok {
+			wp.restoreSpikeState(snap.Sections[spikeSection])
+		}
 		if wp, ok := tr.(*WeiPipe); ok && wp.buddy != nil {
 			c, _ := wp.BuddyChunk()
 			blo, bhi := wp.chunkRange(c)
@@ -395,6 +420,16 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			return nil, &attemptFailure{err: err}
 		}
 		start = int((*snap).Step)
+		if attempt > 0 {
+			// Mark the recovery restore on the timeline: attempt index and
+			// the iteration training resumes from.
+			for _, tr := range trainers {
+				if tj, ok := tr.(tracedRunner); ok && tj.tracer() != nil {
+					tj.tracer().Instant(trace.CodeRepair, int64(attempt), int64(start))
+					break
+				}
+			}
+		}
 	}
 
 	var wd *watchdog
@@ -444,6 +479,13 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 			o := <-results
 			if o.err != nil {
 				if errors.Is(o.err, comm.ErrCrashed) {
+					dead = append(dead, o.rank)
+				}
+				if errors.Is(o.err, comm.ErrIntegrity) {
+					// Detected silent corruption: the detecting rank's
+					// resident state is suspect, so repair treats it exactly
+					// like a crashed rank — its shard is rebuilt from the
+					// buddy replica (or the checkpoint), never trusted.
 					dead = append(dead, o.rank)
 				}
 				if r, ok := comm.DeadPeer(o.err); ok {
@@ -515,6 +557,7 @@ func runAttempt(s Strategy, p int, cfg model.Config, opts Options, iters int,
 		Losses:       append([]float64(nil), losses...),
 		Weights:      AssembleWeights(trainers),
 		SkippedSteps: maxSkipped(trainers),
+		SpikeSteps:   maxSpikes(trainers),
 	}
 	for _, t := range ts {
 		if m, ok := t.(comm.Meter); ok {

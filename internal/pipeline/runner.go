@@ -48,6 +48,9 @@ type ClusterResult struct {
 	// or the loss scaler. The skip decision is global, so the count is the
 	// same on every rank.
 	SkippedSteps int
+	// SpikeSteps counts steps the grad-norm spike detector flagged
+	// (Options.SpikeWindow); like the skip count, it is global.
+	SpikeSteps int
 	// Repairs lists the elastic repairs RunResilient performed (empty for
 	// plain runs and for checkpoint-only recovery).
 	Repairs []RepairEvent
@@ -150,6 +153,7 @@ func RunCluster(s Strategy, p int, cfg model.Config, opts Options, iters int,
 		Losses:       losses[0],
 		Weights:      AssembleWeights(trainers),
 		SkippedSteps: maxSkipped(trainers),
+		SpikeSteps:   maxSpikes(trainers),
 	}
 	for r := 0; r < p; r++ {
 		res.Comm = append(res.Comm, cluster.Stats(r))
@@ -217,7 +221,10 @@ func (h *WeiPipeDP) SetLR(lr float64) { h.inner.SetLR(lr) }
 
 // ReloadMasterFromModel refreshes this worker's owned master chunk from the
 // local model buffer — used after loading checkpoint weights into Model().
+// The reload is a legitimate mutation of guarded resident state, so the
+// integrity guards are re-armed over the fresh values.
 func (w *WeiPipe) ReloadMasterFromModel() {
 	lo, hi := w.chunkRange(w.ownChunk)
 	w.mdl.FlattenChunk(lo, hi, w.masterW)
+	w.refreshResidentGuards()
 }

@@ -240,6 +240,14 @@ func (b *beaconTransport) CommStats() *comm.Stats {
 	return comm.NewStats()
 }
 
+// WireCodec forwards the inner codec report (the wrapper never re-encodes).
+func (b *beaconTransport) WireCodec(tag Tag) comm.WireCodec {
+	if cp, ok := b.Transport.(comm.CodecProvider); ok {
+		return cp.WireCodec(tag)
+	}
+	return comm.CodecF32
+}
+
 // watchdog samples a ProgressBoard and flags stragglers.
 type watchdog struct {
 	cfg   WatchdogConfig

@@ -105,6 +105,23 @@ type WeiPipe struct {
 	// the loss scaler); the decision is global, so every rank agrees.
 	skipped int
 
+	// Integrity layer state (Options.Integrity; see integrity.go). pad is
+	// the checksum trailer length every belt buffer grows by (0 = off);
+	// wireCodec reports the codec a tag's payload travels under, so seals
+	// cover the canonical wire-value domain. guard* cache the resident
+	// state's checksums between legitimate mutations.
+	pad        int
+	wireCodec  comm.CodecFunc
+	guardW     uint32
+	guardM     uint32
+	guardV     uint32
+	guardValid bool
+
+	// spike, when non-nil, is the windowed grad-norm anomaly detector
+	// (Options.SpikeWindow). Its verdict is driven by the globally agreed
+	// Σg², so every rank's copy evolves in lock-step.
+	spike *optim.SpikeDetector
+
 	// buddy, when non-nil, shadows the ring successor's owned chunk (see
 	// buddy.go). ownerIters counts this rank's committed step phases, and
 	// rb* hold the one-deep pre-step rollback of the owned chunk that lets
@@ -202,6 +219,11 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 		w.stats = m.CommStats()
 	}
 	w.tr = opts.Trace.Rank(t.Rank())
+	w.initIntegrity()
+	w.refreshResidentGuards()
+	if opts.SpikeWindow > 0 {
+		w.spike = optim.NewSpikeDetector(opts.SpikeWindow, opts.SpikeMAD, opts.SpikeSkip)
+	}
 	if opts.Buddy && p >= 2 {
 		w.initBuddy()
 	}
@@ -240,11 +262,21 @@ type wpState struct {
 }
 
 // TrainIteration implements Trainer.
-func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
+func (w *WeiPipe) TrainIteration(batches []data.Batch) (loss float64, err error) {
+	// Deferred first → runs last during an unwind, after the arena and
+	// engine cleanups below: an ABFT kernel panic leaves no leaked state
+	// and surfaces as a typed integrity error.
+	defer w.recoverIntegrity(&err)
 	p := w.t.Size()
 	n := len(batches)
 	if n%p != 0 {
 		return 0, fmt.Errorf("pipeline: WeiPipe needs microbatch count divisible by %d workers", p)
+	}
+	// Chaos-tier resident-state flips land before the guard check, so a
+	// scheduled corruption is always in the detector's field of view.
+	w.injectStateFlips()
+	if gerr := w.checkResidentGuards(); gerr != nil {
+		return 0, gerr
 	}
 	w.curR = n / p
 	if w.opts.Scaler != nil {
@@ -287,10 +319,13 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	// (the second belt still needs it); the second donates it to the
 	// transport, which releases it on completion — there is no window where
 	// a released buffer could still be queued for encoding.
-	payload := comm.GetBuf(len(w.masterW))
-	copy(payload, w.masterW)
-	maybeRoundF16(w.opts, payload)
-	errInj := w.t.Send(0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}, payload)
+	payload := comm.GetBuf(len(w.masterW) + w.pad)
+	body := payload[:len(w.masterW)]
+	copy(body, w.masterW)
+	maybeRoundF16(w.opts, body)
+	tagFwd := Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}
+	w.sealBelt(tagFwd, payload)
+	errInj := w.t.Send(0, tagFwd, payload)
 	if errInj == nil {
 		errInj = comm.SendOwned(w.t, 0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
 	} else {
@@ -300,8 +335,8 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		return 0, errInj
 	}
 
-	if err := w.runSchedule(st); err != nil {
-		return 0, err
+	if serr := w.runSchedule(st); serr != nil {
+		return 0, serr
 	}
 
 	// Collect the fully-accumulated gradient for the owned chunk and step.
@@ -310,8 +345,16 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if w.opts.BitFlip != nil {
+		w.opts.BitFlip.Flip(w.t.Rank(), w.iter, FlipBeltGrad, w.beltBody(d))
+	}
+	if verr := w.verifyBelt(comm.SiteRetire, comm.KindGrad, w.ownChunk, d); verr != nil {
+		comm.Release(d)
+		return 0, verr
+	}
+	db := w.beltBody(d)
 	if w.dpGroup != nil {
-		if err := comm.RingAllReduceSum(w.dpGroup, d, w.iter+1); err != nil {
+		if err := comm.RingAllReduceSum(w.dpGroup, db, w.iter+1); err != nil {
 			comm.Release(d)
 			return 0, err
 		}
@@ -321,22 +364,35 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 		denom = w.globalN
 	}
 	inv := gradFactor(w.opts, denom)
-	for i := range d {
-		d[i] *= inv
+	for i := range db {
+		db[i] *= inv
 	}
-	// One scalar all-reduce serves both global-norm clipping and the
-	// non-finite guard: NaN/Inf propagates through the sum, so every rank
-	// (and every buddy shadow) reaches the identical verdict.
+	// One scalar all-reduce serves global-norm clipping, the non-finite
+	// guard and the spike detector: NaN/Inf propagates through the sum, and
+	// the agreed float64 is bit-identical everywhere, so every rank (and
+	// every buddy shadow) reaches the identical verdict.
 	var sumSq float64
 	if needGlobalSumSq(w.opts) {
-		sumSq, err = comm.AllReduceScalarSum(w.t, sumSquares(d), (1<<30)+w.iter)
+		sumSq, err = comm.AllReduceScalarSum(w.t, sumSquares(db), (1<<30)+w.iter)
 		if err != nil {
 			comm.Release(d)
 			return 0, err
 		}
 	}
 	skip := guardActive(w.opts) && !finiteSum(sumSq)
-	w.lastInv, w.lastSumSq, w.lastSkip = inv, sumSq, skip
+	spikeSkip := false
+	if w.spike != nil {
+		var isSpike bool
+		isSpike, spikeSkip = w.spike.Observe(sumSq)
+		if isSpike {
+			flagged := int64(0)
+			if spikeSkip {
+				flagged = 1
+			}
+			w.tr.Instant(trace.CodeSpike, int64(w.iter), flagged)
+		}
+	}
+	w.lastInv, w.lastSumSq, w.lastSkip = inv, sumSq, skip || spikeSkip
 	w.stashOwnedRollback()
 	if skip {
 		w.skipped++
@@ -344,12 +400,18 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 			w.opts.Scaler.Observe(false)
 		}
 	} else {
-		if c := clipScale(w.opts, sumSq); c != 1 {
-			for i := range d {
-				d[i] *= c
+		if spikeSkip {
+			w.skipped++
+		} else {
+			if c := clipScale(w.opts, sumSq); c != 1 {
+				for i := range db {
+					db[i] *= c
+				}
 			}
+			w.opt.Step(w.masterW, db)
 		}
-		w.opt.Step(w.masterW, d)
+		// The scaler reacts to finiteness only: a finite spike says nothing
+		// about the loss scale.
 		if w.opts.Scaler != nil {
 			w.opts.Scaler.Observe(true)
 		}
@@ -366,10 +428,13 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (float64, error) {
 			return 0, err
 		}
 	}
+	// The step (or the skip decision) was the last legitimate mutation of
+	// the resident state this iteration; re-arm the guards over it.
+	w.refreshResidentGuards()
 	w.tr.End(optSpan, trace.CodeOpt, int64(w.iter), 0)
 
 	w.iter++
-	loss, err := comm.AllReduceScalarSum(w.t, st.lossSum, w.iter)
+	loss, err = comm.AllReduceScalarSum(w.t, st.lossSum, w.iter)
 	if err != nil {
 		return 0, err
 	}
@@ -558,8 +623,20 @@ func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
 		comm.Release(payload)
 		return err
 	}
+	if w.opts.BitFlip != nil {
+		w.opts.BitFlip.Flip(w.t.Rank(), w.iter, FlipBeltWeight, w.beltBody(payload))
+	}
+	// Verify before installing *and* before the blocking-mode forward: a
+	// corrupt chunk neither enters this rank's compute nor travels on. (The
+	// overlapped engine store-and-forwards at receive time; its relayed copy
+	// is re-verified by the downstream consumer, so nothing corrupt is ever
+	// consumed there either.)
+	if verr := w.verifyBelt(comm.SiteBelt, comm.KindWeight, c, payload); verr != nil {
+		comm.Release(payload)
+		return verr
+	}
 	lo, hi := w.chunkRange(c)
-	w.mdl.SetChunk(lo, hi, payload)
+	w.mdl.SetChunk(lo, hi, w.beltBody(payload))
 	if w.engine == nil && use < w.totalUses()-1 {
 		err = w.t.Send((w.t.Rank()+1)%w.t.Size(),
 			Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use+1)}, payload)
@@ -574,6 +651,7 @@ func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
 // donated downstream in overlap mode and released here in blocking mode —
 // callers must not touch it after the call.
 func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
+	body := w.beltBody(local)
 	if use > 0 {
 		prev := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
 		d, err := w.beltRecv(prev, Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use)})
@@ -582,28 +660,40 @@ func (w *WeiPipe) accumulateAndForwardD(c, use int, local []float32) error {
 			comm.Release(local)
 			return err
 		}
-		if len(d) != len(local) {
+		// Verify the incoming accumulator before folding our contribution in
+		// — summing over a corrupt partial would launder the flip into a
+		// freshly sealed chunk.
+		if verr := w.verifyBelt(comm.SiteBelt, comm.KindGrad, c, d); verr != nil {
 			comm.Release(d)
 			comm.Release(local)
-			return fmt.Errorf("pipeline: D chunk size mismatch %d != %d", len(d), len(local))
+			return verr
 		}
-		for i := range local {
-			local[i] += d[i]
+		db := w.beltBody(d)
+		if len(db) != len(body) {
+			comm.Release(d)
+			comm.Release(local)
+			return fmt.Errorf("pipeline: D chunk size mismatch %d != %d", len(db), len(body))
+		}
+		for i := range body {
+			body[i] += db[i]
 		}
 		comm.Release(d)
 	}
-	maybeRoundF16(w.opts, local)
+	maybeRoundF16(w.opts, body)
 	if use < w.totalUses()-1 {
-		return w.sendBelt((w.t.Rank()+1)%w.t.Size(),
-			Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use+1)}, local)
+		tag := Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltBwd, use+1)}
+		w.sealBelt(tag, local)
+		return w.sendBelt((w.t.Rank()+1)%w.t.Size(), tag, local)
 	}
+	tag := Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}
+	w.sealBelt(tag, local)
 	// The buddy copy must go out before the retire send: the retire donates
 	// the buffer in overlap mode, after which local is no longer ours.
 	if err := w.buddyRetire(c, local); err != nil {
 		comm.Release(local)
 		return err
 	}
-	return w.sendBelt(w.owner(c), Tag{Kind: comm.KindGrad, A: c, B: w.enc(beltRetire, 0)}, local)
+	return w.sendBelt(w.owner(c), tag, local)
 }
 
 // ---- compute stages ------------------------------------------------------
@@ -672,8 +762,9 @@ func (w *WeiPipe) wStage(st *wpState, k, c int) error {
 		grads[i] = w.mdl.Modules[i].Params().NewLike()
 	}
 	backwardRangeW(w.mdl, lo, hi, caches[lo:hi], grads)
-	local := comm.GetBuf(w.mdl.ChunkSize(lo, hi))
-	flattenGradsRange(w.mdl, grads, lo, hi, local)
+	size := w.mdl.ChunkSize(lo, hi)
+	local := comm.GetBuf(size + w.pad)
+	flattenGradsRange(w.mdl, grads, lo, hi, local[:size])
 	w.tr.End(span, trace.CodeW, int64(mb), int64(c))
 	// accumulateAndForwardD owns local from here (donated or released inside).
 	if err := w.accumulateAndForwardD(c, mb, local); err != nil {

@@ -1,0 +1,196 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withABFT runs f with the ABFT wrapper installed, restoring the plain
+// backend (and clearing any fault hook) afterwards.
+func withABFT(t *testing.T, f func()) {
+	t.Helper()
+	EnableABFT()
+	defer func() {
+		SetABFTFault(nil)
+		DisableABFT()
+	}()
+	if !ABFTEnabled() {
+		t.Fatal("EnableABFT did not install the wrapper")
+	}
+	f()
+}
+
+// TestABFTCleanPass: correct kernels of every variant, plain and
+// accumulating, must pass verification and produce bit-identical output to
+// the unwrapped backend.
+func TestABFTCleanPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, k, n := 17, 23, 13
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	bt := randTensor(rng, n, k) // for NT
+	at := randTensor(rng, k, m) // for TN
+
+	type op struct {
+		name string
+		run  func(dst *Tensor)
+	}
+	ops := []op{
+		{"NN", func(d *Tensor) { MatMul(d, a, b) }},
+		{"NN+acc", func(d *Tensor) { MatMulAcc(d, a, b) }},
+		{"NT", func(d *Tensor) { MatMulTB(d, a, bt) }},
+		{"NT+acc", func(d *Tensor) { MatMulTBAcc(d, a, bt) }},
+		{"TN", func(d *Tensor) { MatMulTA(d, at, b) }},
+		{"TN+acc", func(d *Tensor) { MatMulTAAcc(d, at, b) }},
+	}
+	for _, o := range ops {
+		plain := New(m, n)
+		for i := range plain.Data {
+			plain.Data[i] = float32(i%7) * 0.5 // nonzero acc baseline
+		}
+		wrapped := New(m, n)
+		copy(wrapped.Data, plain.Data)
+		o.run(plain)
+		withABFT(t, func() { o.run(wrapped) })
+		for i := range plain.Data {
+			if math.Float32bits(plain.Data[i]) != math.Float32bits(wrapped.Data[i]) {
+				t.Fatalf("%s: ABFT changed output at %d: %v vs %v", o.name, i, plain.Data[i], wrapped.Data[i])
+			}
+		}
+	}
+}
+
+// TestABFTDetectsFlip: a high-bit flip planted in the kernel output via the
+// fault hook must panic with a localizing ABFTError.
+func TestABFTDetectsFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, k, n := 9, 31, 21
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	dst := New(m, n)
+
+	const wantRow = 4
+	withABFT(t, func() {
+		SetABFTFault(func(out []float32) {
+			idx := wantRow*n + 3
+			out[idx] = math.Float32frombits(math.Float32bits(out[idx]) ^ 1<<30)
+		})
+		defer func() {
+			r := recover()
+			ae, ok := r.(*ABFTError)
+			if !ok {
+				t.Fatalf("expected *ABFTError panic, got %v", r)
+			}
+			if ae.Op != "NN" || ae.M != m || ae.N != n || ae.K != k {
+				t.Fatalf("wrong localization: %v", ae)
+			}
+			if ae.Row != wantRow {
+				t.Fatalf("flip in row %d reported as row %d", wantRow, ae.Row)
+			}
+		}()
+		MatMul(dst, a, b)
+		t.Fatal("flipped output passed verification")
+	})
+}
+
+// TestABFTDetectsFlipAllVariants exercises the NT/TN and accumulate paths
+// with an exponent-bit flip each.
+func TestABFTDetectsFlipAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, k, n := 8, 16, 12
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	bt := randTensor(rng, n, k)
+	at := randTensor(rng, k, m)
+	runs := []struct {
+		name string
+		run  func(dst *Tensor)
+	}{
+		{"NT", func(d *Tensor) { MatMulTB(d, a, bt) }},
+		{"TN", func(d *Tensor) { MatMulTA(d, at, b) }},
+		{"NN+acc", func(d *Tensor) { MatMulAcc(d, a, b) }},
+	}
+	for _, o := range runs {
+		dst := New(m, n)
+		caught := false
+		withABFT(t, func() {
+			SetABFTFault(func(out []float32) {
+				out[5] = math.Float32frombits(math.Float32bits(out[5]) ^ 1<<27)
+			})
+			defer func() {
+				if _, ok := recover().(*ABFTError); ok {
+					caught = true
+				}
+			}()
+			o.run(dst)
+		})
+		if !caught {
+			t.Fatalf("%s: flip not caught", o.name)
+		}
+	}
+}
+
+// TestABFTToleranceEnvelope: honest float32 rounding noise must stay
+// inside the envelope even for cancellation-heavy inputs, across many
+// random shapes.
+func TestABFTToleranceEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	withABFT(t, func() {
+		for trial := 0; trial < 50; trial++ {
+			m, k, n := 1+rng.Intn(24), 1+rng.Intn(64), 1+rng.Intn(24)
+			a := randTensor(rng, m, k)
+			b := randTensor(rng, k, n)
+			// Mix in large-magnitude cancelling pairs.
+			for i := 0; i+1 < len(a.Data); i += 2 {
+				s := float32(int32(1) << (10 + i%8))
+				a.Data[i] *= s
+				a.Data[i+1] *= -s
+			}
+			dst := New(m, n)
+			MatMul(dst, a, b) // panics on a false positive
+		}
+	})
+}
+
+// TestABFTZeroOperands: degenerate all-zero inputs must verify (the
+// absolute epsilon floor).
+func TestABFTZeroOperands(t *testing.T) {
+	withABFT(t, func() {
+		dst := New(4, 4)
+		MatMul(dst, New(4, 4), New(4, 4))
+	})
+}
+
+func TestABFTSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randTensor(rng, 16, 16)
+	b := randTensor(rng, 16, 16)
+	dst := New(16, 16)
+	withABFT(t, func() {
+		MatMul(dst, a, b) // warm the scratch pool
+		allocs := testing.AllocsPerRun(50, func() { MatMul(dst, a, b) })
+		if allocs > 0 {
+			t.Fatalf("ABFT-wrapped matmul allocates %.1f per call in steady state", allocs)
+		}
+	})
+}
+
+func TestABFTNameAndDisable(t *testing.T) {
+	base := current().Name()
+	EnableABFT()
+	if got := current().Name(); got != "abft("+base+")" {
+		t.Fatalf("wrapped name %q", got)
+	}
+	EnableABFT() // idempotent
+	if got := current().Name(); got != "abft("+base+")" {
+		t.Fatalf("double-enable nested: %q", got)
+	}
+	DisableABFT()
+	if ABFTEnabled() {
+		t.Fatal("DisableABFT left the wrapper installed")
+	}
+	if got := current().Name(); got != base {
+		t.Fatalf("unwrapped name %q, want %q", got, base)
+	}
+}

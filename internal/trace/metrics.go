@@ -22,6 +22,9 @@ type IterMetrics struct {
 	Opt     time.Duration // Σ CodeOpt
 	Exposed time.Duration // Σ CodeStall (exposed communication)
 	Stalls  int           // number of stall spans
+
+	Integrity int // CodeIntegrity instants (detected corruption)
+	Spikes    int // CodeSpike instants (grad-norm anomaly verdicts)
 }
 
 // Compute returns the iteration's total compute time (F+B+W+opt).
@@ -78,6 +81,10 @@ func PerIteration(events []Event) []IterMetrics {
 		case CodeStall:
 			into.Exposed += d
 			into.Stalls++
+		case CodeIntegrity:
+			into.Integrity++
+		case CodeSpike:
+			into.Spikes++
 		}
 	}
 	out := make([]IterMetrics, 0, len(acc))
@@ -106,6 +113,11 @@ type Summary struct {
 	AvgOpt      time.Duration
 	AvgExposed  time.Duration
 	TotalStalls int
+
+	// TotalIntegrity and TotalSpikes count detection instants across the
+	// whole run; both stay zero in a healthy run with the defenses off.
+	TotalIntegrity int
+	TotalSpikes    int
 }
 
 // Summarize aggregates per-iteration metrics into a run summary.
@@ -128,6 +140,8 @@ func Summarize(ms []IterMetrics) Summary {
 		opt += m.Opt
 		exposed += m.Exposed
 		s.TotalStalls += m.Stalls
+		s.TotalIntegrity += m.Integrity
+		s.TotalSpikes += m.Spikes
 	}
 	s.Iters = len(stepMax)
 	s.Ranks = len(ranks)
@@ -155,5 +169,8 @@ func (s Summary) String() string {
 	fmt.Fprintf(&b, "wgrad compute   %v\n", s.AvgWgrad.Round(time.Microsecond))
 	fmt.Fprintf(&b, "optimizer       %v\n", s.AvgOpt.Round(time.Microsecond))
 	fmt.Fprintf(&b, "exposed comm    %v  (%d stall spans)\n", s.AvgExposed.Round(time.Microsecond), s.TotalStalls)
+	if s.TotalIntegrity > 0 || s.TotalSpikes > 0 {
+		fmt.Fprintf(&b, "integrity       %d detections, %d grad-norm spikes\n", s.TotalIntegrity, s.TotalSpikes)
+	}
 	return b.String()
 }

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPerIterationIntegrityInstants: CodeIntegrity/CodeSpike instants land
+// in the per-iteration rollup and the summary, and the summary only prints
+// the integrity line when something happened.
+func TestPerIterationIntegrityInstants(t *testing.T) {
+	s := NewSet(1, 64)
+	ms := int64(time.Millisecond)
+	tr := s.Rank(0)
+	tr.Emit(0, 50*ms, CodeStep, 0, 0)
+	tr.Emit(100*ms, 50*ms, CodeStep, 1, 0)
+	tr.Emit(10*ms, 0, CodeSpike, 0, 1)      // iter 0: one spike verdict
+	tr.Emit(110*ms, 0, CodeIntegrity, 1, 3) // iter 1: one detection
+	tr.Emit(120*ms, 0, CodeSpike, 1, 0)
+	tr.Emit(130*ms, 0, CodeSpike, 1, 1)
+
+	got := PerIteration(s.Events())
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	if got[0].Spikes != 1 || got[0].Integrity != 0 {
+		t.Fatalf("iter 0: spikes=%d integrity=%d", got[0].Spikes, got[0].Integrity)
+	}
+	if got[1].Spikes != 2 || got[1].Integrity != 1 {
+		t.Fatalf("iter 1: spikes=%d integrity=%d", got[1].Spikes, got[1].Integrity)
+	}
+	sum := Summarize(got)
+	if sum.TotalIntegrity != 1 || sum.TotalSpikes != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "integrity       1 detections, 3 grad-norm spikes") {
+		t.Fatalf("summary output lacks integrity line:\n%s", sum.String())
+	}
+
+	// A clean rollup keeps the classic output shape.
+	clean := Summarize(got[:0])
+	if strings.Contains(clean.String(), "integrity") {
+		t.Fatal("clean summary grew an integrity line")
+	}
+}

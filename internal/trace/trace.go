@@ -66,6 +66,19 @@ const (
 	// compute thread in blocking mode, an engine lane in overlap mode).
 	// A = comm.Kind, B = src rank.
 	CodeRecv
+	// CodeIntegrity marks a detected integrity failure (instant event):
+	// a belt chunk, resident buffer or kernel result whose checksum no
+	// longer matched. A = comm.Kind (or -1 for kernel/resident checks),
+	// B = chunk index (-1 when not chunked).
+	CodeIntegrity
+	// CodeRepair marks a recovery/repair restore point (instant event):
+	// the trainer's state was rebuilt from a snapshot or checkpoint.
+	// A = resumed iteration, B = optimizer step.
+	CodeRepair
+	// CodeSpike marks a grad-norm spike verdict from the windowed
+	// median+MAD detector (instant event). A = iteration, B = 1 when the
+	// step was skipped, 0 when only counted.
+	CodeSpike
 	// CodeRetransmit marks a TCP retransmission burst (instant event).
 	// A = peer rank, B = frames re-sent.
 	CodeRetransmit
@@ -89,6 +102,9 @@ var codeInfo = [codeCount]struct {
 	CodeRelay:      {"relay", "belt", "belt", "use"},
 	CodeSend:       {"send", "comm", "kind", "dst"},
 	CodeRecv:       {"recv", "comm", "kind", "src"},
+	CodeIntegrity:  {"integrity", "integrity", "kind", "chunk"},
+	CodeRepair:     {"repair", "integrity", "iter", "step"},
+	CodeSpike:      {"spike", "integrity", "iter", "skipped"},
 	CodeRetransmit: {"retransmit", "comm", "peer", "frames"},
 }
 

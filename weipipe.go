@@ -33,6 +33,7 @@ import (
 	"weipipe/internal/pipeline"
 	"weipipe/internal/schedule"
 	"weipipe/internal/sim"
+	"weipipe/internal/tensor"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -185,7 +186,70 @@ var (
 	ErrCorrupt  = comm.ErrCorrupt
 	ErrCrashed  = comm.ErrCrashed
 	ErrClosed   = comm.ErrClosed
+	// ErrIntegrity matches detected silent-data-corruption (checksummed
+	// belts, resident-state guards, ABFT kernel verification).
+	ErrIntegrity = comm.ErrIntegrity
 )
+
+// Silent-data-corruption defense: checksummed weight belts and resident-state
+// guards (Options.Integrity), ABFT matmul verification (EnableABFT), the
+// windowed grad-norm spike detector (Options.SpikeWindow), per-section
+// checkpoint digests (VerifyCheckpoint) and the seeded bit-flip chaos tier
+// (GenBitFlips + Options.BitFlip). See DESIGN.md §15.
+type (
+	// IntegrityError is the typed detection report (matches ErrIntegrity):
+	// which rank detected corruption, at which site, in which chunk.
+	IntegrityError = comm.IntegrityError
+	// IntegritySite names a detection point (belt, retire, weights,
+	// moments, kernel…).
+	IntegritySite = comm.IntegritySite
+	// ABFTError reports a checksum-localized matmul fault (row/column).
+	ABFTError = tensor.ABFTError
+	// BitFlipEvent schedules one bit flip at a (rank, iteration, site).
+	BitFlipEvent = pipeline.BitFlipEvent
+	// BitFlipInjector applies a BitFlipEvent schedule (each event fires
+	// once, surviving restarts).
+	BitFlipInjector = pipeline.BitFlipInjector
+	// FlipSite selects what a scheduled bit flip corrupts.
+	FlipSite = pipeline.FlipSite
+)
+
+// The bit-flip injection sites.
+const (
+	FlipWeights    = pipeline.FlipWeights
+	FlipMomentM    = pipeline.FlipMomentM
+	FlipMomentV    = pipeline.FlipMomentV
+	FlipBeltWeight = pipeline.FlipBeltWeight
+	FlipBeltGrad   = pipeline.FlipBeltGrad
+	FlipKernel     = pipeline.FlipKernel
+)
+
+// EnableABFT arms algorithm-based fault tolerance on the tensor backend:
+// every matmul is verified against row/column checksums and a violation
+// surfaces as a localized *ABFTError. Process-global; costs O(n²) extra
+// work per O(n³) matmul.
+func EnableABFT() { tensor.EnableABFT() }
+
+// DisableABFT restores the unverified kernels.
+func DisableABFT() { tensor.DisableABFT() }
+
+// GenBitFlips derives a deterministic bit-flip schedule from a seed: count
+// events spread across ranks, the given sites and iterations [2, iters).
+func GenBitFlips(seed uint64, ranks, iters, count int, sites []FlipSite) []BitFlipEvent {
+	return pipeline.GenBitFlips(seed, ranks, iters, count, sites)
+}
+
+// NewBitFlipInjector builds the injector for a schedule (Options.BitFlip).
+func NewBitFlipInjector(events []BitFlipEvent) *BitFlipInjector {
+	return pipeline.NewBitFlipInjector(events)
+}
+
+// VerifyCheckpoint re-reads a checkpoint file, checking the whole-file CRC
+// and the per-section digests. It returns the data section names and
+// whether the file carried digests (older files verify vacuously).
+func VerifyCheckpoint(path string) (sections []string, digested bool, err error) {
+	return checkpoint.Verify(path)
+}
 
 // DialTCPOpts joins a TCP mesh with explicit fault-tolerance options.
 func DialTCPOpts(rank int, addrs []string, opts TCPOptions) (Transport, error) {
