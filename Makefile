@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
 FUZZTIME ?= 20s
 
-.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak sdc sdc-quick bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel experiments
+.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak sdc sdc-quick bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel bench-grouped experiments
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,12 @@ race:
 
 # chaos runs the fault-injection suite under the race detector: transport
 # chaos (drop/dup/reorder/corrupt/reset), deadline and peer-death paths,
-# frame-decoder fuzz seeds, and the checkpoint-recovery equivalence tests.
+# frame-decoder fuzz seeds, the checkpoint-recovery equivalence tests, and
+# the grouped-belt suite (flat-equivalence, sub-ring collectives, and the
+# grouped run over chaotic TCP).
 chaos:
 	$(GO) test -race -timeout 300s \
-		-run 'Fault|Chaos|Timeout|PeerDeath|Recovery|Resilient|Crash|Frame|CloseFailsPending|CloseLeaks|DialTimeout' \
+		-run 'Fault|Chaos|Timeout|PeerDeath|Recovery|Resilient|Crash|Frame|CloseFailsPending|CloseLeaks|DialTimeout|Grouped|SubRing' \
 		./internal/comm/ ./internal/pipeline/ ./internal/launch/
 
 # elastic runs the ring-repair suite under the race detector: buddy
@@ -98,14 +100,20 @@ bench-overlap-quick:
 # functional MatMulNT 256³ kernel A/B and fail unless the best SIMD
 # backend beats scalar by 2× (the local target is 4×+; the CI margin
 # absorbs shared-runner noise; hosts with no SIMD backend pass
-# vacuously). Report paths are overridable so CI can upload artifacts.
+# vacuously), then regenerate the grouped-belt traffic report and fail
+# unless wzb2g stays bit-identical to wzb2 while cutting inter-group bytes
+# both on the wire (p=16) and in the simulated grid. Report paths are
+# overridable so CI can upload artifacts.
 BENCH_GUARD_OUT ?= /tmp/weipipe_bench_guard.json
 KERNEL_GUARD_OUT ?= /tmp/weipipe_kernel_guard.json
+GROUPED_GUARD_OUT ?= /tmp/weipipe_grouped_guard.json
 bench-guard:
 	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 \
 		-out $(BENCH_GUARD_OUT) -require-bit-identical
 	$(GO) run ./cmd/weipipe-bench -kernel -kernel-out $(KERNEL_GUARD_OUT) \
 		-require-kernel-speedup 2
+	$(GO) run ./cmd/weipipe-bench -grouped -grouped-out $(GROUPED_GUARD_OUT) \
+		-require-grouped-win
 
 # bench-sweep regenerates BENCH_sweep.json, the committed machine-readable
 # strategy×topology×scale grid of the cost model. The model is
@@ -116,6 +124,14 @@ bench-sweep:
 # bench-kernel records the committed functional kernel A/B measurement.
 bench-kernel:
 	$(GO) run ./cmd/weipipe-bench -kernel -kernel-out BENCH_kernel.json
+
+# bench-grouped regenerates BENCH_grouped.json: the simulated flat-vs-grouped
+# belt traffic grid (16–64 ranks on the hierarchical topologies) plus the
+# functional p=16 A/B with per-link-tier byte meters and a bit-identity
+# verdict. Both halves are deterministic, so a clean regeneration must leave
+# the committed file unchanged.
+bench-grouped:
+	$(GO) run ./cmd/weipipe-bench -grouped -grouped-out BENCH_grouped.json
 
 # experiments regenerates the full paper-table output that EXPERIMENTS.md
 # is curated from, stamped with the kernel backend that produced it. CI

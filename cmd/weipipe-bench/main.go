@@ -40,6 +40,9 @@ func main() {
 	requireBI := flag.Bool("require-bit-identical", false, "with -overlap: exit nonzero unless the report's bit_identical verdict is true (the CI regression guard); alone: check an existing -out report")
 	sweep := flag.Bool("sweep", false, "run the strategy×topology×scale cost-model sweep")
 	sweepOut := flag.String("sweep-out", "BENCH_sweep.json", "output path for -sweep")
+	grouped := flag.Bool("grouped", false, "run the grouped-belt traffic benchmark (simulated grid + functional p=16 A/B)")
+	groupedOut := flag.String("grouped-out", "BENCH_grouped.json", "output path for -grouped")
+	requireGroupedWin := flag.Bool("require-grouped-win", false, "exit nonzero unless the -grouped-out report shows bit-identity and an inter-group byte reduction, measured and simulated (the CI grouped guard); checks an existing report when -grouped is absent")
 	kernel := flag.Bool("kernel", false, "run the functional MatMulNT kernel A/B (scalar vs best backend)")
 	kernelOut := flag.String("kernel-out", "BENCH_kernel.json", "output path for -kernel")
 	kernelReps := flag.Int("kernel-reps", 20, "repetitions (min taken) for -kernel")
@@ -57,6 +60,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *grouped {
+		if err := bench.WriteGroupedBench(*groupedOut); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *requireGroupedWin {
+		rep, err := bench.ReadGroupedReport(*groupedOut)
+		if err == nil {
+			err = bench.CheckGroupedWin(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("grouped guard: %s ok\n", *groupedOut)
+	}
+	if *grouped || *requireGroupedWin {
 		return
 	}
 	if *kernel {

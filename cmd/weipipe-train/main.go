@@ -86,6 +86,7 @@ func main() {
 	mixed := flag.Bool("mixed", false, "fp16/bf16 wire format")
 	overlap := flag.Bool("overlap", false, "asynchronous double-buffered belt engine: background prefetch and store-and-forward relay of weight chunks, zero-copy gradient retirement (bit-identical to blocking mode)")
 	bf16 := flag.Bool("bf16", false, "bf16 wire codec for weight and weight-gradient belt payloads (halves belt bytes)")
+	groupSize := flag.Int("group-size", 0, "ranks per topology group for the grouped belt (-strategy wzb2g): weight chunks cross a group boundary once per iteration and recirculate on the intra-group fabric (0 = topology-friendly default; sizes that do not divide -p fall back to the flat belt); also arms the per-link-tier byte meters shown by -stats for any strategy")
 	tcp := flag.Bool("tcp", false, "use a TCP mesh on loopback instead of in-process channels")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "TCP mesh bring-up deadline (with -tcp)")
 	chaos := flag.Float64("chaos", 0, "per-frame fault probability for TCP chaos injection: drop, duplicate, reorder (and corrupt at half rate); masked by the reliability layer")
@@ -151,6 +152,7 @@ func main() {
 	opts.MixedPrecision = *mixed
 	opts.Overlap = *overlap
 	opts.BF16Wire = *bf16
+	opts.GroupSize = *groupSize
 	opts.ClipNorm = *clip
 	opts.GuardNonFinite = *guard
 	opts.Integrity = *integrity
@@ -460,14 +462,22 @@ func finish(rc runConfig, weights []float32) error {
 func printStats(all []*weipipe.CommStats) {
 	fmt.Println("communication statistics:")
 	var checks, fails int64
+	total := comm.NewStats()
 	for r, s := range all {
 		fmt.Printf("  rank %d: %s\n", r, s)
 		c, f := s.TotalIntegrityChecks()
 		checks += c
 		fails += f
+		total.Add(s)
 	}
 	if checks > 0 {
 		fmt.Printf("  integrity: %d checks, %d failures detected\n", checks, fails)
+	}
+	if m := total.GroupSize(); m > 1 {
+		intraB, intraM := total.IntraGroupTraffic()
+		interB, interM := total.InterGroupTraffic()
+		fmt.Printf("  link tiers (groups of %d): intra-group %d bytes / %d msgs, inter-group %d bytes / %d msgs\n",
+			m, intraB, intraM, interB, interM)
 	}
 }
 

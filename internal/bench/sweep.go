@@ -25,12 +25,15 @@ import (
 // runner and has no distributed schedule, so it is not swept).
 var sweepStrategies = []string{
 	"gpipe", "1f1b", "zb1", "zb2", "dp", "fsdp", "tp", "sp",
-	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2",
+	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2", "wzb2g",
 }
 
 // sweepScales are the ring sizes of the grid; divisibility (L%P, N%P)
-// holds for all of them under sweepWorkload.
-var sweepScales = []int{4, 8, 16}
+// holds for all of them under sweepWorkload. The 64-rank row set is the
+// grouped-belt scaling point: every topology family is hierarchical there
+// (16 servers of 4, or two 32-rank clusters), so it is where wzb2g's
+// boundary-traffic dedup has the most links to save.
+var sweepScales = []int{4, 8, 16, 64}
 
 // sweepTopologies names the topology families with their constructors.
 var sweepTopologies = []struct {
@@ -44,9 +47,20 @@ var sweepTopologies = []struct {
 }
 
 // sweepWorkload is the paper's base configuration (Table 2's first
-// column): 7B-ish shape at 4k context, scaled to p workers.
+// column): 7B-ish shape at 4k context, scaled to p workers. Beyond 32
+// workers the base shape no longer divides (L%P, N%P), so layers and
+// microbatches grow with the ring — the scaling regime of the paper's
+// Figures 6–9; LayersAt/MicrobatchesAt in the report record the actual
+// values per scale.
 func sweepWorkload(p int) cost.Workload {
-	return cost.Workload{H: 4096, S: 4096, G: 1, L: 32, N: 16, P: p, Recompute: true}.WithDefaults()
+	l, n := 32, 16
+	if p > l {
+		l = p
+	}
+	if p > n {
+		n = p
+	}
+	return cost.Workload{H: 4096, S: 4096, G: 1, L: l, N: n, P: p, Recompute: true}.WithDefaults()
 }
 
 // SweepCell is one grid point of the sweep report.
@@ -72,6 +86,7 @@ type SweepReport struct {
 	Hidden         int         `json:"hidden"`
 	SeqLen         int         `json:"seq_len"`
 	Layers         int         `json:"layers"`
+	LayersAt       map[int]int `json:"layers_at_p,omitempty"`
 	MicrobatchesAt map[int]int `json:"microbatches_at_p,omitempty"`
 	Cells          []SweepCell `json:"cells"`
 }
@@ -86,9 +101,11 @@ func RunSweep() (*SweepReport, error) {
 		Hidden:         base.H,
 		SeqLen:         base.S,
 		Layers:         base.L,
+		LayersAt:       make(map[int]int),
 		MicrobatchesAt: make(map[int]int),
 	}
 	for _, p := range sweepScales {
+		rep.LayersAt[p] = sweepWorkload(p).L
 		rep.MicrobatchesAt[p] = sweepWorkload(p).N
 	}
 	for _, p := range sweepScales {

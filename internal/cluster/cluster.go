@@ -55,6 +55,11 @@ type Topology struct {
 	P       int
 	SendBW  []float64
 	Latency []float64
+	// PerGroup records how many contiguous workers share a fast fabric
+	// (a server / NVLink island). 0 means the ring is uniform: one group
+	// spanning all P workers. Set by Grouped; consumed by the scheduler's
+	// grouped-belt strategy and the traffic-tier accounting.
+	PerGroup int
 }
 
 // Validate panics on malformed topologies (programming errors).
@@ -122,14 +127,15 @@ func uniform(name string, p int, bw, lat float64) Topology {
 	return t
 }
 
-// grouped builds a ring where workers are packed `perGroup` to a server:
+// Grouped builds a ring where workers are packed `perGroup` to a server:
 // links within a server use (intraBW, intraLat), links crossing a server
-// boundary use (interBW, interLat).
-func grouped(name string, p, perGroup int, intraBW, intraLat, interBW, interLat float64) Topology {
+// boundary use (interBW, interLat). The NVLink*/PCIe* presets are thin
+// wrappers around this constructor.
+func Grouped(name string, p, perGroup int, intraBW, intraLat, interBW, interLat float64) Topology {
 	if perGroup <= 0 || p%perGroup != 0 {
 		panic(fmt.Sprintf("cluster: %d workers not divisible into groups of %d", p, perGroup))
 	}
-	t := Topology{Name: name, P: p, SendBW: make([]float64, p), Latency: make([]float64, p)}
+	t := Topology{Name: name, P: p, SendBW: make([]float64, p), Latency: make([]float64, p), PerGroup: perGroup}
 	for i := 0; i < p; i++ {
 		if (i+1)%perGroup == 0 { // link i → i+1 leaves the server (incl. wrap)
 			t.SendBW[i] = interBW
@@ -149,6 +155,60 @@ func grouped(name string, p, perGroup int, intraBW, intraLat, interBW, interLat 
 	return t
 }
 
+// GroupSize normalizes PerGroup: uniform rings are one group of P.
+func (t Topology) GroupSize() int {
+	if t.PerGroup <= 0 || t.PerGroup > t.P {
+		return t.P
+	}
+	return t.PerGroup
+}
+
+// Groups returns the contiguous [lo, hi) worker ranges sharing a fast
+// fabric. A uniform ring is a single group covering every worker.
+func (t Topology) Groups() [][2]int {
+	m := t.GroupSize()
+	gs := make([][2]int, 0, t.P/m)
+	for lo := 0; lo < t.P; lo += m {
+		gs = append(gs, [2]int{lo, lo + m})
+	}
+	return gs
+}
+
+// GroupOf returns the group index of a worker.
+func (t Topology) GroupOf(rank int) int { return rank / t.GroupSize() }
+
+// BoundaryLink reports whether ring link i (worker i → i+1 mod P) crosses
+// a group boundary. Uniform rings have no boundary links.
+func (t Topology) BoundaryLink(i int) bool {
+	m := t.GroupSize()
+	return m < t.P && (i+1)%m == 0
+}
+
+// GroupFabric returns the (bandwidth, latency) the scheduler should charge
+// for a non-adjacent transfer inside group g: the slowest intra-group link
+// and the largest intra-group latency. Falls back to the whole-ring
+// bottleneck for single-worker groups.
+func (t Topology) GroupFabric(g int) (bw, lat float64) {
+	m := t.GroupSize()
+	lo := g * m
+	bw, lat = 0, 0
+	for i := lo; i < lo+m; i++ {
+		if t.BoundaryLink(i) {
+			continue
+		}
+		if bw == 0 || t.SendBW[i] < bw {
+			bw = t.SendBW[i]
+		}
+		if t.Latency[i] > lat {
+			lat = t.Latency[i]
+		}
+	}
+	if bw == 0 { // m == 1: no intra links exist
+		return t.MinBW(), t.MaxLatency()
+	}
+	return bw, lat
+}
+
 // NVLinkSingle is an all-NVLink ring (one tightly-coupled server/cluster).
 func NVLinkSingle(p int) Topology {
 	return uniform(fmt.Sprintf("nvlink-%d", p), p, NVLinkBW, NVLinkLatency)
@@ -163,20 +223,20 @@ func NVLinkTwoClusters(p int) Topology {
 	if p%2 != 0 {
 		panic("cluster: NVLinkTwoClusters needs an even worker count")
 	}
-	return grouped(fmt.Sprintf("nvlink-2x%d", p/2), p, p/2,
+	return Grouped(fmt.Sprintf("nvlink-2x%d", p/2), p, p/2,
 		NVLinkBW, NVLinkLatency, EthernetBW, EthernetLatency)
 }
 
 // PCIeEthernet is the paper's second environment: PCIe within each cluster
 // and 10 Gb Ethernet between clusters (Table 3: 16 GPUs across clusters).
 func PCIeEthernet(p, perCluster int) Topology {
-	return grouped(fmt.Sprintf("pcie-eth-%dx%d", p/perCluster, perCluster), p, perCluster,
+	return Grouped(fmt.Sprintf("pcie-eth-%dx%d", p/perCluster, perCluster), p, perCluster,
 		PCIeBW, PCIeLatency, EthernetBW, EthernetLatency)
 }
 
 // NVLinkEthernet is the scaling-figure environment: NVLink within each
 // server, 10 Gb Ethernet between servers (Figures 6–9).
 func NVLinkEthernet(p, perServer int) Topology {
-	return grouped(fmt.Sprintf("nvlink-eth-%dx%d", p/perServer, perServer), p, perServer,
+	return Grouped(fmt.Sprintf("nvlink-eth-%dx%d", p/perServer, perServer), p, perServer,
 		NVLinkBW, NVLinkLatency, EthernetBW, EthernetLatency)
 }

@@ -67,6 +67,132 @@ func TestGroupCollectivesWork(t *testing.T) {
 	}
 }
 
+// TestSubRingPartitionMatchesDirectSums is the nested-comm-group property
+// test: partition a ring into contiguous groups of m, run ring collectives
+// inside every group concurrently, and require each member's result to
+// equal the directly-computed reduction over exactly its group's inputs —
+// no leakage between sub-rings sharing the parent fabric.
+func TestSubRingPartitionMatchesDirectSums(t *testing.T) {
+	const p = 8
+	val := func(rank, j int) float32 { return float32((rank+1)*100 + j) }
+	for _, m := range []int{2, 4, 8} {
+		cl := NewCluster(p)
+		results := make([][]float32, p)
+		gathered := make([][]float32, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				g := r / m
+				ranks := make([]int, m)
+				for i := range ranks {
+					ranks[i] = g*m + i
+				}
+				grp, err := NewGroup(cl.Transport(r), ranks, 10+g)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				data := []float32{val(r, 0), val(r, 1), val(r, 2)}
+				if err := RingAllReduceSum(grp, data, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				results[r] = data
+				mine := []float32{val(r, 7)}
+				lens := make([]int, m)
+				for i := range lens {
+					lens[i] = 1
+				}
+				all, err := AllGather(grp, mine, lens, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gathered[r] = all
+			}(r)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		for r := 0; r < p; r++ {
+			g := r / m
+			for j := 0; j < 3; j++ {
+				var want float32
+				for i := 0; i < m; i++ {
+					want += val(g*m+i, j)
+				}
+				if results[r][j] != want {
+					t.Fatalf("m=%d rank %d elem %d: got %v want %v", m, r, j, results[r][j], want)
+				}
+			}
+			for i := 0; i < m; i++ {
+				if gathered[r][i] != val(g*m+i, 7) {
+					t.Fatalf("m=%d rank %d gather slot %d: got %v want %v",
+						m, r, i, gathered[r][i], val(g*m+i, 7))
+				}
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestSubRingFullCoverMatchesWholeRing requires a group covering every rank
+// to reproduce the parent-transport collective bit for bit: the group seam
+// only remaps ranks and salts tags, never changes reduction order.
+func TestSubRingFullCoverMatchesWholeRing(t *testing.T) {
+	const p = 4
+	input := func(r, j int) float32 { return float32(r)*1.5 + float32(j)*0.25 }
+	run := func(useGroup bool) [][]float32 {
+		cl := NewCluster(p)
+		defer cl.Close()
+		out := make([][]float32, p)
+		ranks := []int{0, 1, 2, 3}
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var tr Transport = cl.Transport(r)
+				if useGroup {
+					g, err := NewGroup(tr, ranks, 7)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					tr = g
+				}
+				data := make([]float32, 5)
+				for j := range data {
+					data[j] = input(r, j)
+				}
+				if err := RingAllReduceSum(tr, data, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				out[r] = data
+			}(r)
+		}
+		wg.Wait()
+		return out
+	}
+	direct := run(false)
+	grouped := run(true)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for r := 0; r < p; r++ {
+		for j := range direct[r] {
+			if direct[r][j] != grouped[r][j] {
+				t.Fatalf("rank %d elem %d: parent %v vs full-cover group %v",
+					r, j, direct[r][j], grouped[r][j])
+			}
+		}
+	}
+}
+
 func TestGroupCloseIsNoop(t *testing.T) {
 	cl := NewCluster(2)
 	g, _ := NewGroup(cl.Transport(0), []int{0, 1}, 1)

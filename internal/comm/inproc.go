@@ -106,7 +106,7 @@ func (t *inprocTransport) Send(dst int, tag Tag, data []float32) error {
 	copy(payload, data)
 	codec := codecFor(t.cluster.codec, tag)
 	applyCodec(codec, payload)
-	t.stats.record(tag.Kind, len(data), codec.bytesPerElem())
+	t.stats.recordPeer(t.rank, dst, tag.Kind, len(data), codec.bytesPerElem())
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
 	tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	return nil
@@ -125,7 +125,7 @@ func (t *inprocTransport) SendOwned(dst int, tag Tag, payload []float32) error {
 	span := tr.Begin()
 	codec := codecFor(t.cluster.codec, tag)
 	applyCodec(codec, payload)
-	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
+	t.stats.recordPeer(t.rank, dst, tag.Kind, len(payload), codec.bytesPerElem())
 	t.cluster.boxes[dst].deliver(msgKey{src: t.rank, tag: tag}, payload)
 	tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	return nil

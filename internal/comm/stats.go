@@ -41,6 +41,18 @@ type Stats struct {
 	// nothing.
 	integrityChecks map[Kind]int64
 	integrityFails  map[Kind]int64
+
+	// Link-tier accounting. When groupSize > 0 every send whose source and
+	// destination ranks are known is classified as intra-group (same block
+	// of groupSize contiguous ranks — the fast fabric) or inter-group (a
+	// boundary crossing — the slow fabric). This is the measured
+	// counterpart of the simulator's hierarchical link model: the grouped
+	// belt's dedup win shows up here as a drop in interBytes.
+	groupSize  int
+	intraBytes int64
+	intraMsgs  int64
+	interBytes int64
+	interMsgs  int64
 }
 
 // PeerFaults counts the fault-handling events of one peer link: the
@@ -75,10 +87,61 @@ func newStats() *Stats {
 }
 
 func (s *Stats) record(kind Kind, elems, bytesPerElem int) {
+	s.recordPeer(-1, -1, kind, elems, bytesPerElem)
+}
+
+// recordPeer is record with link-tier attribution: src/dst are the global
+// transport ranks of the send (pass -1 when unknown, e.g. aggregation).
+func (s *Stats) recordPeer(src, dst int, kind Kind, elems, bytesPerElem int) {
+	b := int64(elems) * int64(bytesPerElem)
 	s.mu.Lock()
-	s.sentBytes[kind] += int64(elems) * int64(bytesPerElem)
+	s.sentBytes[kind] += b
 	s.sentMsgs[kind]++
+	if s.groupSize > 0 && src >= 0 && dst >= 0 {
+		if src/s.groupSize == dst/s.groupSize {
+			s.intraBytes += b
+			s.intraMsgs++
+		} else {
+			s.interBytes += b
+			s.interMsgs++
+		}
+	}
 	s.mu.Unlock()
+}
+
+// SetGroupSize arms link-tier accounting: sends between ranks in the same
+// contiguous block of m ranks count as intra-group, the rest as
+// inter-group. m <= 0 disables tier accounting (the default).
+func (s *Stats) SetGroupSize(m int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.groupSize = m
+	s.mu.Unlock()
+}
+
+// GroupSize returns the tier-accounting group size (0 when disabled).
+func (s *Stats) GroupSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groupSize
+}
+
+// IntraGroupTraffic returns the bytes and messages sent on intra-group
+// links since tier accounting was armed via SetGroupSize.
+func (s *Stats) IntraGroupTraffic() (bytes, msgs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.intraBytes, s.intraMsgs
+}
+
+// InterGroupTraffic returns the bytes and messages sent across group
+// boundaries since tier accounting was armed via SetGroupSize.
+func (s *Stats) InterGroupTraffic() (bytes, msgs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interBytes, s.interMsgs
 }
 
 // noteRecvWait accumulates time a receiver spent blocked in the transport.
@@ -359,6 +422,8 @@ func (s *Stats) Add(o *Stats) {
 	}
 	recvWait, beltStall, weightStall, maxFly := o.recvWaitNs, o.beltStallNs, o.weightStallNs, o.maxInflight
 	computeRecv := o.computeRecvNs
+	gsz := o.groupSize
+	intraB, intraM, interB, interM := o.intraBytes, o.intraMsgs, o.interBytes, o.interMsgs
 	var icCopy, ifCopy map[Kind]int64
 	if o.integrityChecks != nil {
 		icCopy = make(map[Kind]int64, len(o.integrityChecks))
@@ -393,6 +458,13 @@ func (s *Stats) Add(o *Stats) {
 	s.beltStallNs += beltStall
 	s.weightStallNs += weightStall
 	s.computeRecvNs += computeRecv
+	if s.groupSize == 0 {
+		s.groupSize = gsz
+	}
+	s.intraBytes += intraB
+	s.intraMsgs += intraM
+	s.interBytes += interB
+	s.interMsgs += interM
 	if maxFly > s.maxInflight {
 		s.maxInflight = maxFly
 	}
@@ -444,6 +516,10 @@ func (s *Stats) String() string {
 			"peer%d[rtx=%d to=%d rc=%d hb=%d crc=%d dup=%d stale=%d]",
 			p, f.Retransmits, f.Timeouts, f.Reconnects, f.HeartbeatMisses,
 			f.CorruptFrames, f.DupFrames, f.StaleEpochs))
+	}
+	if s.groupSize > 0 && (s.intraMsgs > 0 || s.interMsgs > 0) {
+		parts = append(parts, fmt.Sprintf("tiers[m=%d intra=%dB/%d inter=%dB/%d]",
+			s.groupSize, s.intraBytes, s.intraMsgs, s.interBytes, s.interMsgs))
 	}
 	if s.recvWaitNs > 0 || s.beltStallNs > 0 || s.maxInflight > 0 {
 		parts = append(parts, fmt.Sprintf("overlap[wait=%s stall=%s maxfly=%dB]",

@@ -499,7 +499,7 @@ func (t *TCPTransport) SendOwned(dst int, tag Tag, payload []float32) error {
 	span := tr.Begin()
 	defer tr.End(span, trace.CodeSend, int64(tag.Kind), int64(dst))
 	codec := codecFor(t.opts.Codec, tag)
-	t.stats.record(tag.Kind, len(payload), codec.bytesPerElem())
+	t.stats.recordPeer(t.rank, dst, tag.Kind, len(payload), codec.bytesPerElem())
 	if dst == t.rank {
 		// Self-sends never cross the wire, but a lossy codec must round them
 		// exactly like the mesh does or ranks would observe transport-

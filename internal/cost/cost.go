@@ -286,8 +286,32 @@ func (w Workload) MemoryBytes(strategy string) float64 {
 		// a model's worth of pending W stashes.
 		return own + 2*beltBufferCopies*chunk + 2*float64(w.L)*ckpt*u +
 			2*workspace + float64(w.L)*actFullUnits*u*zbStashFrac
+	case "wzb2g":
+		chunk := (lp*w.LayerParams() + edgeParams) * fp16Bytes
+		own := (lp*w.LayerParams() + edgeParams) * bytesPerOwnedParam
+		// wzb2's footprint plus the holder shard cache: each rank caches the
+		// P/m chunks it re-injects into its group's belt each round, held as
+		// full-precision buffers (2× the fp16 wire chunk). Uses the runtime's
+		// topology-friendly default group size (pipeline.normalizeGroupSize).
+		m := defaultGroupSize(w.P)
+		cache := float64(w.P/m) * 2 * chunk
+		return own + 2*beltBufferCopies*chunk + cache + 2*float64(w.L)*ckpt*u +
+			2*workspace + float64(w.L)*actFullUnits*u*zbStashFrac
 	default:
 		panic("cost: unknown strategy " + strategy)
+	}
+}
+
+// defaultGroupSize mirrors pipeline.normalizeGroupSize's default: groups of
+// 4 when the ring allows it, pairs on smaller even rings, flat otherwise.
+func defaultGroupSize(p int) int {
+	switch {
+	case p%4 == 0 && p >= 8:
+		return 4
+	case p%2 == 0:
+		return 2
+	default:
+		return 1
 	}
 }
 

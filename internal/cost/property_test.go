@@ -25,7 +25,7 @@ func randWorkload(seed uint64) Workload {
 
 var allMemStrategies = []string{
 	"gpipe", "1f1b", "zb1", "zb2", "fsdp", "dp",
-	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2", "tp", "sp",
+	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2", "wzb2g", "tp", "sp",
 }
 
 // Property: memory is positive and monotone non-decreasing in G for every

@@ -1,0 +1,202 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"weipipe/internal/comm"
+	"weipipe/internal/data"
+	"weipipe/internal/model"
+)
+
+// The grouped belt's contract: wzb2g changes *where* weight chunks travel
+// (cached once per group, recirculated on the fast fabric) but never what
+// any rank computes — so for every lossless configuration it must land on
+// bit-identical losses and weights to flat WZB2, while moving strictly
+// fewer bytes between groups.
+
+// groupedCfg is a ring-divisible model for p-rank grouped runs.
+func groupedCfg(p int) model.Config {
+	return model.Config{Vocab: 13, Hidden: 8, Layers: p, Heads: 2, MaxSeq: 6, Seed: 42}
+}
+
+func groupedBatches(iters, n int) func(int) []data.Batch {
+	all := make([][]data.Batch, iters)
+	for i := range all {
+		all[i] = data.Microbatches(uint64(100+i), n, 2, 13, 6)
+	}
+	return func(i int) []data.Batch { return all[i] }
+}
+
+// TestGroupedBitIdenticalToFlat sweeps ring size × group size × wire/engine
+// variants: plain blocking, the async engine, bf16 wire, integrity seals,
+// and all of them together. Every cell must reproduce flat WZB2 exactly.
+func TestGroupedBitIdenticalToFlat(t *testing.T) {
+	const iters, n2 = 2, 2 // n2: microbatch rounds (n = n2*p per iteration)
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"plain", func(*Options) {}},
+		{"overlap", func(o *Options) { o.Overlap = true }},
+		{"bf16", func(o *Options) { o.BF16Wire = true }},
+		{"integrity", func(o *Options) { o.Integrity = true }},
+		{"all", func(o *Options) { o.Overlap = true; o.BF16Wire = true; o.Integrity = true }},
+	}
+	for _, p := range []int{4, 8} {
+		for _, gs := range []int{0, 2, 4} {
+			if gs > p {
+				continue
+			}
+			cfg := groupedCfg(p)
+			n := n2 * p
+			for _, v := range variants {
+				p, gs, v := p, gs, v
+				t.Run(fmt.Sprintf("p%d_gs%d_%s", p, gs, v.name), func(t *testing.T) {
+					t.Parallel()
+					flatOpts := eqOpts()
+					v.mod(&flatOpts)
+					ref, err := RunCluster(StrategyWZB2, p, cfg, flatOpts, iters, groupedBatches(iters, n))
+					if err != nil {
+						t.Fatalf("flat: %v", err)
+					}
+					opts := flatOpts
+					opts.GroupSize = gs
+					got, err := RunCluster(StrategyWZB2G, p, cfg, opts, iters, groupedBatches(iters, n))
+					if err != nil {
+						t.Fatalf("grouped: %v", err)
+					}
+					bitIdentical(t, "wzb2g", got.Losses, ref.Losses, got.Weights, ref.Weights)
+				})
+			}
+		}
+	}
+}
+
+// TestGroupedIndivisibleFallsBackFlat: a group size that does not divide
+// the ring (the elastic-shrink case) must degrade to the flat belt, not
+// fail — and still match flat WZB2 exactly.
+func TestGroupedIndivisibleFallsBackFlat(t *testing.T) {
+	const p, iters, n = 4, 2, 8
+	cfg := groupedCfg(p)
+	ref, err := RunCluster(StrategyWZB2, p, cfg, eqOpts(), iters, groupedBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqOpts()
+	opts.GroupSize = 3 // does not divide p=4
+	got, err := RunCluster(StrategyWZB2G, p, cfg, opts, iters, groupedBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "wzb2g gs=3 fallback", got.Losses, ref.Losses, got.Weights, ref.Weights)
+}
+
+// TestGroupedCutsInterGroupBytes is the measured half of the tentpole
+// claim at test scale: on an 8-rank ring in groups of 2, the grouped belt
+// must move strictly fewer bytes (and messages) between groups than flat
+// WZB2, as counted by the transports' per-link-tier meters.
+func TestGroupedCutsInterGroupBytes(t *testing.T) {
+	const p, gs, iters, n = 8, 2, 2, 16
+	cfg := groupedCfg(p)
+	opts := eqOpts()
+	opts.GroupSize = gs // arms the tier meters for both strategies
+	flat, err := RunCluster(StrategyWZB2, p, cfg, opts, iters, groupedBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := RunCluster(StrategyWZB2G, p, cfg, opts, iters, groupedBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "wzb2g traffic run", grouped.Losses, flat.Losses, grouped.Weights, flat.Weights)
+
+	fBytes, fMsgs := flat.TotalComm().InterGroupTraffic()
+	gBytes, gMsgs := grouped.TotalComm().InterGroupTraffic()
+	if fBytes == 0 {
+		t.Fatal("flat run recorded no inter-group bytes; tier meters unarmed?")
+	}
+	if gBytes >= fBytes {
+		t.Errorf("grouped inter-group bytes %d not below flat %d", gBytes, fBytes)
+	}
+	if gMsgs >= fMsgs {
+		t.Errorf("grouped inter-group msgs %d not below flat %d", gMsgs, fMsgs)
+	}
+	if iBytes, _ := grouped.TotalComm().IntraGroupTraffic(); iBytes == 0 {
+		t.Error("grouped run recorded no intra-group bytes")
+	}
+}
+
+// TestGroupedChaosTCPEquivalence: the grouped belt over real TCP with
+// frame-level chaos (drop/dup/reorder/corrupt/delay) — shard exchange on
+// the chaotic parent transport, belt circulation on sub-ring groups, async
+// engine armed — must still reproduce the clean in-process flat trajectory
+// bit for bit.
+func TestGroupedChaosTCPEquivalence(t *testing.T) {
+	const p, gs, iters, n = 4, 2, 2, 8
+	ref, err := RunCluster(StrategyWZB2, p, eqCfg(), eqOpts(), iters, eqBatches(iters, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	addrs, err := comm.LoopbackAddrs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpOpts := comm.TCPOptions{
+		DialTimeout:       10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		PeerDeadTimeout:   2 * time.Second,
+		RetransmitTimeout: 40 * time.Millisecond,
+		ReconnectBackoff:  5 * time.Millisecond,
+		Chaos: &comm.ChaosConfig{
+			Seed:      4242,
+			Drop:      0.05,
+			Dup:       0.05,
+			Reorder:   0.05,
+			Corrupt:   0.02,
+			DelayProb: 0.05,
+			MaxDelay:  2 * time.Millisecond,
+		},
+	}
+	trs := make([]comm.Transport, p)
+	dialErrs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], dialErrs[r] = comm.DialTCPOpts(r, addrs, tcpOpts)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range dialErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opts := eqOpts()
+	opts.GroupSize = gs
+	opts.Overlap = true
+	losses, weights := runOnTransports(t, trs, StrategyWZB2G, opts, iters, n)
+	bitIdentical(t, "wzb2g chaos TCP", losses, ref.Losses, weights, ref.Weights)
+
+	// The run must actually have exercised the reliability machinery.
+	total := comm.NewStats()
+	for _, tr := range trs {
+		total.Add(tr.(comm.Meter).CommStats())
+	}
+	f := total.TotalFaults()
+	if f.Retransmits+f.DupFrames+f.CorruptFrames == 0 {
+		t.Error("chaos run recorded no transport faults; injection was a no-op")
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
+	waitPipelineGoroutines(t, base)
+}

@@ -57,12 +57,18 @@ import (
 const beltPrefetchDepth = 1
 
 // beltOp is one receive in the engine's per-iteration plan, plus the
-// optional immediate downstream relay for weight-belt hops.
+// optional immediate downstream relay for weight-belt hops. Grouped-belt
+// ops (grp) run against the group sub-transport with group-local ranks;
+// local ops source the payload from the iteration's shard cache instead of
+// a receive (the group-first rank consuming a chunk it holds itself).
 type beltOp struct {
 	src    int
 	tag    Tag
 	fwdDst int // -1: no relay (gradient ops, final belt use)
 	fwdTag Tag
+	grp    bool
+	local  bool
+	chunk  int // cache key for local ops
 }
 
 // beltItem is a staged payload (or the receive/relay error that ended the
@@ -83,6 +89,8 @@ type beltLane struct {
 // background goroutines, one per belt.
 type beltEngine struct {
 	t       Transport
+	grp     Transport         // group sub-transport for grp ops (grouped belt)
+	cache   map[int][]float32 // shard cache for local ops (grouped belt; immutable while armed)
 	tr      *trace.Tracer
 	weights [2]*beltLane // indexed by beltFwd/beltBwd: weight hops, relayed at receipt
 	quit    chan struct{}
@@ -100,14 +108,35 @@ func (w *WeiPipe) beltPlan(R int) []beltOp {
 	total := R * p
 	plan := make([]beltOp, 0, 3*R*p+1)
 	weightOp := func(belt, c, use int) beltOp {
-		src := prev
-		if use == 0 {
-			src = w.owner(c)
-		}
 		op := beltOp{
-			src:    src,
 			tag:    Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use)},
 			fwdDst: -1,
+		}
+		if g := w.grouped; g != nil {
+			// Grouped belt: sources and relays are group-local on the
+			// sub-transport. The group-first rank is fed by the chunk's
+			// holder (or the cache, when it holds the chunk itself); the
+			// group-last rank never relays — boundary links stay idle.
+			op.grp = true
+			i := rank - g.first
+			switch {
+			case i > 0:
+				op.src = i - 1
+			case g.holderLocal(c) == 0:
+				op.local = true
+				op.chunk = c
+			default:
+				op.src = g.holderLocal(c)
+			}
+			if i < g.m-1 {
+				op.fwdDst = i + 1
+				op.fwdTag = Tag{Kind: comm.KindWeight, A: c, B: w.enc(belt, use+1)}
+			}
+			return op
+		}
+		op.src = prev
+		if use == 0 {
+			op.src = w.owner(c)
 		}
 		if use < total-1 {
 			op.fwdDst = next
@@ -140,6 +169,10 @@ func (w *WeiPipe) startBeltEngine(R int) *beltEngine {
 		wPlans[b] = append(wPlans[b], op)
 	}
 	e := &beltEngine{t: w.t, tr: w.tr, quit: make(chan struct{})}
+	if w.grouped != nil {
+		e.grp = w.grouped.grp
+		e.cache = w.grouped.cache
+	}
 	for b := range wPlans {
 		e.weights[b] = e.runLane(wPlans[b])
 	}
@@ -158,20 +191,33 @@ func (e *beltEngine) runLane(plan []beltOp) *beltLane {
 		staged: make(chan beltItem, beltPrefetchDepth),
 		done:   make(chan struct{}),
 	}
-	t := e.t
 	go func() {
 		defer close(l.done)
 		defer close(l.staged)
 		for _, op := range plan {
+			t := e.t
+			if op.grp {
+				t = e.grp
+			}
 			belt := int64(beltOf(op.tag))
 			use := int64(op.tag.B & (1<<beltUseBits - 1))
-			span := e.tr.Begin()
-			payload, err := t.Recv(op.src, op.tag)
-			e.tr.End(span, trace.CodePrefetch, belt, use)
+			var payload []float32
+			var err error
+			if op.local {
+				// Grouped belt, self-held chunk: the payload comes off the
+				// immutable shard cache, wire-speed by construction.
+				cached := e.cache[op.chunk]
+				payload = comm.GetBuf(len(cached))
+				copy(payload, cached)
+			} else {
+				span := e.tr.Begin()
+				payload, err = t.Recv(op.src, op.tag)
+				e.tr.End(span, trace.CodePrefetch, belt, use)
+			}
 			if err == nil && op.fwdDst >= 0 {
 				// Store-and-forward: relay the weight chunk downstream the
 				// moment it lands, long before compute consumes it here.
-				span = e.tr.Begin()
+				span := e.tr.Begin()
 				err = t.Send(op.fwdDst, op.fwdTag, payload)
 				e.tr.End(span, trace.CodeRelay, belt, use+1)
 			}

@@ -39,6 +39,12 @@ const (
 	StrategyWeiPipeInterleave Strategy = "weipipe-interleave"
 	StrategyWZB1              Strategy = "wzb1"
 	StrategyWZB2              Strategy = "wzb2"
+	// StrategyWZB2G is WZB2 with topology-aware grouped weight belts: the
+	// two weight belts circulate only inside contiguous rank groups
+	// (Options.GroupSize ranks each, the fast fabric), and each chunk
+	// crosses the slow inter-group links exactly once per iteration via a
+	// deduplicated holder-ring shard exchange. Bit-identical to WZB2.
+	StrategyWZB2G Strategy = "wzb2g"
 )
 
 // Strategies lists every distributed strategy (excluding the serial
@@ -47,7 +53,7 @@ func Strategies() []Strategy {
 	return []Strategy{
 		Strategy1F1B, StrategyZB1, StrategyZB2, StrategyFSDP,
 		StrategyWeiPipeInterleave, StrategyWeiPipeNaive,
-		StrategyWZB1, StrategyWZB2, StrategyGPipe, StrategyDP,
+		StrategyWZB1, StrategyWZB2, StrategyWZB2G, StrategyGPipe, StrategyDP,
 	}
 }
 
@@ -139,6 +145,13 @@ type Options struct {
 	// SpikeSkip makes detected spikes skip the optimizer step instead of
 	// only counting them.
 	SpikeSkip bool
+	// GroupSize partitions the ring into contiguous blocks of this many
+	// ranks for the grouped-belt strategy (wzb2g) and for link-tier
+	// traffic accounting. 0 picks a topology-friendly default (4 when the
+	// ring divides by 4, else 2, else flat); a value that does not divide
+	// the ring size falls back to the flat belt (which keeps elastic
+	// shrink-to-p−1 working). All ranks of a run must agree on it.
+	GroupSize int
 	// BitFlip, when non-nil, is the seeded in-memory fault injector of the
 	// chaos tier: it flips scheduled bits in master weights, optimizer
 	// moments and staged belt payloads as the schedule's (rank, iteration)
@@ -237,6 +250,8 @@ func New(s Strategy, t Transport, cfg model.Config, opts Options) (Trainer, erro
 		return NewWeiPipe(t, cfg, opts, WeiPipeZB1)
 	case StrategyWZB2:
 		return NewWeiPipe(t, cfg, opts, WeiPipeZB2)
+	case StrategyWZB2G:
+		return NewWeiPipeGrouped(t, cfg, opts)
 	default:
 		return nil, fmt.Errorf("pipeline: unknown strategy %q", s)
 	}

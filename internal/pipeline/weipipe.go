@@ -146,6 +146,12 @@ type WeiPipe struct {
 	// pool stabilises at that many arenas.
 	apool arenaPool
 
+	// grouped, when non-nil, activates the topology-aware grouped belt
+	// (strategy wzb2g; see grouped.go): weight belts circulate on a
+	// per-group sub-transport and chunks cross group boundaries once per
+	// iteration via the holder-ring shard exchange. Nil runs the flat belt.
+	grouped *groupedState
+
 	// engine, when non-nil, is the per-iteration asynchronous belt engine
 	// (opts.Overlap): a background goroutine that receives belt payloads in
 	// schedule order, relays weight chunks downstream as soon as they
@@ -217,6 +223,11 @@ func NewWeiPipe(t Transport, cfg model.Config, opts Options, v WeiPipeVariant) (
 	w.opt = optim.NewAdamW(len(w.masterW), opts.Adam)
 	if m, ok := t.(comm.Meter); ok {
 		w.stats = m.CommStats()
+	}
+	// Arm link-tier traffic accounting whenever a group size is known, so
+	// flat and grouped runs report comparable intra/inter splits.
+	if gs := opts.GroupSize; gs > 1 && p%gs == 0 {
+		w.stats.SetGroupSize(gs)
 	}
 	w.tr = opts.Trace.Rank(t.Rank())
 	w.initIntegrity()
@@ -306,33 +317,49 @@ func (w *WeiPipe) TrainIteration(batches []data.Batch) (loss float64, err error)
 	// messages on a background goroutine; it is armed before the injection
 	// sends so the very first belt hop is already overlapped. stop() is
 	// abort-safe: it drains staged payloads back to the pool on any exit.
+	// The grouped belt arms it *after* the shard exchange instead: the
+	// engine's cache-local ops read payloads the exchange installs.
 	if w.opts.Overlap {
-		w.engine = w.startBeltEngine(st.R)
 		defer func() {
-			w.engine.stop()
-			w.engine = nil
+			if w.engine != nil {
+				w.engine.stop()
+				w.engine = nil
+			}
 		}()
+		if w.grouped == nil {
+			w.engine = w.startBeltEngine(st.R)
+		}
 	}
 
-	// Inject the owned chunk into both belts; the first user of every belt
-	// chunk is worker 0 at use index 0. The first send copies the buffer
-	// (the second belt still needs it); the second donates it to the
-	// transport, which releases it on completion — there is no window where
-	// a released buffer could still be queued for encoding.
-	payload := comm.GetBuf(len(w.masterW) + w.pad)
-	body := payload[:len(w.masterW)]
-	copy(body, w.masterW)
-	maybeRoundF16(w.opts, body)
-	tagFwd := Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}
-	w.sealBelt(tagFwd, payload)
-	errInj := w.t.Send(0, tagFwd, payload)
-	if errInj == nil {
-		errInj = comm.SendOwned(w.t, 0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
+	if w.grouped != nil {
+		defer w.grouped.releaseCache()
+		if err := w.groupedExchange(); err != nil {
+			return 0, err
+		}
+		if w.opts.Overlap {
+			w.engine = w.startBeltEngine(st.R)
+		}
 	} else {
-		comm.Release(payload)
-	}
-	if errInj != nil {
-		return 0, errInj
+		// Inject the owned chunk into both belts; the first user of every belt
+		// chunk is worker 0 at use index 0. The first send copies the buffer
+		// (the second belt still needs it); the second donates it to the
+		// transport, which releases it on completion — there is no window where
+		// a released buffer could still be queued for encoding.
+		payload := comm.GetBuf(len(w.masterW) + w.pad)
+		body := payload[:len(w.masterW)]
+		copy(body, w.masterW)
+		maybeRoundF16(w.opts, body)
+		tagFwd := Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltFwd, 0)}
+		w.sealBelt(tagFwd, payload)
+		errInj := w.t.Send(0, tagFwd, payload)
+		if errInj == nil {
+			errInj = comm.SendOwned(w.t, 0, Tag{Kind: comm.KindWeight, A: w.ownChunk, B: w.enc(beltBwd, 0)}, payload)
+		} else {
+			comm.Release(payload)
+		}
+		if errInj != nil {
+			return 0, errInj
+		}
 	}
 
 	if serr := w.runSchedule(st); serr != nil {
@@ -576,15 +603,21 @@ func (w *WeiPipe) runSchedule(st *wpState) error {
 // otherwise. Both paths record the compute thread's wait as belt stall, so
 // the two modes report comparable exposed-communication time.
 func (w *WeiPipe) beltRecv(src int, tag Tag) ([]float32, error) {
-	if w.engine != nil && tag.Kind == comm.KindWeight {
+	if w.engine != nil && tag.Kind == comm.KindWeight && beltOf(tag) != beltXchg {
 		span := w.tr.Begin()
 		payload, err := w.engine.next(tag, w.stats)
 		w.tr.End(span, trace.CodeStall, int64(tag.Kind), int64(src))
 		return payload, err
 	}
+	return w.beltRecvOn(w.t, src, tag)
+}
+
+// beltRecvOn is beltRecv's blocking transport path against an explicit
+// transport (the ring, or a grouped belt's sub-ring).
+func (w *WeiPipe) beltRecvOn(t Transport, src int, tag Tag) ([]float32, error) {
 	span := w.tr.Begin()
 	start := time.Now()
-	payload, err := w.t.Recv(src, tag)
+	payload, err := t.Recv(src, tag)
 	wait := time.Since(start)
 	w.tr.End(span, trace.CodeStall, int64(tag.Kind), int64(src))
 	w.stats.RecordBeltStallKind(tag.Kind, wait)
@@ -614,6 +647,9 @@ func (w *WeiPipe) sendBelt(dst int, tag Tag, payload []float32) error {
 // overlap mode the engine has already relayed the chunk downstream at
 // receive time (store-and-forward), so only the install remains here.
 func (w *WeiPipe) recvBeltChunk(belt, c, use int) error {
+	if w.grouped != nil {
+		return w.recvBeltChunkGrouped(belt, c, use)
+	}
 	src := (w.t.Rank() - 1 + w.t.Size()) % w.t.Size()
 	if use == 0 {
 		src = w.owner(c)

@@ -77,6 +77,8 @@ func Build(strategy string, spec Spec) ([]sim.Task, error) {
 		return buildWeiPipeNaive(spec)
 	case "weipipe-interleave", "wzb1", "wzb2":
 		return buildWeiPipe(strategy, spec)
+	case "wzb2g":
+		return buildWeiPipeGrouped(spec)
 	case "fsdp":
 		return buildFSDP(spec)
 	case "dp":
@@ -88,6 +90,58 @@ func Build(strategy string, spec Spec) ([]sim.Task, error) {
 	default:
 		return nil, fmt.Errorf("schedule: unknown strategy %q", strategy)
 	}
+}
+
+// Traffic is the per-iteration point-to-point wire volume of a schedule,
+// classified by link tier against the topology's group boundaries. It is
+// the simulator-side counterpart of comm.Stats' measured intra/inter split.
+type Traffic struct {
+	// IntraBytes/IntraSends cover transfers that stay inside a topology
+	// group: ring links within a group and the group-fabric ("x<g>")
+	// transfers of the grouped belt.
+	IntraBytes float64
+	IntraSends int
+	// InterBytes/InterSends cover transfers crossing a group boundary —
+	// the slow links hierarchical clusters are gated by.
+	InterBytes float64
+	InterSends int
+}
+
+// BuildTraffic compiles the strategy like Build and additionally returns
+// the schedule's link-tier traffic accounting. Collective-fabric time is
+// not included (it carries no per-link byte attribution).
+func BuildTraffic(strategy string, spec Spec) ([]sim.Task, Traffic, error) {
+	tasks, err := Build(strategy, spec)
+	if err != nil {
+		return nil, Traffic{}, err
+	}
+	var tr Traffic
+	for _, t := range tasks {
+		if t.Bytes <= 0 || len(t.Resource) == 0 {
+			continue
+		}
+		inter := false
+		switch t.Resource[0] {
+		case 'l', 'r':
+			var link int
+			if _, err := fmt.Sscanf(t.Resource[1:], "%d", &link); err != nil {
+				continue
+			}
+			inter = spec.Top.BoundaryLink(link)
+		case 'x':
+			// group-fabric transfers are intra by construction
+		default:
+			continue
+		}
+		if inter {
+			tr.InterBytes += t.Bytes
+			tr.InterSends++
+		} else {
+			tr.IntraBytes += t.Bytes
+			tr.IntraSends++
+		}
+	}
+	return tasks, tr, nil
 }
 
 // builder accumulates tasks with per-worker program-order chaining.
@@ -143,7 +197,9 @@ func (b *builder) successorOf(w, id int) int {
 // linkFwd appends a transfer on ring link from→from+1.
 func (b *builder) linkFwd(from int, bytes float64, label string, deps ...int) int {
 	dur := (bytes*b.spec.wireScale()/b.spec.Top.SendBW[from] + b.spec.Top.Latency[from]) * b.spec.linkScale()
-	return b.raw(fmt.Sprintf("l%d", from), -1, dur, "comm", label, deps)
+	id := b.raw(fmt.Sprintf("l%d", from), -1, dur, "comm", label, deps)
+	b.tasks[id].Bytes = bytes * b.spec.wireScale()
+	return id
 }
 
 // linkRev appends a transfer on the reverse direction of ring link
@@ -151,7 +207,20 @@ func (b *builder) linkFwd(from int, bytes float64, label string, deps ...int) in
 // reverse direction its own engine with the same bandwidth.
 func (b *builder) linkRev(link int, bytes float64, label string, deps ...int) int {
 	dur := (bytes*b.spec.wireScale()/b.spec.Top.SendBW[link] + b.spec.Top.Latency[link]) * b.spec.linkScale()
-	return b.raw(fmt.Sprintf("r%d", link), -1, dur, "comm", label, deps)
+	id := b.raw(fmt.Sprintf("r%d", link), -1, dur, "comm", label, deps)
+	b.tasks[id].Bytes = bytes * b.spec.wireScale()
+	return id
+}
+
+// groupFabric appends a non-adjacent intra-group transfer (a grouped-belt
+// injection or shard handoff inside group g): it occupies the group's
+// fabric resource "x<g>" and is priced at the group's slowest intra link.
+func (b *builder) groupFabric(g int, bytes float64, label string, deps ...int) int {
+	bw, lat := b.spec.Top.GroupFabric(g)
+	dur := (bytes*b.spec.wireScale()/bw + lat) * b.spec.linkScale()
+	id := b.raw(fmt.Sprintf("x%d", g), -1, dur, "comm", label, deps)
+	b.tasks[id].Bytes = bytes * b.spec.wireScale()
+	return id
 }
 
 // fabric appends a collective occupying the shared fabric.
@@ -571,6 +640,224 @@ func buildWeiPipe(strategy string, spec Spec) ([]sim.Task, error) {
 			b.tasks[bOp[c][j]].Deps = append(b.tasks[bOp[c][j]].Deps, bl)
 			b.tasks[wOp[c][j]].Deps = append(b.tasks[wOp[c][j]].Deps, dl)
 			prevFLink, prevBLink = fl, bl
+		}
+	}
+	if spec.TerminalGradAllReduce {
+		deps := make([]int, 0, p)
+		for worker := 0; worker < p; worker++ {
+			if id, ok := b.last[worker]; ok {
+				deps = append(deps, id)
+			}
+		}
+		b.fabric(spec.Top.RingAllReduceTime(w.TotalParams()*2*spec.wireScale()), "grad allreduce", deps...)
+	}
+	return b.tasks, nil
+}
+
+// ---- WeiPipe grouped belt (wzb2g) ------------------------------------------
+
+// buildWeiPipeGrouped models the topology-aware grouped belt: the wzb2
+// compute schedule, with weight-belt circulation confined to each topology
+// group and a once-per-iteration deduplicated shard exchange between the
+// groups' holders. Only the exchange crosses group boundaries — one copy of
+// each chunk per boundary link per iteration, serving both weight belts and
+// every round — while the flat belt would drag both belts across every
+// boundary link every round. Intra-group injections (holder → group-first)
+// are modelled honestly on the group fabric, including the round-0 injection
+// the flat model treats as free.
+func buildWeiPipeGrouped(spec Spec) ([]sim.Task, error) {
+	w := spec.W
+	p := w.P
+	m := spec.Top.GroupSize()
+	if m <= 1 || p%m != 0 {
+		// Degenerate partition: the runtime falls back to the flat belt
+		// (pipeline.normalizeGroupSize), so the model does too.
+		return buildWeiPipe("wzb2", spec)
+	}
+	nG := p / m
+	t := w.Times(spec.GPU)
+	rounds := w.N / p
+	uses := rounds * p
+	b := newBuilder(spec)
+
+	chunkF := make([]float64, p)
+	chunkB := make([]float64, p)
+	chunkW := make([]float64, p)
+	lp := float64(w.L) / float64(p)
+	for c := 0; c < p; c++ {
+		chunkF[c] = lp * t.F
+		chunkB[c] = lp * t.B
+		chunkW[c] = lp * t.W
+		if c == p-1 {
+			chunkF[c] += t.HeadF
+			chunkB[c] += t.HeadB
+			chunkW[c] += t.HeadW
+		}
+	}
+
+	mk := func() [][]int {
+		g := make([][]int, p)
+		for c := range g {
+			g[c] = make([]int, uses)
+			for j := range g[c] {
+				g[c][j] = -1
+			}
+		}
+		return g
+	}
+	fOp, bOp, wOp := mk(), mk(), mk()
+
+	// Compute grid: identical to flat wzb2 — the grouped belt changes how
+	// weights travel, never what each worker computes (bit-identity).
+	for worker := 0; worker < p; worker++ {
+		use := func(k int) int { return k*p + worker }
+		for k := 0; k <= rounds; k++ {
+			for step := 0; step < p; step++ {
+				if k < rounds {
+					c := step
+					fOp[c][use(k)] = b.compute(worker, chunkF[c], "F", fmt.Sprintf("F c%d k%d@w%d", c, k, worker))
+				}
+				if k >= 1 {
+					c := p - 1 - step
+					bOp[c][use(k-1)] = b.compute(worker, chunkB[c], "B", fmt.Sprintf("B c%d k%d@w%d", c, k-1, worker))
+				}
+			}
+			if k >= 1 {
+				for c := 0; c < p; c++ {
+					wOp[c][use(k-1)] = b.compute(worker, chunkW[c], "W", fmt.Sprintf("W c%d k%d@w%d", c, k-1, worker))
+				}
+			}
+		}
+	}
+
+	owner := func(c int) int { return (c - 1 + p) % p }
+	holderIn := func(g, c int) int { return g*m + c%m }
+
+	// Shard exchange: the owner's fresh copy of chunk c reaches its own
+	// group's holder (group-fabric hop, unless the owner holds it itself),
+	// then store-and-forwards around the holder ring, one boundary-link hop
+	// per group. arrive[g][c] is the task after which chunk c is cached in
+	// group g (-1: cached with no wire hop).
+	arrive := make([][]int, nG)
+	for g := range arrive {
+		arrive[g] = make([]int, p)
+		for c := range arrive[g] {
+			arrive[g][c] = -1
+		}
+	}
+	for c := 0; c < p; c++ {
+		bytes := chunkBytes(w, c)
+		og := owner(c) / m
+		prev := -1
+		if holderIn(og, c) != owner(c) {
+			prev = b.groupFabric(og, bytes, fmt.Sprintf("xchg c%d hop0", c))
+			arrive[og][c] = prev
+		}
+		for s := 1; s < nG; s++ {
+			fromG := (og + s - 1) % nG
+			toG := (og + s) % nG
+			deps := []int{}
+			if prev >= 0 {
+				deps = append(deps, prev)
+			}
+			prev = b.linkFwd((fromG+1)*m-1, bytes, fmt.Sprintf("xchg c%d g%d", c, toG), deps...)
+			arrive[toG][c] = prev
+		}
+	}
+
+	// Flow control, as in the flat belt: a worker holds at most beltBuffers
+	// in-flight chunks per belt.
+	beltBuffers := spec.BeltBuffers
+	if beltBuffers <= 0 {
+		beltBuffers = 2
+	}
+	fwdEarlier := func(wk, k, c int) int {
+		idx := k*p + c - beltBuffers
+		if idx < 0 {
+			return -1
+		}
+		return fOp[idx%p][(idx/p)*p+wk]
+	}
+	bwdEarlier := func(wk, k, c int) int {
+		idx := k*p + (p - 1 - c) - beltBuffers
+		if idx < 0 {
+			return -1
+		}
+		return bOp[p-1-idx%p][(idx/p)*p+wk]
+	}
+
+	// Weight-belt wiring. Within a group the chunk hops rank-adjacent links
+	// exactly like the flat belt; at each group-first rank the chunk is
+	// (re-)injected from the group's holder cache over the group fabric,
+	// paced by the holder's own consumption one round earlier. The group-last
+	// rank never forwards — weight belts never touch a boundary link.
+	wireBelt := func(op [][]int, name string, earlier func(wk, k, c int) int) {
+		for c := 0; c < p; c++ {
+			bytes := chunkBytes(w, c)
+			prevLink := -1 // segment-local store-and-forward chain
+			for j := 0; j < uses; j++ {
+				dst := j % p
+				k := j / p
+				if dst%m == 0 {
+					g := dst / m
+					hold := holderIn(g, c)
+					if hold == dst {
+						// Self-held chunk: a local cache copy, no wire task.
+						if a := arrive[g][c]; a >= 0 {
+							b.tasks[op[c][j]].Deps = append(b.tasks[op[c][j]].Deps, a)
+						}
+						prevLink = -1
+						continue
+					}
+					deps := []int{}
+					if a := arrive[g][c]; a >= 0 {
+						deps = append(deps, a)
+					}
+					if k >= 1 {
+						deps = append(deps, op[c][(k-1)*p+hold])
+					}
+					if e := earlier(dst, k, c); e >= 0 {
+						deps = append(deps, e)
+					}
+					inj := b.groupFabric(g, bytes, fmt.Sprintf("%s c%d u%d inj", name, c, j), deps...)
+					b.tasks[op[c][j]].Deps = append(b.tasks[op[c][j]].Deps, inj)
+					prevLink = inj
+					continue
+				}
+				deps := []int{}
+				if prevLink >= 0 {
+					deps = append(deps, prevLink)
+				} else if a := arrive[dst/m][c]; a >= 0 {
+					// The segment started at a self-held group-first rank:
+					// its first forward still needs the shard to be cached.
+					deps = append(deps, a)
+				}
+				if e := earlier(dst, k, c); e >= 0 {
+					deps = append(deps, e)
+				}
+				if !spec.Overlap {
+					deps = append(deps, op[c][j-1])
+				}
+				lt := b.linkFwd(dst-1, bytes, fmt.Sprintf("%s c%d u%d", name, c, j), deps...)
+				b.tasks[op[c][j]].Deps = append(b.tasks[op[c][j]].Deps, lt)
+				prevLink = lt
+			}
+		}
+	}
+	wireBelt(fOp, "Wf", fwdEarlier)
+	wireBelt(bOp, "Wb", bwdEarlier)
+
+	// The D belt is untouched by grouping: in-transit gradient accumulation
+	// is a strict left-fold around the full ring (bit-identity requires the
+	// flat order), so it hops every link exactly as in wzb2.
+	for c := 0; c < p; c++ {
+		dBytes := chunkBytes(w, c)
+		if spec.TerminalGradAllReduce {
+			dBytes = 0
+		}
+		for j := 1; j < uses; j++ {
+			dl := b.linkFwd((j-1)%p, dBytes, fmt.Sprintf("D c%d u%d", c, j), wOp[c][j-1])
+			b.tasks[wOp[c][j]].Deps = append(b.tasks[wOp[c][j]].Deps, dl)
 		}
 	}
 	if spec.TerminalGradAllReduce {

@@ -10,7 +10,7 @@ import (
 
 var allStrategies = []string{
 	"gpipe", "1f1b", "zb1", "zb2",
-	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2",
+	"weipipe-naive", "weipipe-interleave", "wzb1", "wzb2", "wzb2g",
 	"fsdp", "dp",
 }
 
@@ -193,6 +193,109 @@ func TestWeiPipeCommVolumeIndependentOfSeqLen(t *testing.T) {
 	if a.ActBoundaryBytes() >= b.ActBoundaryBytes() {
 		t.Fatal("activation bytes must grow with G·S")
 	}
+}
+
+func TestGroupedScheduleBuildsOnGroupedTopologies(t *testing.T) {
+	// wzb2g must be legal (no deadlock) on hierarchical rings at several
+	// scales and with overlap on and off.
+	for _, p := range []int{4, 8, 16} {
+		w := smallWorkload(p)
+		for _, overlap := range []bool{true, false} {
+			spec := Spec{W: w, GPU: cluster.A800(), Top: cluster.NVLinkEthernet(p, p/2), Overlap: overlap}
+			tasks, err := Build("wzb2g", spec)
+			if err != nil {
+				t.Fatalf("p=%d overlap=%v build: %v", p, overlap, err)
+			}
+			if _, err := sim.Run(tasks); err != nil {
+				t.Fatalf("p=%d overlap=%v run: %v", p, overlap, err)
+			}
+		}
+	}
+}
+
+func TestGroupedScheduleCutsInterGroupTraffic(t *testing.T) {
+	// The tentpole claim in the simulator: on hierarchical topologies the
+	// grouped belt moves strictly fewer bytes across group boundaries than
+	// the flat belt, and no worse than TawPipe's headline direction — the
+	// slow links stop carrying both weight belts every round.
+	for _, tc := range []struct {
+		top cluster.Topology
+	}{
+		{cluster.NVLinkEthernet(16, 4)},
+		{cluster.PCIeEthernet(16, 4)},
+		{cluster.NVLinkEthernet(32, 8)},
+	} {
+		p := tc.top.P
+		w := smallWorkload(p)
+		spec := Spec{W: w, GPU: cluster.A800(), Top: tc.top, Overlap: true}
+		flatTasks, flat, err := BuildTraffic("wzb2", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groupedTasks, grouped, err := BuildTraffic("wzb2g", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grouped.InterBytes >= flat.InterBytes {
+			t.Errorf("%s: grouped inter bytes %.3g not below flat %.3g",
+				tc.top.Name, grouped.InterBytes, flat.InterBytes)
+		}
+		if grouped.InterSends >= flat.InterSends {
+			t.Errorf("%s: grouped inter sends %d not below flat %d",
+				tc.top.Name, grouped.InterSends, flat.InterSends)
+		}
+		// Ethernet is the bottleneck: less boundary traffic must not model
+		// slower end-to-end.
+		rFlat, err := sim.Run(flatTasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rGrouped, err := sim.Run(groupedTasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rGrouped.Makespan > rFlat.Makespan+1e-9 {
+			t.Errorf("%s: grouped makespan %v above flat %v",
+				tc.top.Name, rGrouped.Makespan, rFlat.Makespan)
+		}
+	}
+}
+
+func TestTrafficClassificationFlat(t *testing.T) {
+	// On a uniform ring everything is one group: flat wzb2 traffic must be
+	// all-intra; on a two-group ring the D belt and both weight belts cross
+	// the boundary links.
+	p := 8
+	w := smallWorkload(p)
+	_, uni, err := BuildTraffic("wzb2", Spec{W: w, GPU: cluster.A800(), Top: cluster.NVLinkSingle(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.InterBytes != 0 || uni.InterSends != 0 {
+		t.Errorf("uniform ring classified inter traffic: %+v", uni)
+	}
+	if uni.IntraBytes <= 0 {
+		t.Errorf("uniform ring recorded no traffic: %+v", uni)
+	}
+	_, two, err := BuildTraffic("wzb2", Spec{W: w, GPU: cluster.A800(), Top: cluster.NVLinkEthernet(p, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.InterBytes <= 0 || two.InterSends <= 0 {
+		t.Errorf("grouped ring recorded no inter traffic for flat belt: %+v", two)
+	}
+	// Same schedule, same totals — only the classification moves.
+	if got, want := two.IntraBytes+two.InterBytes, uni.IntraBytes; !closeEnough(got, want) {
+		t.Errorf("total traffic changed with topology: %v vs %v", got, want)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(a+b)
 }
 
 func maxf(a, b float64) float64 {

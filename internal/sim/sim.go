@@ -37,6 +37,10 @@ type Task struct {
 	Kind string
 	// Label is a human-readable description for timelines.
 	Label string
+	// Bytes is the wire payload of a point-to-point transfer task (0 for
+	// compute and collective tasks). The simulator ignores it; the
+	// schedule package's traffic accounting classifies it by link tier.
+	Bytes float64
 }
 
 // ScheduledTask is a task with its simulated start and end times.

@@ -75,6 +75,9 @@ const (
 	WeiPipeInterleave = pipeline.StrategyWeiPipeInterleave
 	WZB1              = pipeline.StrategyWZB1
 	WZB2              = pipeline.StrategyWZB2
+	// WZB2G is WZB2 with topology-aware grouped weight belts (intra-group
+	// circulation + deduplicated inter-group shard exchange).
+	WZB2G = pipeline.StrategyWZB2G
 )
 
 // Strategies lists every distributed strategy.
