@@ -2,7 +2,7 @@ GO ?= go
 # FUZZTIME bounds each fuzz target's run; CI's smoke tier shrinks it.
 FUZZTIME ?= 20s
 
-.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak sdc sdc-quick bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel bench-grouped experiments
+.PHONY: build test test-noasm check fmt-check bench race vet chaos elastic fuzz soak sdc sdc-quick modes bench-overlap bench-overlap-quick bench-guard bench-sweep bench-kernel bench-grouped bench-p2p experiments
 
 build:
 	$(GO) build ./...
@@ -50,8 +50,21 @@ elastic:
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseFrameHeader -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/comm/
+	$(GO) test -run NONE -fuzz FuzzBatchFrameDecode -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzMembershipEvidence -fuzztime $(FUZZTIME) ./internal/comm/
 	$(GO) test -run NONE -fuzz FuzzChunkChecksum -fuzztime $(FUZZTIME) ./internal/comm/
+
+# modes runs the P2P mode-equivalence suite for one transport mode under
+# the race detector: every in-process and chaotic-TCP equivalence test plus
+# the mode-specific transport tests. P2P_MODE filters the parameterized
+# equivalence tests to one mode (frame, batched, duplex, auto; empty runs
+# all), MODE_OUT collects JSONL run descriptors for artifact upload.
+P2P_MODE ?=
+MODE_OUT ?=
+modes:
+	WEIPIPE_P2P_MODE=$(P2P_MODE) WEIPIPE_MODE_OUT=$(MODE_OUT) \
+		$(GO) test -race -run 'P2PMode' -count=1 -timeout 600s \
+		./internal/comm/ ./internal/pipeline/ ./internal/schedule/
 
 # soak replays SOAK_SCHEDULES seeded randomized fault schedules — process
 # SIGKILLs, SIGSTOP stalls, timed one-sided partitions, frame-level chaos —
@@ -107,6 +120,7 @@ bench-overlap-quick:
 BENCH_GUARD_OUT ?= /tmp/weipipe_bench_guard.json
 KERNEL_GUARD_OUT ?= /tmp/weipipe_kernel_guard.json
 GROUPED_GUARD_OUT ?= /tmp/weipipe_grouped_guard.json
+P2P_GUARD_OUT ?= /tmp/weipipe_p2p_guard.json
 bench-guard:
 	$(GO) run ./cmd/weipipe-bench -overlap -iters 1 -reps 1 -H 128 \
 		-out $(BENCH_GUARD_OUT) -require-bit-identical
@@ -114,6 +128,8 @@ bench-guard:
 		-require-kernel-speedup 2
 	$(GO) run ./cmd/weipipe-bench -grouped -grouped-out $(GROUPED_GUARD_OUT) \
 		-require-grouped-win
+	$(GO) run ./cmd/weipipe-bench -p2p -p2p-out $(P2P_GUARD_OUT) \
+		-require-p2p-win
 
 # bench-sweep regenerates BENCH_sweep.json, the committed machine-readable
 # strategy×topology×scale grid of the cost model. The model is
@@ -132,6 +148,14 @@ bench-kernel:
 # the committed file unchanged.
 bench-grouped:
 	$(GO) run ./cmd/weipipe-bench -grouped -grouped-out BENCH_grouped.json
+
+# bench-p2p regenerates BENCH_p2p.json: the simulated frame/batched/duplex/
+# auto link-model grid (envelope counts, bytes, modelled throughput) plus
+# the functional p=4 mode A/B against the frame baseline (belt traffic and
+# bit-identity). Both halves are deterministic, so a clean regeneration
+# must leave the committed file unchanged.
+bench-p2p:
+	$(GO) run ./cmd/weipipe-bench -p2p -p2p-out BENCH_p2p.json
 
 # experiments regenerates the full paper-table output that EXPERIMENTS.md
 # is curated from, stamped with the kernel backend that produced it. CI

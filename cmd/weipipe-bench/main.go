@@ -43,6 +43,9 @@ func main() {
 	grouped := flag.Bool("grouped", false, "run the grouped-belt traffic benchmark (simulated grid + functional p=16 A/B)")
 	groupedOut := flag.String("grouped-out", "BENCH_grouped.json", "output path for -grouped")
 	requireGroupedWin := flag.Bool("require-grouped-win", false, "exit nonzero unless the -grouped-out report shows bit-identity and an inter-group byte reduction, measured and simulated (the CI grouped guard); checks an existing report when -grouped is absent")
+	p2p := flag.Bool("p2p", false, "run the P2P mode benchmark (simulated frame/batched/duplex/auto link-model grid + functional mode A/B vs the frame baseline)")
+	p2pOut := flag.String("p2p-out", "BENCH_p2p.json", "output path for -p2p")
+	requireP2PWin := flag.Bool("require-p2p-win", false, "exit nonzero unless the -p2p-out report shows every mode bit-identical with unchanged belt traffic and a batched link-send reduction on the high-latency profiles (the CI P2P guard); checks an existing report when -p2p is absent")
 	kernel := flag.Bool("kernel", false, "run the functional MatMulNT kernel A/B (scalar vs best backend)")
 	kernelOut := flag.String("kernel-out", "BENCH_kernel.json", "output path for -kernel")
 	kernelReps := flag.Int("kernel-reps", 20, "repetitions (min taken) for -kernel")
@@ -80,6 +83,26 @@ func main() {
 		fmt.Printf("grouped guard: %s ok\n", *groupedOut)
 	}
 	if *grouped || *requireGroupedWin {
+		return
+	}
+	if *p2p {
+		if err := bench.WriteP2PBench(*p2pOut); err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *requireP2PWin {
+		rep, err := bench.ReadP2PReport(*p2pOut)
+		if err == nil {
+			err = bench.CheckP2PWin(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weipipe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("p2p guard: %s ok\n", *p2pOut)
+	}
+	if *p2p || *requireP2PWin {
 		return
 	}
 	if *kernel {

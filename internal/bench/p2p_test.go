@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestP2PModeBenchWinsAndRoundTrips: the full P2P benchmark must satisfy
+// its own CI gate — every measured mode bit-identical to the frame
+// baseline with unchanged belt traffic, batched link sends reduced on the
+// hierarchical profiles without modelled-throughput loss — and survive a
+// serialization round trip unchanged in the eyes of the gate.
+func TestP2PModeBenchWinsAndRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_p2p.json")
+	if err := WriteP2PBench(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadP2PReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckP2PWin(rep); err != nil {
+		t.Fatalf("regenerated report fails its own gate: %v", err)
+	}
+	if len(rep.Simulated) == 0 || len(rep.Measured.WZB2) != len(p2pModes) || len(rep.Measured.WZB2G) != len(p2pModes) {
+		t.Fatalf("report incomplete: %d sim cells, %d/%d measured cells",
+			len(rep.Simulated), len(rep.Measured.WZB2), len(rep.Measured.WZB2G))
+	}
+}
+
+// TestP2PModeCheckRejectsRegressions: the gate must catch each failure
+// class — a mode that diverged, a mode that changed belt traffic, and a
+// batched link model that stopped cutting sends or lost throughput.
+func TestP2PModeCheckRejectsRegressions(t *testing.T) {
+	good := func() *P2PReport {
+		return &P2PReport{
+			Simulated: []P2PSimCell{
+				{Strategy: "wzb2", Topology: "nvlink-ethernet", Mode: "frame", LinkSends: 100, ThroughputTPS: 50},
+				{Strategy: "wzb2", Topology: "nvlink-ethernet", Mode: "batched", LinkSends: 40, ThroughputTPS: 50},
+			},
+			Measured: P2PMeasured{
+				WZB2:  []P2PModeMeasured{{Mode: "frame", BeltBytes: 9, BeltMsgs: 3, BitIdentical: true}, {Mode: "batched", BeltBytes: 9, BeltMsgs: 3, BitIdentical: true}},
+				WZB2G: []P2PModeMeasured{{Mode: "frame", BeltBytes: 9, BeltMsgs: 3, BitIdentical: true}, {Mode: "batched", BeltBytes: 9, BeltMsgs: 3, BitIdentical: true}},
+			},
+		}
+	}
+	if err := CheckP2PWin(good()); err != nil {
+		t.Fatalf("gate rejects a winning report: %v", err)
+	}
+	breakers := []struct {
+		name string
+		mod  func(*P2PReport)
+	}{
+		{"diverged mode", func(r *P2PReport) { r.Measured.WZB2[1].BitIdentical = false }},
+		{"changed belt traffic", func(r *P2PReport) { r.Measured.WZB2G[1].BeltMsgs++ }},
+		{"no send reduction", func(r *P2PReport) { r.Simulated[1].LinkSends = 100 }},
+		{"throughput regression", func(r *P2PReport) { r.Simulated[1].ThroughputTPS = 40 }},
+		{"missing batched cell", func(r *P2PReport) { r.Simulated = r.Simulated[:1] }},
+	}
+	for _, b := range breakers {
+		rep := good()
+		b.mod(rep)
+		if err := CheckP2PWin(rep); err == nil {
+			t.Errorf("gate missed regression %q", b.name)
+		}
+	}
+}

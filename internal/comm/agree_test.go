@@ -301,13 +301,14 @@ func TestEpochFenceRejectsStaleFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	hello := make([]byte, 8)
+	hello := make([]byte, 12)
 	hello[0] = 1 // rank 1
 	hello[4] = 7 // matching epoch
+	hello[8] = 0 // data lane
 	if _, err := conn.Write(hello); err != nil {
 		t.Fatal(err)
 	}
-	ack := make([]byte, 8)
+	ack := make([]byte, 12)
 	if _, err := io.ReadFull(conn, ack); err != nil {
 		t.Fatalf("admission ack: %v", err)
 	}

@@ -1,0 +1,241 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Burst envelopes — the batched P2P mode's wire unit.
+//
+// A burst is a control frame (kind ctlBurst) whose payload is a
+// back-to-back run of complete inner frames, each retaining its own
+// header, sequence number, and CRC:
+//
+//	envelope header (a = inner count, n = payload BYTES, CRC over the
+//	header only) | inner frame | inner frame | ...
+//
+// The envelope CRC deliberately excludes the payload: every inner frame
+// already seals itself, so re-checksumming the concatenation would turn
+// one flipped bit anywhere in the burst into the loss of every frame in
+// it. With header-only sealing, a corrupt byte inside one inner frame
+// fails only that frame's CRC — its siblings decode and deliver, the
+// damaged frame stays unacknowledged, and the sender retransmits just it.
+// Corruption that lands in an inner *header* (so the decoder can no
+// longer find the next frame boundary) ends decoding of the rest of the
+// burst; the envelope's byte count still bounds the read, so the outer
+// stream stays frame-aligned and the usual retransmission path repairs
+// the tail.
+//
+// Receivers are permanently burst-capable regardless of their own
+// configured mode: the mode is a sender-local packaging decision, which
+// is what makes mid-run mode switches trivially safe.
+const (
+	// maxBurstFrames bounds the inner frames per envelope; the send
+	// window (32) never exceeds it, so one drain is at most one full
+	// envelope plus change.
+	maxBurstFrames = 64
+)
+
+// burstByteCap bounds a plausible envelope payload: one maximal data
+// frame's payload plus headers for a full envelope of frames. Any single
+// legal frame fits (so oversized payloads travel as a burst of one), and
+// a corrupt length field cannot make the decoder allocate more than the
+// transport's existing per-frame cap already allows.
+func burstByteCap(maxElems int) uint64 {
+	if maxElems <= 0 {
+		maxElems = defaultMaxFrameElems
+	}
+	return uint64(maxElems)*4 + maxBurstFrames*frameHeaderLen
+}
+
+// encodeBurstHeader builds the envelope header for a burst of count inner
+// frames totalling payloadBytes of encoded wire. The CRC covers the
+// header only (see the package comment above).
+func encodeBurstHeader(src int, epoch uint32, count int, payloadBytes int) []byte {
+	hdr := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(hdr[4:8], ctlBurst)
+	binary.LittleEndian.PutUint32(hdr[8:12], epoch)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(count))
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(payloadBytes))
+	binary.LittleEndian.PutUint32(hdr[frameCRCOffset:frameHeaderLen], frameCRC(hdr))
+	return hdr
+}
+
+// splitBursts groups already-encoded wire frames into envelope-sized runs
+// respecting maxBurstFrames and the receiver's byte cap. A frame larger
+// than the cap on its own (impossible for legal frames, but the bound is
+// defensive) travels as a run of one.
+func splitBursts(maxElems int, wires [][]byte) [][][]byte {
+	cap64 := burstByteCap(maxElems)
+	var groups [][][]byte
+	var cur [][]byte
+	var curBytes uint64
+	for _, w := range wires {
+		if len(cur) > 0 && (len(cur) >= maxBurstFrames || curBytes+uint64(len(w)) > cap64) {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, w)
+		curBytes += uint64(len(w))
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// flattenBurst builds one contiguous wire image of an envelope — header
+// plus inner frames — for write paths that need a single buffer (the
+// chaos injector flips bytes in place; writev paths skip the copy).
+func flattenBurst(src int, epoch uint32, wires [][]byte) []byte {
+	total := 0
+	for _, w := range wires {
+		total += len(w)
+	}
+	out := make([]byte, 0, frameHeaderLen+total)
+	out = append(out, encodeBurstHeader(src, epoch, len(wires), total)...)
+	for _, w := range wires {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// burstFrame is one decoded inner frame of a burst — either a payload or
+// the *CorruptionError that frame (or the envelope's tail) produced.
+type burstFrame struct {
+	h       frameHeader
+	payload []float32
+	err     error
+}
+
+// decodeBurst splits an envelope's payload into its inner frames. Intact
+// frames come back decoded (payloads drawn from the pool; the caller owns
+// them). An inner frame whose payload fails its CRC becomes a
+// *CorruptionError entry — its siblings are unaffected. A malformed
+// structure — truncated inner frame, implausible inner header, nested
+// envelope, or a frame-count mismatch against the envelope header — ends
+// decoding with one final terminal *CorruptionError entry; frames decoded
+// before the damage still deliver. The envelope's byte count was read in
+// full before decoding, so every outcome leaves the outer stream aligned.
+func decodeBurst(buf []byte, count, size, maxElems int) []burstFrame {
+	out := make([]burstFrame, 0, count)
+	terminal := func(reason string) []burstFrame {
+		return append(out, burstFrame{err: &CorruptionError{Reason: "burst: " + reason}})
+	}
+	off := 0
+	for off < len(buf) {
+		if len(out) >= count {
+			return terminal(fmt.Sprintf("more than %d inner frames", count))
+		}
+		if off+frameHeaderLen > len(buf) {
+			return terminal("truncated inner frame header")
+		}
+		hdr := buf[off : off+frameHeaderLen]
+		h, err := parseFrameHeader(hdr, size, maxElems)
+		if err != nil {
+			return terminal(fmt.Sprintf("implausible inner header: %v", err))
+		}
+		if h.kind == ctlBurst {
+			return terminal("nested burst envelope")
+		}
+		pb := h.n * h.codec.bytesPerElem()
+		if off+frameHeaderLen+pb > len(buf) {
+			return terminal("truncated inner payload")
+		}
+		body := buf[off+frameHeaderLen : off+frameHeaderLen+pb]
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:frameCRCOffset])
+		crc.Write(body)
+		if got := crc.Sum32(); got != h.crc {
+			// One damaged frame; the header was plausible so the next
+			// boundary is still known. Skip it, keep its siblings.
+			out = append(out, burstFrame{err: &CorruptionError{Reason: fmt.Sprintf("inner payload CRC mismatch (got %#x want %#x)", got, h.crc)}})
+			off += frameHeaderLen + pb
+			continue
+		}
+		out = append(out, burstFrame{h: h, payload: decodePayload(h, body)})
+		off += frameHeaderLen + pb
+	}
+	if len(out) != count {
+		return terminal(fmt.Sprintf("inner frame count %d != envelope's %d", len(out), count))
+	}
+	return out
+}
+
+// releaseBurstFrames returns any decoded payloads of a pending burst to
+// the pool (connection teardown with frames still queued).
+func releaseBurstFrames(frames []burstFrame) {
+	for _, bf := range frames {
+		Release(bf.payload)
+	}
+}
+
+// frameReader decodes a connection's wire stream one frame at a time,
+// transparently unpacking burst envelopes: a burst's inner frames are
+// queued and handed out on subsequent calls before the socket is read
+// again. This is what makes every receiver mode-agnostic — plain frames
+// and bursts interleave freely on the same connection.
+type frameReader struct {
+	r        io.Reader
+	size     int
+	maxElems int
+	pending  []burstFrame
+}
+
+// next returns the next frame. The synced flag and error semantics match
+// readFrame: synced == true with a *CorruptionError means one frame was
+// lost but the stream (and the reader's queue) remain aligned, so the
+// caller may keep reading; any other error requires connection teardown.
+func (fr *frameReader) next() (h frameHeader, payload []float32, synced bool, err error) {
+	for {
+		if len(fr.pending) > 0 {
+			bf := fr.pending[0]
+			fr.pending = fr.pending[1:]
+			if bf.err != nil {
+				return frameHeader{}, nil, true, bf.err
+			}
+			return bf.h, bf.payload, true, nil
+		}
+		hdr := make([]byte, frameHeaderLen)
+		if _, err := io.ReadFull(fr.r, hdr); err != nil {
+			return frameHeader{}, nil, false, err
+		}
+		h, err := parseFrameHeader(hdr, fr.size, fr.maxElems)
+		if err != nil {
+			return frameHeader{}, nil, false, err
+		}
+		if h.kind != ctlBurst {
+			// Plain frame: read and verify its payload in place.
+			buf := make([]byte, h.n*h.codec.bytesPerElem())
+			if _, err := io.ReadFull(fr.r, buf); err != nil {
+				return frameHeader{}, nil, false, err
+			}
+			crc := crc32.NewIEEE()
+			crc.Write(hdr[:frameCRCOffset])
+			crc.Write(buf)
+			if got := crc.Sum32(); got != h.crc {
+				return frameHeader{}, nil, true, &CorruptionError{Reason: fmt.Sprintf("payload CRC mismatch (got %#x want %#x)", got, h.crc)}
+			}
+			return h, decodePayload(h, buf), true, nil
+		}
+		// Burst envelope. The header seals itself; a mismatch means the
+		// byte count cannot be trusted, so alignment is lost.
+		if got := frameCRC(hdr); got != h.crc {
+			return frameHeader{}, nil, false, &CorruptionError{Reason: fmt.Sprintf("burst envelope CRC mismatch (got %#x want %#x)", got, h.crc)}
+		}
+		buf := make([]byte, h.n)
+		if _, err := io.ReadFull(fr.r, buf); err != nil {
+			return frameHeader{}, nil, false, err
+		}
+		fr.pending = decodeBurst(buf, int(h.a), fr.size, fr.maxElems)
+	}
+}
+
+// drop releases any queued inner frames (teardown mid-burst).
+func (fr *frameReader) drop() {
+	releaseBurstFrames(fr.pending)
+	fr.pending = nil
+}

@@ -37,6 +37,12 @@ const (
 	// Control frame kinds, disjoint from the application Kind space.
 	ctlAck       uint32 = 0xFFFFFFF0
 	ctlHeartbeat uint32 = 0xFFFFFFF1
+	// ctlBurst is a burst envelope (the batched P2P mode): its payload is
+	// a back-to-back run of complete inner frames, each carrying its own
+	// header and CRC. For a burst header, a counts the inner frames and n
+	// counts payload BYTES (not elements). The envelope CRC covers the
+	// header only — see burst.go.
+	ctlBurst uint32 = 0xFFFFFFF2
 
 	// maxAppKind is the largest application Kind a frame may carry.
 	maxAppKind = uint32(kindCount) - 1
@@ -66,8 +72,10 @@ func (h frameHeader) tag() Tag {
 	return Tag{Kind: Kind(h.kind & 0xff), A: int(h.a), B: int(h.b)}
 }
 
-// isCtl reports whether the frame is a control (ack/heartbeat) frame.
-func (h frameHeader) isCtl() bool { return h.kind == ctlAck || h.kind == ctlHeartbeat }
+// isCtl reports whether the frame is a control (ack/heartbeat/burst) frame.
+func (h frameHeader) isCtl() bool {
+	return h.kind == ctlAck || h.kind == ctlHeartbeat || h.kind == ctlBurst
+}
 
 // parseFrameHeader validates and decodes a frame header. size bounds the
 // src field (size <= 0 skips the check, for fuzzing); maxElems bounds the
@@ -103,6 +111,15 @@ func parseFrameHeader(hdr []byte, size, maxElems int) (frameHeader, error) {
 			return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("unknown payload codec %d", codec)}
 		}
 		h.codec = codec
+	}
+	if h.kind == ctlBurst {
+		// Burst envelopes size their payload in bytes, bounded by the
+		// largest legal burst rather than the per-frame element cap.
+		if h.seq != 0 || h.a < 0 || h.a > maxBurstFrames || n > burstByteCap(maxElems) {
+			return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("implausible burst envelope (count %d, %d bytes)", h.a, n)}
+		}
+		h.n = int(n)
+		return h, nil
 	}
 	if n > uint64(maxElems) {
 		return frameHeader{}, &CorruptionError{Reason: fmt.Sprintf("implausible payload length %d elems", n)}
@@ -180,7 +197,13 @@ func readFrame(r io.Reader, size, maxElems int) (h frameHeader, payload []float3
 		// was fully consumed: the stream is still frame-aligned.
 		return frameHeader{}, nil, true, &CorruptionError{Reason: fmt.Sprintf("payload CRC mismatch (got %#x want %#x)", got, h.crc)}
 	}
-	payload = GetBuf(h.n)
+	return h, decodePayload(h, buf), true, nil
+}
+
+// decodePayload expands a validated frame's raw payload bytes into a
+// pooled []float32 at the codec's width. The caller owns the result.
+func decodePayload(h frameHeader, buf []byte) []float32 {
+	payload := GetBuf(h.n)
 	if h.codec == CodecBF16 {
 		tensor.UnpackBF16LE(payload, buf)
 	} else {
@@ -188,5 +211,5 @@ func readFrame(r io.Reader, size, maxElems int) (h frameHeader, payload []float3
 			payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 		}
 	}
-	return h, payload, true, nil
+	return payload
 }

@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Transport-level P2P mode tests: the batched/duplex/auto packaging must
+// change wire layout only — delivery order, payload bytes, Close and
+// RecvTimeout semantics, and exactly-once delivery under retransmission
+// are mode-invariant.
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Batched mode must actually put burst envelopes on the wire while
+// delivering every payload intact and in order.
+func TestP2PModeTCPBatchedDelivers(t *testing.T) {
+	trs := dialMeshOpts(t, 2, TCPOptions{P2PMode: P2PBatched, HeartbeatInterval: 20 * time.Millisecond})
+	const n = 40
+	go func() {
+		for i := 0; i < n; i++ {
+			trs[0].Send(1, Tag{Kind: KindWeight, A: i}, []float32{float32(i), -float32(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := trs[1].Recv(0, Tag{Kind: KindWeight, A: i})
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(got) != 2 || got[0] != float32(i) || got[1] != -float32(i) {
+			t.Fatalf("recv %d: got %v", i, got)
+		}
+	}
+	envelopes, frames := trs[0].CommStats().Bursts()
+	if envelopes == 0 || frames < envelopes {
+		t.Fatalf("batched sender opened no burst envelopes (%d envelopes / %d frames)", envelopes, frames)
+	}
+	if w := trs[0].CommStats().WireWrites(); w >= frames {
+		t.Fatalf("batching amortized nothing: %d wire writes for %d framed sends", w, frames)
+	}
+}
+
+// Duplex mode must bring up the ctl lane and move ack/heartbeat traffic
+// onto it.
+func TestP2PModeTCPDuplexCtlLane(t *testing.T) {
+	trs := dialMeshOpts(t, 2, TCPOptions{
+		P2PMode:           P2PDuplex,
+		HeartbeatInterval: 10 * time.Millisecond,
+		ReconnectBackoff:  5 * time.Millisecond,
+	})
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			trs[0].Send(1, Tag{Kind: KindWeight, A: i}, []float32{1})
+			if _, err := trs[1].Recv(0, Tag{Kind: KindWeight, A: i}); err != nil {
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, "ctl-lane traffic", func() bool {
+		return trs[0].CommStats().CtlLaneFrames() > 0 || trs[1].CommStats().CtlLaneFrames() > 0
+	})
+	if m := trs[0].LinkMode(1); m != P2PDuplex {
+		t.Fatalf("link mode = %v, want duplex", m)
+	}
+}
+
+// Close must fail pending receives promptly in every mode — including
+// duplex, where a second lane's goroutines must also unwind.
+func TestP2PModeCloseFailsPendingRecvs(t *testing.T) {
+	for _, mode := range []P2PMode{P2PBatched, P2PDuplex} {
+		t.Run(mode.String(), func(t *testing.T) {
+			trs := dialMeshOpts(t, 2, TCPOptions{
+				P2PMode:           mode,
+				HeartbeatInterval: 10 * time.Millisecond,
+				ReconnectBackoff:  5 * time.Millisecond,
+			})
+			errc := make(chan error, 2)
+			for _, tr := range trs {
+				go func(tr *TCPTransport) {
+					_, err := tr.Recv(1-tr.Rank(), Tag{Kind: KindGrad, A: 7})
+					errc <- err
+				}(tr)
+			}
+			time.Sleep(20 * time.Millisecond) // let both receivers block
+			for _, tr := range trs {
+				tr.Close()
+			}
+			for i := 0; i < 2; i++ {
+				select {
+				case err := <-errc:
+					if !errors.Is(err, ErrClosed) {
+						t.Fatalf("pending recv returned %v, want ErrClosed", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("pending recv %d did not fail after Close", i)
+				}
+			}
+		})
+	}
+}
+
+// A dropped burst must be repaired by retransmission without any payload
+// arriving twice: after every message is received once, the mailbox is
+// empty.
+func TestP2PModeRetransmitAfterBurstNoDoubleDelivery(t *testing.T) {
+	trs := dialMeshOpts(t, 2, TCPOptions{
+		P2PMode:           P2PBatched,
+		HeartbeatInterval: 10 * time.Millisecond,
+		RetransmitTimeout: 20 * time.Millisecond,
+		ReconnectBackoff:  5 * time.Millisecond,
+		Chaos:             &ChaosConfig{Seed: 99, Drop: 0.25, Dup: 0.2, Reorder: 0.1},
+	})
+	const n = 60
+	go func() {
+		for i := 0; i < n; i++ {
+			trs[0].Send(1, Tag{Kind: KindGrad, A: i}, []float32{float32(i) * 0.5})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := trs[1].RecvTimeout(0, Tag{Kind: KindGrad, A: i}, 10*time.Second)
+		if err != nil {
+			t.Fatalf("recv %d under chaos: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != float32(i)*0.5 {
+			t.Fatalf("recv %d: got %v", i, got)
+		}
+	}
+	// Exactly-once: no retransmitted or duplicated frame may deliver a
+	// second copy of an already-consumed payload.
+	if _, err := trs[1].RecvTimeout(0, Tag{Kind: KindGrad, A: n / 2}, 150*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("duplicate delivery: second recv of a consumed tag returned %v, want ErrTimeout", err)
+	}
+}
+
+// The auto controller must re-decide a link's mode mid-run once measured
+// RTTs exist, without disturbing delivery. A threshold of effectively zero
+// forces the duplex-seeded loopback links to switch to batched.
+func TestP2PModeAutoSwitchesUnderDelay(t *testing.T) {
+	trs := dialMeshOpts(t, 2, TCPOptions{
+		P2PMode:           P2PAuto,
+		HeartbeatInterval: 10 * time.Millisecond,
+		RetransmitTimeout: 50 * time.Millisecond,
+		AutoRTTSec:        1e-12, // every real RTT reads as high-latency
+	})
+	if m := trs[0].LinkMode(1); m != P2PDuplex {
+		t.Fatalf("auto seed on a flat mesh = %v, want duplex", m)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			trs[0].Send(1, Tag{Kind: KindWeight, A: i}, []float32{2})
+			if _, err := trs[1].Recv(0, Tag{Kind: KindWeight, A: i}); err != nil {
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, "auto re-decision to batched", func() bool {
+		return trs[0].CommStats().P2PModeSwitches() >= 1 && trs[0].LinkMode(1) == P2PBatched
+	})
+	if rtt := trs[0].CommStats().LinkRTT(1); rtt <= 0 {
+		t.Fatalf("re-decision without a recorded RTT EWMA")
+	}
+}
+
+// SetLinkMode pins a link against the auto controller and records the
+// switch; traffic keeps flowing across the change.
+func TestP2PModeSetLinkModePins(t *testing.T) {
+	trs := dialMeshOpts(t, 2, TCPOptions{P2PMode: P2PAuto, AutoRTTSec: 1e-12})
+	if err := trs[0].SetLinkMode(1, P2PFrame); err != nil {
+		t.Fatal(err)
+	}
+	if m := trs[0].LinkMode(1); m != P2PFrame {
+		t.Fatalf("pinned mode = %v, want frame", m)
+	}
+	if trs[0].CommStats().P2PModeSwitches() < 1 {
+		t.Fatalf("pinning recorded no mode switch")
+	}
+	// The pin must hold against the auto controller despite the forcing
+	// threshold; traffic still delivers.
+	for i := 0; i < 20; i++ {
+		go trs[0].Send(1, Tag{Kind: KindWeight, A: i}, []float32{3})
+		if _, err := trs[1].RecvTimeout(0, Tag{Kind: KindWeight, A: i}, 5*time.Second); err != nil {
+			t.Fatalf("recv %d after pin: %v", i, err)
+		}
+	}
+	if m := trs[0].LinkMode(1); m != P2PFrame {
+		t.Fatalf("auto controller overrode the pin: %v", m)
+	}
+	if err := trs[0].SetLinkMode(2, P2PFrame); err == nil {
+		t.Fatalf("SetLinkMode accepted an out-of-range peer")
+	}
+}

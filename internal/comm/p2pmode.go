@@ -1,0 +1,104 @@
+package comm
+
+import (
+	"fmt"
+
+	"weipipe/internal/cost"
+)
+
+// P2P link modes.
+//
+// The TCP transport packages every payload the same way on the wire — a
+// CRC'd frame with a sequence number — but *how* frames reach the socket
+// is a per-link policy, the P2P mode:
+//
+//   - P2PFrame (the default) is the baseline protocol: the writer drains
+//     its queue into one writev of individual frames, ctl (ack/heartbeat)
+//     frames share the data connection.
+//   - P2PBatched coalesces everything a schedule tick made ready — the
+//     belt injects weight chunk + gradient chunk + pending ctl traffic
+//     back-to-back — into burst envelopes: one wire write, one envelope
+//     header, per-frame overhead amortized. The win is on high-RTT links.
+//   - P2PDuplex adds a second connection per link, a ctl lane carrying
+//     acks and heartbeats with its own writer goroutine, so a blocked
+//     bulk-data write can never delay the ack that un-stalls the peer
+//     (no head-of-line blocking between inbound prefetch and outbound
+//     retire). The win is on fast links.
+//   - P2PAuto picks per link: seeded from the topology tier (cross-group
+//     links start batched, intra-group links duplex), then re-decided
+//     online from the measured ack-RTT EWMA against cost.P2PBatchRTTSec.
+//
+// Bit-identity across modes is structural, not tested-for-luck: modes are
+// sender-local packaging decisions, every receiver accepts plain frames,
+// burst envelopes, and ctl-lane connections unconditionally, and every
+// payload — however it arrived — funnels through the same
+// sequence/dedup/mailbox delivery path. A mid-run mode switch (auto
+// re-decision or SetLinkMode) therefore changes wire layout only, never
+// delivery order or payload bytes.
+type P2PMode uint8
+
+const (
+	// P2PFrame is the baseline one-frame-at-a-time protocol.
+	P2PFrame P2PMode = iota
+	// P2PBatched coalesces same-tick sends into burst envelopes.
+	P2PBatched
+	// P2PDuplex runs a dedicated ctl lane per link.
+	P2PDuplex
+	// P2PAuto picks batched or duplex per link from topology + RTT.
+	P2PAuto
+
+	p2pModeCount
+)
+
+// String renders the mode as its CLI spelling.
+func (m P2PMode) String() string {
+	switch m {
+	case P2PFrame:
+		return "frame"
+	case P2PBatched:
+		return "batched"
+	case P2PDuplex:
+		return "duplex"
+	case P2PAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("P2PMode(%d)", uint8(m))
+}
+
+// ParseP2PMode parses the -p2p-mode CLI spelling. The empty string is the
+// baseline frame mode.
+func ParseP2PMode(s string) (P2PMode, error) {
+	switch s {
+	case "", "frame":
+		return P2PFrame, nil
+	case "batched":
+		return P2PBatched, nil
+	case "duplex":
+		return P2PDuplex, nil
+	case "auto":
+		return P2PAuto, nil
+	}
+	return P2PFrame, fmt.Errorf("comm: unknown p2p mode %q (want frame, batched, duplex, or auto)", s)
+}
+
+// autoSeedMode is the auto policy's starting point for a link before any
+// RTT measurement exists: with a group topology declared, cross-group
+// (boundary) links start batched and intra-group links duplex — the same
+// tier split cluster.Topology.BoundaryLink draws. Without one, links
+// start duplex and the first RTT samples take over.
+func autoSeedMode(groupSize, rank, peer int) P2PMode {
+	if groupSize > 0 && rank/groupSize != peer/groupSize {
+		return P2PBatched
+	}
+	return P2PDuplex
+}
+
+// autoDecide re-evaluates a link's mode from its ack-RTT EWMA (seconds).
+// cur feeds the hysteresis band; thresholdSec <= 0 uses the calibrated
+// default.
+func autoDecide(rttSec float64, cur P2PMode, thresholdSec float64) P2PMode {
+	if cost.SuggestP2PBatched(rttSec, cur == P2PBatched, thresholdSec) {
+		return P2PBatched
+	}
+	return P2PDuplex
+}

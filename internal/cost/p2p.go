@@ -1,0 +1,46 @@
+package cost
+
+// P2P link-mode policy thresholds.
+//
+// The TCP transport's auto mode controller (comm.P2PAuto) picks a wire
+// packaging mode per link: batched bursts amortize per-frame overhead on
+// high-RTT links, a duplex ctl lane removes head-of-line blocking on fast
+// ones. The decision inputs live here, next to the rest of the calibration
+// machinery, so the transport, the simulator's link model, and the
+// trace-compare tooling all classify links with the same constants.
+
+// P2PBatchRTTSec is the measured round-trip threshold above which a link
+// prefers the batched mode: past this RTT the per-frame envelope overhead
+// and syscall count dominate over the serialization a burst introduces.
+// The value sits an order of magnitude above intra-server ack RTTs and an
+// order below cross-datacenter ones, splitting the two tiers the grouped
+// topologies model (NVLink/PCIe vs Ethernet).
+const P2PBatchRTTSec = 200e-6
+
+// p2pHysteresis keeps a link from flapping between modes when its measured
+// RTT hovers near the threshold: a batched link only reverts to duplex
+// once the RTT falls below threshold/p2pHysteresis.
+const p2pHysteresis = 2.0
+
+// SuggestP2PBatched classifies a link from its measured ack round-trip
+// time: true means the batched mode is the better fit. currentBatched
+// feeds the hysteresis band; thresholdSec <= 0 selects P2PBatchRTTSec.
+func SuggestP2PBatched(rttSec float64, currentBatched bool, thresholdSec float64) bool {
+	thr := thresholdSec
+	if thr <= 0 {
+		thr = P2PBatchRTTSec
+	}
+	if currentBatched {
+		return rttSec > thr/p2pHysteresis
+	}
+	return rttSec > thr
+}
+
+// P2PTopoBatched seeds the auto decision before any measurement exists,
+// from a link's modelled one-way latency: Ethernet-class links (tens of
+// microseconds) start batched, NVLink/PCIe-class links start duplex. The
+// simulator's link model applies the same classification so predicted and
+// measured schedules pick the same modes.
+func P2PTopoBatched(latencySec float64) bool {
+	return latencySec >= P2PBatchRTTSec/2/10 // one-way ~ RTT/2; 10µs splits the tiers
+}

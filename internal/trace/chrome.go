@@ -38,6 +38,11 @@ type RunMeta struct {
 	Vocab    int    `json:"vocab,omitempty"`
 	Iters    int    `json:"iters"`
 	Overlap  bool   `json:"overlap,omitempty"`
+	// P2PMode records the transport's per-link packaging mode
+	// ("frame"/"batched"/"duplex"/"auto", empty = frame) so
+	// weipipe-trace -compare rebuilds the simulated schedule with the
+	// same link model the run used.
+	P2PMode string `json:"p2p_mode,omitempty"`
 }
 
 // MarshalChrome renders events as a Chrome trace JSON object. meta, when
@@ -84,7 +89,7 @@ func laneFor(e Event) string {
 			return "belt-fwd"
 		}
 		return "belt-bwd"
-	case CodeSend, CodeRecv, CodeRetransmit:
+	case CodeSend, CodeRecv, CodeRetransmit, CodeModeSwitch:
 		return "comm"
 	default:
 		return "compute"
